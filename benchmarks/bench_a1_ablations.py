@@ -1,0 +1,134 @@
+"""A-series: ablations of the decoupling mechanisms.
+
+Each benchmark removes exactly one mechanism from an otherwise
+unchanged system and shows the privacy property collapsing -- the
+quantitative version of DESIGN.md's "what each design choice buys":
+
+* A1  blinding (digital cash): without it the bank re-couples;
+* A2  batch shuffling (mix-net): without it FIFO correlation is exact;
+* A3  IMSI rotation (PGPP): without it one pseudonym = one trajectory;
+* A4  DLEQ proofs (VOPRF): without verification a two-keyed issuer can
+      segregate users and re-identify them at redemption.
+"""
+
+import random
+import statistics
+
+from repro.adversary import PassiveCorrelator, correlation_accuracy
+from repro.blindsig import run_digital_cash
+from repro.crypto.voprf import VoprfServer, voprf_blind, voprf_finalize
+from repro.mixnet import run_mixnet
+from repro.pgpp import run_pgpp
+
+
+def test_a1_blinding_ablation(benchmark):
+    """Same cash protocol, no blinding: the bank becomes a coalition."""
+    ablated = benchmark(run_digital_cash, coins=3, blind_withdrawals=False)
+    intact = run_digital_cash(coins=3)
+
+    # The intact system resists every coalition.
+    assert intact.analyzer.minimal_recoupling_coalitions() == ()
+    # Ablated: the serial seen at withdrawal reappears at deposit, so
+    # the (single-organization!) bank re-couples.
+    coalitions = ablated.analyzer.minimal_recoupling_coalitions()
+    assert frozenset({"bank"}) in coalitions
+    assert not ablated.analyzer.breach("bank").breach_proof
+    # The per-entity table is unchanged -- the leak is institutional,
+    # which is exactly why the paper's analysis needs coalitions.
+    assert ablated.table().as_mapping() == intact.table().as_mapping()
+
+
+def test_a2_shuffle_ablation(benchmark):
+    """Batching without shuffling: FIFO correlation stays perfect."""
+
+    def measure(shuffle: bool) -> float:
+        accuracies = []
+        for seed in range(4):
+            run = run_mixnet(
+                mixes=2, senders=8, batch_size=8, seed=seed, shuffle=shuffle
+            )
+            correlator = PassiveCorrelator(run.network.trace)
+            guesses = correlator.fifo_guesses(
+                run.mixes[0].address, run.mixes[-1].address, run.receiver.address
+            )
+            accuracies.append(correlation_accuracy(guesses, run.ground_truth()))
+        return statistics.mean(accuracies)
+
+    without_shuffle = benchmark(measure, False)
+    with_shuffle = measure(True)
+    assert without_shuffle == 1.0
+    assert with_shuffle < 0.45
+
+
+def test_a3_rotation_ablation(benchmark):
+    """Static pseudonyms: the core's log is one trajectory per user."""
+    ablated = benchmark(
+        run_pgpp, users=4, cells=6, steps=4, epochs=3, imsi_mode="static"
+    )
+    rotating = run_pgpp(users=4, cells=6, steps=4, epochs=3, imsi_mode="shuffled")
+
+    static_pseudonyms = {imsi for _, imsi, _ in ablated.core.mobility_log}
+    rotating_pseudonyms = {imsi for _, imsi, _ in rotating.core.mobility_log}
+    # Rotation multiplies the pseudonym space by the epoch count.
+    assert len(static_pseudonyms) == 4
+    assert len(rotating_pseudonyms) == 4 * 3
+    # With a static pseudonym the full walk is trivially linkable: all
+    # of a user's location fixes share one identifier.
+    per_pseudonym = max(
+        sum(1 for _, imsi, _ in ablated.core.mobility_log if imsi == p)
+        for p in static_pseudonyms
+    )
+    assert per_pseudonym == 4 * 3  # steps x epochs, one user's whole life
+
+
+def test_a4_dleq_ablation(benchmark):
+    """Without proof checking, a two-keyed issuer segregates users."""
+
+    def segregation_attack():
+        group = None
+        issuer_keys = [
+            VoprfServer(rng=random.Random(1)),
+            VoprfServer(rng=random.Random(2)),
+        ]
+        outcomes = []
+        for user_index in range(4):
+            server = issuer_keys[user_index % 2]  # segregate by key
+            state = voprf_blind(
+                f"user-{user_index}-token".encode(), rng=random.Random(user_index)
+            )
+            evaluated, proof = server.evaluate(state.blinded_element)
+            # ABLATION: the client skips voprf_finalize's DLEQ check and
+            # unblinds anyway.
+            g = server.group
+            unblinded = g.exp(evaluated, g.scalar_inv(state.blind))
+            from repro.crypto.hashutil import sha256
+
+            token = sha256(
+                b"VOPRF-finalize",
+                f"user-{user_index}-token".encode(),
+                g.encode_element(unblinded),
+            )
+            # At redemption the issuer tries each key: the one that
+            # validates reveals the user's issuance group.
+            recovered_group = None
+            for key_index, candidate in enumerate(issuer_keys):
+                if candidate.evaluate_unblinded(
+                    f"user-{user_index}-token".encode()
+                ) == token:
+                    recovered_group = key_index
+            outcomes.append((user_index % 2, recovered_group))
+        return outcomes
+
+    outcomes = benchmark(segregation_attack)
+    # Every user's secret group assignment is recovered exactly.
+    assert all(expected == recovered for expected, recovered in outcomes)
+
+    # With the check in place, the same attack dies at finalization.
+    import pytest
+
+    honest = VoprfServer(rng=random.Random(3))
+    rogue = VoprfServer(rng=random.Random(4))
+    state = voprf_blind(b"token", rng=random.Random(5))
+    evaluated, proof = rogue.evaluate(state.blinded_element)
+    with pytest.raises(ValueError):
+        voprf_finalize(state, evaluated, proof, honest.public_key)

@@ -1,0 +1,44 @@
+"""D1: degrees of decoupling for relay chains (section 4.2).
+
+"Adding more relays to Private Relay may improve the system against
+timing or collusion attacks ... at greater performance cost."
+
+Sweep relay count 1..5 and measure: collusion resistance (the privacy
+axis) and mean request latency + message count (the cost axis).
+Expected shape: resistance climbs one per relay with *linear* marginal
+gain (diminishing proportional returns) while latency climbs linearly
+-- the crossover the paper reasons about.
+"""
+
+from repro.harness import sweep_relays
+
+DEGREES = (1, 2, 3, 4, 5)
+
+
+def test_d1_relay_degree_sweep(benchmark):
+    sweep = benchmark(sweep_relays)
+    points = {p.degree: p for p in sweep.points}
+
+    # Privacy: one relay is the VPN anti-pattern (resistance 1);
+    # every added relay raises the collusion bar by exactly one.
+    assert points[1].collusion_resistance == 1
+    for degree in DEGREES[1:]:
+        assert points[degree].collusion_resistance == degree
+
+    # Cost: latency and messages grow monotonically with relays.
+    assert sweep.privacy_is_monotone()
+    assert sweep.cost_is_monotone()
+    assert sweep.has_diminishing_returns()
+
+    benchmark.extra_info["series"] = sweep.render()
+
+
+def test_d1_latency_scales_roughly_linearly(benchmark):
+    sweep = benchmark(sweep_relays)
+    points = sorted(sweep.points, key=lambda p: p.degree)
+    deltas = [
+        b.latency - a.latency for a, b in zip(points, points[1:])
+    ]
+    # Each extra relay adds roughly one extra round trip: all marginal
+    # costs within 3x of each other (shape, not absolute numbers).
+    assert max(deltas) < 3 * min(deltas) + 1e-9

@@ -1,0 +1,50 @@
+"""D2: degrees of decoupling for PPM aggregators (section 4.2).
+
+"Likewise, adding more aggregators to PPM may help against collusion
+attacks ... adds overhead to the system and ultimately reduces
+performance."
+
+Sweep aggregator count 2..5: collusion resistance must equal the
+aggregator count (all must collude to reconstruct shares) while upload
+and check traffic grow with every added aggregator.
+"""
+
+from repro.harness import sweep_aggregators
+from repro.ppm import run_prio
+
+DEGREES = (2, 3, 4, 5)
+
+
+def test_d2_ppm_degree_sweep(benchmark):
+    sweep = benchmark(sweep_aggregators)
+    points = {p.degree: p for p in sweep.points}
+
+    # Privacy: reconstructing a report takes *all* aggregators.
+    for count in DEGREES:
+        assert points[count].collusion_resistance == count
+
+    # Cost: every added aggregator means more uploads and more Beaver
+    # traffic -- messages and bytes grow monotonically.
+    ordered = sorted(sweep.points, key=lambda p: p.degree)
+    assert all(
+        a.messages < b.messages for a, b in zip(ordered, ordered[1:])
+    )
+    assert all(
+        a.bandwidth_overhead < b.bandwidth_overhead
+        for a, b in zip(ordered, ordered[1:])
+    )
+    assert sweep.privacy_is_monotone()
+    assert sweep.has_diminishing_returns()
+
+    benchmark.extra_info["series"] = sweep.render()
+
+
+def test_d2_correctness_preserved_at_every_degree(benchmark):
+    def run_all():
+        return [
+            run_prio(clients=4, aggregators=count).reported_total
+            for count in DEGREES
+        ]
+
+    totals = benchmark(run_all)
+    assert len(set(totals)) == 1  # same answer at every degree

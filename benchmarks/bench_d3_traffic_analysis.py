@@ -1,0 +1,43 @@
+"""D3: traffic analysis vs. batching and padding (section 4.3).
+
+"Encryption protects the confidentiality of data, but it does not
+protect against other attributes ... such as the size and timestamps of
+data while in transit.  Specific systems like Tor go to great lengths
+to mitigate these types of attacks, including via use of constant-size
+packets ... These types of enhancements come at a cost."
+
+Sweep batch size with and without padding; measure the passive
+correlator's accuracy and the end-to-end latency.  Expected shape:
+timing accuracy decays toward 1/batch as batches grow; size matching
+stays perfect until padding removes it; latency pays for both.
+"""
+
+from repro.harness import sweep_batches
+
+
+def test_d3_batching_decays_timing_accuracy(benchmark):
+    series = benchmark(sweep_batches, False)
+    by_batch = {row["batch"]: row for row in series}
+
+    # Unbatched: the FIFO correlator wins outright.
+    assert by_batch[1]["timing_accuracy"] == 1.0
+    # Large batches push timing accuracy toward chance (1/batch).
+    assert by_batch[8]["timing_accuracy"] < 0.45
+    # Accuracy decays monotonically (up to averaging noise).
+    accuracies = [row["timing_accuracy"] for row in series]
+    assert accuracies[0] >= accuracies[1] >= accuracies[-1]
+    # ... but size matching defeats batching when sizes are distinct.
+    assert by_batch[8]["size_accuracy"] == 1.0
+    # And latency pays for batching.
+    latencies = [row["latency"] for row in series]
+    assert latencies[0] < latencies[-1]
+
+    benchmark.extra_info["series"] = series
+
+
+def test_d3_padding_restores_protection(benchmark):
+    series = benchmark(sweep_batches, True)
+    by_batch = {row["batch"]: row for row in series}
+    # With constant-size cells, size matching degrades to timing level.
+    assert by_batch[8]["size_accuracy"] < 0.45
+    benchmark.extra_info["series"] = series

@@ -1,0 +1,51 @@
+"""D6 (extension): statistical disclosure vs. observation time.
+
+Section 3.1.2 scopes mix-net anonymity "up to the limits of what is
+feasible to reconstruct or infer from traffic analysis".  The classic
+limit is long-term intersection: each round mixes perfectly, yet the
+*pattern of rounds* leaks.  Sweep the number of observed rounds and
+measure how often the attacker identifies the target's correspondent.
+Expected shape: accuracy climbs from near-chance toward 1.0 -- privacy
+erodes with observation time, which no per-round mechanism prevents.
+"""
+
+import statistics
+
+from repro.adversary import StatisticalDisclosureAttack, generate_sda_rounds
+
+ROUNDS = (2, 8, 32)
+SEEDS = range(8)
+RECIPIENTS = 6
+
+
+def sweep_observation_time():
+    series = []
+    for rounds in ROUNDS:
+        hits = 0
+        for seed in SEEDS:
+            observations, target, truth = generate_sda_rounds(
+                rounds=rounds, covers=9, recipients=RECIPIENTS, seed=seed
+            )
+            guess = StatisticalDisclosureAttack().estimate(observations, target)
+            hits += int(guess == truth)
+        series.append(
+            {
+                "rounds": rounds,
+                "accuracy": hits / len(list(SEEDS)),
+                "chance": 1.0 / RECIPIENTS,
+            }
+        )
+    return series
+
+
+def test_d6_disclosure_accuracy_grows_with_rounds(benchmark):
+    series = benchmark(sweep_observation_time)
+    accuracies = [row["accuracy"] for row in series]
+
+    # More observation never helps the defender.
+    assert accuracies == sorted(accuracies)
+    # Long observation approaches certainty; short observation does not.
+    assert accuracies[-1] >= 0.85
+    assert accuracies[0] < accuracies[-1]
+
+    benchmark.extra_info["series"] = series

@@ -1,0 +1,38 @@
+"""E1 (extension): TEE-based decoupling — CACTI and Phoenix (§4.3).
+
+The paper's discussion section argues TEEs are "a reasonable mechanism
+for enabling decoupling in practice".  These benches regenerate the
+knowledge tables for the two systems it cites and quantify the trust
+relocation: the Phoenix verdict flips with `trust_attested`.
+"""
+
+from repro.core.report import compare_tables
+from repro.tee import (
+    EXPECTED_TABLE_CACTI,
+    EXPECTED_TABLE_PHOENIX,
+    run_cacti,
+    run_phoenix,
+)
+
+
+def test_e1_cacti_table(benchmark):
+    run = benchmark(run_cacti, requests=3)
+    report = compare_tables("E1a", "CACTI", EXPECTED_TABLE_CACTI, run.table())
+    assert report.matches, report.render()
+    assert run.analyzer.verdict().decoupled
+    assert run.served == 3
+    benchmark.extra_info["table"] = dict(run.table().as_mapping())
+
+
+def test_e1_phoenix_table_and_trust_flip(benchmark):
+    run = benchmark(run_phoenix, requests=4)
+    report = compare_tables(
+        "E1b", "Phoenix keyless CDN", EXPECTED_TABLE_PHOENIX, run.table()
+    )
+    assert report.matches, report.render()
+    # The verdict is exactly the §4.3 argument: trusting the hardware
+    # vendor (attestation) is what makes the enclave's coupling okay.
+    assert not run.analyzer.verdict().decoupled
+    assert run.analyzer.verdict(trust_attested=True).decoupled
+    assert run.analyzer.breach("cdn-operator").breach_proof
+    benchmark.extra_info["table"] = dict(run.table().as_mapping())

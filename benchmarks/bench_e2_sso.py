@@ -1,0 +1,58 @@
+"""E2 (extension): centralized authentication, decoupled in stages.
+
+Section 2.2: authentication "often create[s] a non-repudiable record of
+who used a network service when", centralized in IdPs "with a view into
+the uses of a huge range of services".  The sweep runs one user across
+two services under three assertion designs and shows the coupling
+surface shrinking: global identifiers (everyone couples) -> pairwise
+pseudonyms (only the IdP couples) -> blind tickets (nobody couples).
+"""
+
+from repro.core.report import compare_tables
+from repro.sso import EXPECTED_TABLES_SSO, run_sso
+
+
+def test_e2_sso_design_progression(benchmark):
+    def run_all():
+        return {mode: run_sso(mode) for mode in ("global", "pairwise", "anonymous")}
+
+    runs = benchmark(run_all)
+
+    for mode, run in runs.items():
+        report = compare_tables(
+            f"E2-{mode}", f"SSO {mode}", EXPECTED_TABLES_SSO[mode], run.table()
+        )
+        assert report.matches, report.render()
+
+    # The privacy staircase, measured as who can re-couple:
+    global_orgs = {
+        next(iter(c))
+        for c in runs["global"].analyzer.minimal_recoupling_coalitions(max_size=1)
+    }
+    assert global_orgs == {"idp-org", "service-a-org", "service-b-org"}
+    assert runs["pairwise"].analyzer.minimal_recoupling_coalitions(max_size=1) == (
+        frozenset({"idp-org"}),
+    )
+    assert runs["anonymous"].analyzer.minimal_recoupling_coalitions() == ()
+
+    benchmark.extra_info["tables"] = {
+        mode: dict(run.table().as_mapping()) for mode, run in runs.items()
+    }
+
+
+def test_e2_sso_anonymous_login_cost(benchmark):
+    """Per-login cost of the fully decoupled (blind ticket) design."""
+    run = run_sso("anonymous", logins_per_service=1)
+    from repro.sso.provider import ServiceProvider
+
+    service = ServiceProvider(
+        run.network, run.world.entity("Bench SP", "bench-sp-org"), "bench-sp", run.idp
+    )
+    from repro.core.values import Subject
+    from repro.sso.provider import SsoUser
+
+    user = SsoUser(
+        run.network, run.world.get("User"), Subject("alice"), "alice@idp.example"
+    )
+    outcome = benchmark(user.login, run.idp, service, "bench activity")
+    assert outcome == "welcome"

@@ -1,0 +1,73 @@
+"""Performance guards for the core analysis machinery.
+
+Not a paper artifact: these keep the linkage analysis honest about
+complexity as the library grows -- verdicts over multi-thousand-
+observation ledgers must stay interactive.
+"""
+
+import random
+
+from repro.core.analysis import DecouplingAnalyzer
+from repro.core.entities import World
+from repro.core.labels import (
+    NONSENSITIVE_DATA,
+    SENSITIVE_DATA,
+    SENSITIVE_IDENTITY,
+)
+from repro.core.values import LabeledValue, Subject
+
+
+def _big_world(subjects=40, entities=8, observations_per_pair=10, seed=7):
+    """A synthetic ledger: mostly-decoupled traffic across many orgs."""
+    rng = random.Random(seed)
+    world = World()
+    world.entity("User", "user-device", trusted_by_user=True)
+    entity_objs = [
+        world.entity(f"E{i}", f"org-{i}") for i in range(entities)
+    ]
+    subject_objs = [Subject(f"s{i}") for i in range(subjects)]
+    for subject in subject_objs:
+        for entity in entity_objs:
+            for index in range(observations_per_pair):
+                kind = rng.random()
+                if kind < 0.3:
+                    value = LabeledValue(
+                        f"ip-{subject}", SENSITIVE_IDENTITY, subject, "ip"
+                    )
+                elif kind < 0.4:
+                    value = LabeledValue(
+                        f"q-{subject}-{index}", SENSITIVE_DATA, subject, "query"
+                    )
+                else:
+                    value = LabeledValue(
+                        f"ct-{rng.randrange(10**9)}",
+                        NONSENSITIVE_DATA,
+                        subject,
+                        "ciphertext",
+                    )
+                entity.observe(value, session=f"pkt:{rng.randrange(10**6)}")
+    return world
+
+
+def test_perf_verdict_on_large_ledger(benchmark):
+    world = _big_world()
+    analyzer = DecouplingAnalyzer(world)
+    assert len(world.ledger) == 40 * 8 * 10
+    verdict = benchmark(analyzer.verdict)
+    # Synthetic traffic includes some same-session ▲+● pairs, so the
+    # point is the cost, not the outcome; it must simply terminate.
+    assert verdict is not None
+
+
+def test_perf_breach_reports_on_large_ledger(benchmark):
+    world = _big_world(subjects=25)
+    analyzer = DecouplingAnalyzer(world)
+    reports = benchmark(analyzer.breach_reports)
+    assert len(reports) == 8
+
+
+def test_perf_table_on_large_ledger(benchmark):
+    world = _big_world(subjects=25)
+    analyzer = DecouplingAnalyzer(world)
+    table = benchmark(analyzer.table)
+    assert len(table.entities()) == 9

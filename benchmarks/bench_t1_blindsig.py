@@ -1,0 +1,33 @@
+"""T1: regenerate the blind-signature digital-cash table (section 3.1.1).
+
+Paper row:  Buyer (▲, ●) | Signer (▲, ⊙) | Verifier (△, ⊙/●) | Seller (△, ●)
+Expected shape: derived table identical; no coalition can re-couple.
+"""
+
+from repro.blindsig import PAPER_TABLE_T1, run_digital_cash
+from repro.core.report import compare_tables
+
+
+def test_t1_blindsig_table(benchmark):
+    run = benchmark(run_digital_cash, coins=3)
+    report = compare_tables(
+        "T1", "blind-signature digital cash", PAPER_TABLE_T1, run.table()
+    )
+    assert report.matches, report.render()
+    assert run.analyzer.verdict().decoupled
+    benchmark.extra_info["table"] = dict(run.table().as_mapping())
+    benchmark.extra_info["coalitions"] = len(
+        run.analyzer.minimal_recoupling_coalitions()
+    )
+
+
+def test_t1_withdrawal_throughput(benchmark):
+    """Cost of one blind withdrawal+spend+deposit round (512-bit RSA)."""
+    run = run_digital_cash(coins=1)
+
+    def one_round():
+        coin = run.buyer.withdraw(run.bank)
+        return run.buyer.pay(run.seller, coin, "bench purchase")
+
+    receipt = benchmark(one_round)
+    assert receipt.accepted

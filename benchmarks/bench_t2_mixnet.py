@@ -1,0 +1,26 @@
+"""T2: regenerate the mix-net table (section 3.1.2).
+
+Paper row:  Sender (▲, ●) | Mix 1 (▲, ⊙) | ... | Mix N (△, ⊙) | Receiver (△, ●)
+Expected shape: derived table identical for any hop count; minimal
+re-coupling coalition = all mixes + receiver.
+"""
+
+from repro.core.report import compare_tables
+from repro.mixnet import paper_table_t2, run_mixnet
+
+
+def test_t2_mixnet_table(benchmark):
+    run = benchmark(run_mixnet, mixes=3, senders=4)
+    report = compare_tables("T2", "mix-net, 3 mixes", paper_table_t2(3), run.table())
+    assert report.matches, report.render()
+    assert run.analyzer.verdict().decoupled
+    benchmark.extra_info["table"] = dict(run.table().as_mapping())
+    benchmark.extra_info["collusion_resistance"] = (
+        run.analyzer.collusion_resistance()
+    )
+
+
+def test_t2_mixnet_batch_round(benchmark):
+    """Cost of one full batched round (8 senders, 3 mixes)."""
+    run = benchmark(run_mixnet, mixes=3, senders=8)
+    assert len(run.receiver.received) == 8

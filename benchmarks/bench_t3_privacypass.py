@@ -1,0 +1,30 @@
+"""T3: regenerate the Privacy Pass table (section 3.2.1).
+
+Paper row:  Client (▲, ●) | Issuer (▲, ⊙) | Origin (△, ●)
+Expected shape: derived table identical; VOPRF unlinkability means no
+coalition (even issuer+origin) re-couples.
+"""
+
+from repro.core.report import compare_tables
+from repro.privacypass import PAPER_TABLE_T3, run_privacy_pass
+
+
+def test_t3_privacypass_table(benchmark):
+    run = benchmark(run_privacy_pass, tokens=3)
+    report = compare_tables("T3", "Privacy Pass", PAPER_TABLE_T3, run.table())
+    assert report.matches, report.render()
+    assert run.analyzer.verdict().decoupled
+    assert run.analyzer.minimal_recoupling_coalitions() == ()
+    benchmark.extra_info["table"] = dict(run.table().as_mapping())
+
+
+def test_t3_token_issue_redeem_round(benchmark):
+    """Cost of one VOPRF issuance + DLEQ verify + redemption."""
+    run = run_privacy_pass(tokens=1)
+
+    def one_round():
+        token = run.client.request_token(run.issuer)
+        return run.client.redeem(run.origin, token, "bench request")
+
+    outcome = benchmark(one_round)
+    assert outcome.accepted

@@ -1,0 +1,63 @@
+"""T5: regenerate the PGPP table (section 3.2.3).
+
+Paper row:  User (▲_H, ▲_N, ●) | PGPP-GW (▲_H, △_N, ⊙) | NGC (△_H, △_N, ●)
+Expected shape: derived table identical; the traditional baseline
+couples at the core; out-of-band token purchase resists all collusion.
+"""
+
+from repro.core.report import compare_tables
+from repro.pgpp import (
+    BASELINE_TABLE_T5,
+    PAPER_TABLE_T5,
+    run_baseline_cellular,
+    run_pgpp,
+)
+
+
+def test_t5_pgpp_table(benchmark):
+    run = benchmark(run_pgpp, users=3, cells=4, steps=4, epochs=2)
+    report = compare_tables("T5", "PGPP", PAPER_TABLE_T5, run.table())
+    assert report.matches, report.render()
+    assert run.analyzer.verdict().decoupled
+    benchmark.extra_info["table"] = dict(run.table().as_mapping())
+    benchmark.extra_info["attaches"] = run.attaches
+
+
+def test_t5_baseline_couples(benchmark):
+    run = benchmark(run_baseline_cellular, users=3, cells=4, steps=4)
+    report = compare_tables(
+        "T5-baseline", "traditional cellular", BASELINE_TABLE_T5, run.table()
+    )
+    assert report.matches, report.render()
+    assert not run.analyzer.verdict().decoupled
+    benchmark.extra_info["table"] = dict(run.table().as_mapping())
+
+
+def test_t5_attach_cost(benchmark):
+    """Cost of one token purchase + initial attach."""
+    run = run_pgpp(users=1, cells=2, steps=1, epochs=1)
+    ue = run.ues[0]
+    gateway = run.gateway
+    from repro.pgpp.gateway import TokenPurchaser
+
+    purchaser = TokenPurchaser(ue.entity, ue.subject, ue.human_identity)
+    oob = run.network.add_host("bench-wifi", ue.entity)
+    station = _any_station(run)
+
+    def attach_round():
+        token = purchaser.purchase_direct(oob, gateway)
+        return ue.attach(station, credential=token)
+
+    result = benchmark(attach_round)
+    assert result.accepted
+
+
+def _any_station(run):
+    for host in run.network._hosts.values():
+        if host.name.startswith("cell:"):
+            class _Station:
+                cell_id = host.name.split(":", 1)[1]
+                address = host.address
+
+            return _Station()
+    raise AssertionError("no base station in run")

@@ -1,0 +1,44 @@
+"""T7: regenerate the private aggregate statistics table (section 3.2.5).
+
+Paper row:  Client (▲, ●) | Aggregator (▲, ⊙) | Collector (△, ⊙)
+Expected shape: Prio derives the paper's table with exact totals; the
+naive baseline couples; OHTTP decouples identity but leaks individual
+values to the collector.
+"""
+
+from repro.core.report import compare_tables
+from repro.ppm import (
+    PAPER_TABLE_T7,
+    run_naive_aggregation,
+    run_ohttp_aggregation,
+    run_prio,
+)
+
+
+def test_t7_prio_table(benchmark):
+    run = benchmark(run_prio, clients=5, aggregators=2)
+    report = compare_tables("T7", "Prio / PPM", PAPER_TABLE_T7, run.table())
+    assert report.matches, report.render()
+    assert run.analyzer.verdict().decoupled
+    assert run.reported_total == run.true_total
+    assert not run.collector_sees_individual_values()
+    benchmark.extra_info["table"] = dict(run.table().as_mapping())
+
+
+def test_t7_naive_couples(benchmark):
+    run = benchmark(run_naive_aggregation, clients=5)
+    assert not run.analyzer.verdict().decoupled
+    assert run.collector_sees_individual_values()
+
+
+def test_t7_ohttp_leaks_individuals(benchmark):
+    run = benchmark(run_ohttp_aggregation, clients=5)
+    assert run.analyzer.verdict().decoupled
+    assert run.collector_sees_individual_values()
+    benchmark.extra_info["table"] = dict(run.table().as_mapping())
+
+
+def test_t7_prio_scaling_cost(benchmark):
+    """Full-protocol cost with more clients (shares + Beaver checks)."""
+    run = benchmark(run_prio, clients=12, aggregators=2)
+    assert run.reported_total == run.true_total

@@ -1,0 +1,30 @@
+"""T8: regenerate the cautionary-tale tables (section 3.3).
+
+Paper row:  Client (▲, ●) | VPN Server (▲, ●) | Origin (△, ●)
+Expected shape: the VPN derives the paper's coupled table (a single
+locus of observation); ECH changes the network observer's cell but
+never the TLS server's.
+"""
+
+from repro.core.report import compare_tables
+from repro.vpn import PAPER_TABLE_T8, run_ech, run_vpn
+
+
+def test_t8_vpn_table(benchmark):
+    run = benchmark(run_vpn, requests=3)
+    report = compare_tables("T8", "centralized VPN", PAPER_TABLE_T8, run.table())
+    assert report.matches, report.render()
+    assert not run.analyzer.verdict().decoupled
+    benchmark.extra_info["table"] = dict(run.table().as_mapping())
+
+
+def test_t8_ech_observer_cells(benchmark):
+    without = run_ech(use_ech=False)
+    with_ech = benchmark(run_ech, use_ech=True)
+    cells_without = without.table().as_mapping()
+    cells_with = with_ech.table().as_mapping()
+    assert cells_without["Network Observer"] == "(▲, ⊙/●)"
+    assert cells_with["Network Observer"] == "(▲, ⊙)"
+    assert cells_without["TLS Server"] == cells_with["TLS Server"] == "(▲, ●)"
+    benchmark.extra_info["without_ech"] = dict(cells_without)
+    benchmark.extra_info["with_ech"] = dict(cells_with)

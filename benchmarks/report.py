@@ -1,0 +1,14 @@
+#!/usr/bin/env python3
+"""Regenerate every paper artifact and print paper-vs-measured.
+
+A thin wrapper over ``python -m repro report`` kept at this path so the
+benchmark directory is self-contained.  Exit status is non-zero if any
+knowledge table mismatches the paper.
+"""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(["report"]))

@@ -1,0 +1,21 @@
+"""Legacy setup shim.
+
+This repository is developed in an offline environment without the
+``wheel`` package, so ``pip install -e .`` must take the legacy
+``setup.py develop`` path; metadata lives in ``pyproject.toml`` /
+``setup.cfg``-style keywords below.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "The Decoupling Principle: executable models and decoupling "
+        "analysis for privacy-preserving network systems"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

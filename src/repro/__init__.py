@@ -1,0 +1,28 @@
+"""repro: The Decoupling Principle, made executable.
+
+A reproduction of Schmitt, Iyengar, Wood & Raghavan, *The Decoupling
+Principle: A Practical Privacy Framework* (HotNets '22).
+
+The package contains:
+
+* :mod:`repro.core` -- the decoupling-analysis framework (labels,
+  observation ledger, analyzer, metrics);
+* :mod:`repro.crypto` -- from-scratch cryptographic substrates (blind
+  RSA, X25519, ChaCha20-Poly1305, HKDF, HPKE, VOPRF, secret sharing);
+* :mod:`repro.net` -- a discrete-event network simulator with passive
+  wire observers;
+* substrate protocol stacks: :mod:`repro.dns`, :mod:`repro.http`,
+  :mod:`repro.tls`;
+* one executable model per system the paper analyzes:
+  :mod:`repro.blindsig`, :mod:`repro.mixnet`, :mod:`repro.privacypass`,
+  :mod:`repro.odns`, :mod:`repro.pgpp`, :mod:`repro.mpr`,
+  :mod:`repro.ppm`, :mod:`repro.vpn`;
+* :mod:`repro.adversary` -- observers, coalitions, breaches, and
+  timing-correlation traffic analysis.
+"""
+
+__version__ = "1.0.0"
+
+from . import core
+
+__all__ = ["core", "__version__"]

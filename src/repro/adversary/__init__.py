@@ -1,0 +1,27 @@
+"""Adversaries: passive correlation, coalitions, and breaches.
+
+Linkage-based coalition and breach analysis live in
+:class:`repro.core.analysis.DecouplingAnalyzer` (re-exported here);
+this package adds the metadata-only *traffic analysis* adversary of
+paper section 4.3.
+"""
+
+from repro.core.analysis import BreachReport, DecouplingAnalyzer
+
+from .disclosure import (
+    RoundObservation,
+    StatisticalDisclosureAttack,
+    generate_sda_rounds,
+)
+from .timing import CorrelationGuess, PassiveCorrelator, correlation_accuracy
+
+__all__ = [
+    "PassiveCorrelator",
+    "CorrelationGuess",
+    "correlation_accuracy",
+    "RoundObservation",
+    "StatisticalDisclosureAttack",
+    "generate_sda_rounds",
+    "DecouplingAnalyzer",
+    "BreachReport",
+]

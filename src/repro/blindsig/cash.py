@@ -1,0 +1,276 @@
+"""Chaum's untraceable digital cash (paper section 3.1.1).
+
+Actors: a Buyer, a Bank whose Signer and Verifier roles are *the same
+organization* (the paper's point: blinding enforces decoupling even
+without institutional separation), and a Seller.
+
+Protocol:
+
+1. *Withdrawal* (authenticated): the buyer picks a random coin serial,
+   blinds its hash, and has the signer sign the blinded value.  The
+   signer sees the buyer's account identity but only an unlinkable
+   blinded message.
+2. *Purchase* (pseudonymous): the buyer pays the seller with the
+   unblinded coin.  The seller verifies the bank's signature offline
+   and learns the purchase but only a coin serial for an identity.
+3. *Deposit*: the seller deposits the coin; the verifier checks the
+   signature and the double-spend ledger, learning the serial and the
+   transaction amount (partially sensitive), never the buyer.
+"""
+
+from __future__ import annotations
+
+import random as _random
+import secrets
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.entities import Entity
+from repro.core.labels import (
+    NONSENSITIVE_DATA,
+    NONSENSITIVE_IDENTITY,
+    PARTIAL_SENSITIVE_DATA,
+    SENSITIVE_DATA,
+    SENSITIVE_IDENTITY,
+)
+from repro.core.values import LabeledValue, Subject
+from repro.crypto.blind import BlindSigner, blind, unblind
+from repro.crypto.rsa import RsaPrivateKey, RsaPublicKey, generate_rsa_keypair
+from repro.net.network import Network, SimHost
+from repro.net.packets import Packet
+
+__all__ = ["Coin", "Bank", "Buyer", "Seller", "WITHDRAW_PROTOCOL", "PAY_PROTOCOL", "DEPOSIT_PROTOCOL"]
+
+WITHDRAW_PROTOCOL = "cash-withdraw"
+PAY_PROTOCOL = "cash-pay"
+DEPOSIT_PROTOCOL = "cash-deposit"
+
+
+@dataclass(frozen=True)
+class Coin:
+    """An unblinded, bank-signed coin."""
+
+    serial: bytes
+    signature: int
+
+    @property
+    def serial_hex(self) -> str:
+        return self.serial.hex()
+
+
+@dataclass(frozen=True)
+class _WithdrawRequest:
+    account: LabeledValue  # the buyer's sensitive account identity
+    blinded: LabeledValue  # the blinded coin hash (non-sensitive data)
+
+
+@dataclass(frozen=True)
+class _Payment:
+    coin_serial: LabeledValue  # pseudonymous identity of the buyer
+    coin_signature: int
+    purchase: LabeledValue  # the sensitive purchase description
+
+
+@dataclass(frozen=True)
+class _Deposit:
+    coin_serial: LabeledValue
+    coin_signature: int
+    amount: LabeledValue  # partially sensitive transaction metadata
+
+
+@dataclass(frozen=True)
+class _Receipt:
+    accepted: bool
+    reason: str = ""
+
+
+class Bank:
+    """Signer + verifier roles, one organization, two entities."""
+
+    def __init__(
+        self,
+        network: Network,
+        signer_entity: Entity,
+        verifier_entity: Entity,
+        key_bits: int = 512,
+        rng: Optional[_random.Random] = None,
+    ) -> None:
+        self._private: RsaPrivateKey = generate_rsa_keypair(key_bits, rng=rng)
+        self.signer = BlindSigner(self._private)
+        self.signer_host: SimHost = network.add_host("bank-signer", signer_entity)
+        self.verifier_host: SimHost = network.add_host("bank-verifier", verifier_entity)
+        self.signer_host.register(WITHDRAW_PROTOCOL, self._handle_withdraw)
+        self.verifier_host.register(DEPOSIT_PROTOCOL, self._handle_deposit)
+        self.spent_serials: set = set()
+        self.deposits_accepted = 0
+        self.deposits_rejected = 0
+
+    @property
+    def public_key(self) -> RsaPublicKey:
+        return self.signer.public
+
+    def _handle_withdraw(self, packet: Packet) -> LabeledValue:
+        request: _WithdrawRequest = packet.payload
+        if isinstance(request.blinded.payload, str):
+            # Ablated (unblinded) withdrawal: FDH-sign the bare serial.
+            value = self.public_key.hash_to_modulus(
+                bytes.fromhex(request.blinded.payload)
+            )
+        else:
+            value = int(request.blinded.payload)
+        blinded_signature = self.signer.sign(value)
+        return LabeledValue(
+            payload=blinded_signature,
+            label=NONSENSITIVE_DATA,
+            subject=request.account.subject,
+            description="blinded signature",
+            provenance=("blind", "sign"),
+        )
+
+    def _handle_deposit(self, packet: Packet) -> _Receipt:
+        deposit: _Deposit = packet.payload
+        serial = bytes.fromhex(str(deposit.coin_serial.payload))
+        if not self.public_key.verify(serial, deposit.coin_signature):
+            self.deposits_rejected += 1
+            return _Receipt(accepted=False, reason="bad signature")
+        if serial in self.spent_serials:
+            self.deposits_rejected += 1
+            return _Receipt(accepted=False, reason="double spend")
+        self.spent_serials.add(serial)
+        self.deposits_accepted += 1
+        return _Receipt(accepted=True)
+
+
+class Buyer:
+    """A user with a bank-facing (identified) and market-facing
+    (pseudonymous) network presence."""
+
+    def __init__(
+        self,
+        network: Network,
+        entity: Entity,
+        subject: Subject,
+        account_name: str,
+        rng: Optional[_random.Random] = None,
+    ) -> None:
+        self.entity = entity
+        self.subject = subject
+        self.rng = rng
+        self.account_identity = LabeledValue(
+            payload=account_name,
+            label=SENSITIVE_IDENTITY,
+            subject=subject,
+            description="bank account identity",
+        )
+        # The bank-facing host reveals the account holder; the
+        # market-facing host reveals nothing (cash is bearer payment).
+        self.bank_host: SimHost = network.add_host(
+            f"buyer-bank:{subject}", entity, identity=self.account_identity
+        )
+        self.market_host: SimHost = network.add_host(f"buyer-market:{subject}", entity)
+        self.coins: List[Coin] = []
+
+    def withdraw(self, bank: Bank, blind_withdrawal: bool = True) -> Coin:
+        """Withdraw one coin via a blind-signing session.
+
+        ``blind_withdrawal=False`` is the ablation: the buyer submits
+        the bare serial for signing, handing the signer the exact
+        linkage handle (the serial reappears at deposit) that blinding
+        exists to destroy.
+        """
+        serial = (
+            bytes(self.rng.randrange(256) for _ in range(16))
+            if self.rng is not None
+            else secrets.token_bytes(16)
+        )
+        state = blind(bank.public_key, serial, self.rng)
+        if blind_withdrawal:
+            blinded = LabeledValue(
+                payload=state.blinded_value,
+                label=NONSENSITIVE_DATA,
+                subject=self.subject,
+                description="blinded coin",
+                provenance=("serial", "blind"),
+            )
+        else:
+            blinded = LabeledValue(
+                payload=serial.hex(),
+                label=NONSENSITIVE_DATA,
+                subject=self.subject,
+                description="unblinded coin serial",
+                provenance=("serial",),
+            )
+        # The buyer knows her own identity and (soon) her purchases.
+        self.entity.observe(self.account_identity, channel="self")
+        request = _WithdrawRequest(account=self.account_identity, blinded=blinded)
+        reply: LabeledValue = self.bank_host.transact(
+            bank.signer_host.address, request, WITHDRAW_PROTOCOL
+        )
+        if blind_withdrawal:
+            signature = unblind(bank.public_key, state, int(reply.payload))
+        else:
+            signature = int(reply.payload)
+            if not bank.public_key.verify(serial, signature):
+                raise ValueError("bank returned an invalid signature")
+        coin = Coin(serial=serial, signature=signature)
+        self.coins.append(coin)
+        return coin
+
+    def pay(self, seller: "Seller", coin: Coin, purchase_description: str) -> _Receipt:
+        """Spend a coin at a seller, pseudonymously."""
+        purchase = LabeledValue(
+            payload=purchase_description,
+            label=SENSITIVE_DATA,
+            subject=self.subject,
+            description="purchase",
+        )
+        self.entity.observe(purchase, channel="self")
+        payment = _Payment(
+            coin_serial=LabeledValue(
+                payload=coin.serial_hex,
+                label=NONSENSITIVE_IDENTITY,
+                subject=self.subject,
+                description="coin serial",
+                provenance=("serial", "unblind"),
+            ),
+            coin_signature=coin.signature,
+            purchase=purchase,
+        )
+        return self.market_host.transact(
+            seller.host.address, payment, PAY_PROTOCOL
+        )
+
+
+class Seller:
+    """Accepts coins, verifies offline, deposits at the bank."""
+
+    def __init__(self, network: Network, entity: Entity, bank: Bank) -> None:
+        self.entity = entity
+        self.bank = bank
+        self.host: SimHost = network.add_host("seller", entity)
+        self.host.register(PAY_PROTOCOL, self._handle_payment)
+        self.sales = 0
+
+    def _handle_payment(self, packet: Packet) -> _Receipt:
+        payment: _Payment = packet.payload
+        serial = bytes.fromhex(str(payment.coin_serial.payload))
+        if not self.bank.public_key.verify(serial, payment.coin_signature):
+            return _Receipt(accepted=False, reason="bad coin")
+        amount = LabeledValue(
+            payload=f"amount for {payment.purchase.description}",
+            label=PARTIAL_SENSITIVE_DATA,
+            subject=payment.coin_serial.subject,
+            description="transaction amount",
+            provenance=("purchase", "amount"),
+        )
+        deposit = _Deposit(
+            coin_serial=payment.coin_serial,
+            coin_signature=payment.coin_signature,
+            amount=amount,
+        )
+        receipt: _Receipt = self.host.transact(
+            self.bank.verifier_host.address, deposit, DEPOSIT_PROTOCOL
+        )
+        if receipt.accepted:
+            self.sales += 1
+        return receipt

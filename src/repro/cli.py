@@ -1,0 +1,203 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``report``      -- regenerate every paper artifact, paper vs measured
+* ``tables``      -- just the knowledge tables (T-series)
+* ``figures``     -- just the flow figures (F-series)
+* ``sweeps``      -- just the degree sweeps (D-series)
+* ``demo NAME``   -- run one system's scenario and print its analysis
+* ``list``        -- list the available demos
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from repro import harness
+
+
+__all__ = ["main"]
+
+_DEMOS: Dict[str, Callable[[], object]] = {}
+
+
+def _register_demos() -> None:
+    from repro.blindsig import run_digital_cash
+    from repro.mixnet import run_mixnet
+    from repro.mpr import run_mpr
+    from repro.odns import run_doh, run_odns, run_odoh, run_plain_dns
+    from repro.pgpp import run_baseline_cellular, run_pgpp
+    from repro.ppm import run_naive_aggregation, run_ohttp_aggregation, run_prio
+    from repro.privacypass import run_privacy_pass
+    from repro.sso import run_sso
+    from repro.tee import run_cacti, run_phoenix
+    from repro.vpn import run_vpn
+
+    _DEMOS.update(
+        {
+            "digital-cash": run_digital_cash,
+            "mixnet": run_mixnet,
+            "privacy-pass": run_privacy_pass,
+            "plain-dns": run_plain_dns,
+            "doh": run_doh,
+            "odns": run_odns,
+            "odoh": run_odoh,
+            "pgpp-baseline": run_baseline_cellular,
+            "pgpp": run_pgpp,
+            "mpr": run_mpr,
+            "ppm-naive": run_naive_aggregation,
+            "ppm-ohttp": run_ohttp_aggregation,
+            "prio": run_prio,
+            "vpn": run_vpn,
+            "cacti": run_cacti,
+            "phoenix": run_phoenix,
+            "sso-global": lambda: run_sso("global"),
+            "sso-pairwise": lambda: run_sso("pairwise"),
+            "sso-anonymous": lambda: run_sso("anonymous"),
+        }
+    )
+
+
+def _print_tables(out) -> bool:
+    all_match = True
+    for report, run in harness.table_reports():
+        print(report.render(), file=out)
+        verdict = run.analyzer.verdict()
+        print(
+            f"  verdict: {'DECOUPLED' if verdict.decoupled else 'NOT DECOUPLED'}",
+            file=out,
+        )
+        coalitions = run.analyzer.minimal_recoupling_coalitions()
+        print(
+            "  minimal re-coupling coalitions:",
+            [sorted(c) for c in coalitions] if coalitions else "none possible",
+            file=out,
+        )
+        print(file=out)
+        all_match &= report.matches
+    return all_match
+
+
+def _print_figures(out) -> None:
+    print("F1: mix-net decoupling flow (paper Figure 1)", file=out)
+    for step in harness.figure_f1_series():
+        print(" ", step.render(), file=out)
+    print(file=out)
+    print("F2: Privacy Pass decoupling flow (paper Figure 2)", file=out)
+    for step in harness.figure_f2_series():
+        print(" ", step.render(), file=out)
+    print(file=out)
+
+
+def _print_sweeps(out) -> None:
+    print(harness.sweep_relays().render(), file=out)
+    print(file=out)
+    print(harness.sweep_aggregators().render(), file=out)
+    print(file=out)
+    print("D3: traffic analysis (no padding / padded)", file=out)
+    header = f"{'batch':>6} {'timing acc':>11} {'size acc':>9} {'latency':>9}"
+    for padded in (False, True):
+        print(f"{header}   ({'padded cells' if padded else 'no padding'})", file=out)
+        for row in harness.sweep_batches(padded):
+            print(
+                f"{row['batch']:>6} {row['timing_accuracy']:>11.3f}"
+                f" {row['size_accuracy']:>9.3f} {row['latency']:>9.4f}",
+                file=out,
+            )
+    print(file=out)
+    print("D4: resolver striping", file=out)
+    for row in harness.sweep_striping():
+        print(
+            f"  resolvers={row['resolvers']:<3} max_share={row['max_query_share']:.3f}"
+            f" coverage={row['max_name_coverage']:.3f}"
+            f" entropy={row['load_entropy_bits']:.2f}b",
+            file=out,
+        )
+    print(file=out)
+    print("D5 (extension): PGPP tracking vs population", file=out)
+    for row in harness.sweep_tracking():
+        print(
+            f"  users={row['users']:<3} tracking={row['tracking_accuracy']:.3f}"
+            f" (chance {row['chance']:.3f})",
+            file=out,
+        )
+    print(file=out)
+    print("D6 (extension): statistical disclosure vs rounds observed", file=out)
+    for row in harness.sweep_disclosure():
+        print(
+            f"  rounds={row['rounds']:<4} accuracy={row['accuracy']:.3f}"
+            f" (chance {row['chance']:.3f})",
+            file=out,
+        )
+    print(file=out)
+
+
+def _run_demo(name: str, out) -> int:
+    _register_demos()
+    runner = _DEMOS.get(name)
+    if runner is None:
+        print(f"unknown demo {name!r}; try: {', '.join(sorted(_DEMOS))}", file=out)
+        return 2
+    run = runner()
+    print(run.table().render(), file=out)
+    print(run.analyzer.verdict(), file=out)
+    coalitions = run.analyzer.minimal_recoupling_coalitions()
+    print(
+        "minimal re-coupling coalitions:",
+        [sorted(c) for c in coalitions] if coalitions else "none possible",
+        file=out,
+    )
+    for report in run.analyzer.breach_reports():
+        status = "breach-proof" if report.breach_proof else "EXPOSED"
+        print(f"breach of {report.organization}: {status}", file=out)
+    print(file=out)
+    for entity_name in run.table().entities():
+        print(run.analyzer.explain(entity_name, max_items=6), file=out)
+    return 0
+
+
+def main(argv=None, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="The Decoupling Principle, made executable (HotNets '22 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("report", help="regenerate every paper artifact")
+    sub.add_parser("tables", help="the T-series knowledge tables")
+    sub.add_parser("figures", help="the F-series flow figures")
+    sub.add_parser("sweeps", help="the D-series degree sweeps")
+    demo = sub.add_parser("demo", help="run one system's scenario")
+    demo.add_argument("name", help="system name (see `list`)")
+    sub.add_parser("list", help="list available demos")
+    args = parser.parse_args(argv)
+
+    if args.command == "report":
+        ok = _print_tables(out)
+        _print_figures(out)
+        _print_sweeps(out)
+        print(
+            "ALL PAPER TABLES REPRODUCED EXACTLY" if ok else "SOME TABLES MISMATCHED",
+            file=out,
+        )
+        return 0 if ok else 1
+    if args.command == "tables":
+        return 0 if _print_tables(out) else 1
+    if args.command == "figures":
+        _print_figures(out)
+        return 0
+    if args.command == "sweeps":
+        _print_sweeps(out)
+        return 0
+    if args.command == "demo":
+        return _run_demo(args.name, out)
+    if args.command == "list":
+        _register_demos()
+        for name in sorted(_DEMOS):
+            print(name, file=out)
+        return 0
+    parser.print_help(out)
+    return 2

@@ -1,0 +1,385 @@
+"""The decoupling analyzer: from observation ledger to paper verdicts.
+
+Given a run's :class:`~repro.core.ledger.Ledger` and the cast of
+entities, the analyzer derives:
+
+* the per-system knowledge table (the paper's section 3 tables);
+* the *decoupling verdict* of section 2.4: a system is decoupled iff
+  only the user holds ``(▲, ●)``;
+* *collusion analysis*: the minimal coalitions of non-user
+  organizations whose pooled observations re-couple identity and data;
+* *breach analysis*: what an attacker who compromises one organization
+  learns (the paper's "individually breach-proof" claim).
+
+Coupling is *linkage-based*, not a bare label union.  Knowing a
+sensitive identity and some sensitive data only violates privacy if the
+two can be attributed to each other.  Two observations are directly
+linkable when they share a session (arrived in the same interaction) or
+a value digest (the same concrete value -- a pseudonym, a ciphertext --
+seen in both places); linkability is the transitive closure.  This is
+what makes the analyzer reproduce cryptographic facts the paper states
+in prose: a blind signer's session log cannot be joined with deposits
+even by the *same* bank, while an ODoH proxy's log joins with the
+target's the moment they pool data, because the encrypted query seen by
+one is the ciphertext decrypted by the other.
+
+Secret shares (Prio) re-join only when a coalition holds *all* shares
+of a group; the reconstructed sensitive value then lands in the merged
+linkage component of those shares.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .entities import World
+from .labels import Facet
+from .ledger import Ledger, Observation
+from .tuples import KnowledgeCell, KnowledgeTable, cell_from_labels, facets_in_ledger
+from .values import Subject
+
+__all__ = [
+    "CouplingViolation",
+    "DecouplingVerdict",
+    "BreachReport",
+    "DecouplingAnalyzer",
+]
+
+
+class _DisjointSet:
+    """Union-find over arbitrary hashable tokens."""
+
+    def __init__(self) -> None:
+        self._parent: Dict[object, object] = {}
+
+    def find(self, token: object) -> object:
+        parent = self._parent.setdefault(token, token)
+        if parent == token:
+            return token
+        root = self.find(parent)
+        self._parent[token] = root
+        return root
+
+    def union(self, a: object, b: object) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self._parent[ra] = rb
+
+
+@dataclass(frozen=True)
+class CouplingViolation:
+    """A non-user entity that can attribute ●/⊙/● data to a ▲ identity."""
+
+    entity: str
+    organization: str
+    subject: Subject
+    cell: KnowledgeCell
+
+    def __str__(self) -> str:
+        return (
+            f"{self.entity} ({self.organization}) holds {self.cell.render()} "
+            f"for {self.subject}"
+        )
+
+
+@dataclass(frozen=True)
+class DecouplingVerdict:
+    """The section 2.4 verdict for one run."""
+
+    decoupled: bool
+    violations: Tuple[CouplingViolation, ...]
+
+    def __bool__(self) -> bool:
+        return self.decoupled
+
+    def __str__(self) -> str:
+        if self.decoupled:
+            return "DECOUPLED: only the user holds (▲, ●)"
+        lines = ["NOT DECOUPLED:"]
+        lines.extend(f"  - {v}" for v in self.violations)
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class BreachReport:
+    """What leaks when one organization is compromised."""
+
+    organization: str
+    subjects_identified: Tuple[Subject, ...]
+    subjects_with_sensitive_data: Tuple[Subject, ...]
+    coupled_subjects: Tuple[Subject, ...]
+
+    @property
+    def breach_proof(self) -> bool:
+        """True if the breach couples no subject's identity and data."""
+        return not self.coupled_subjects
+
+
+def _observations_couple(observations: Sequence[Observation]) -> bool:
+    """Linkage-based coupling over one subject's pooled observations."""
+    if not observations:
+        return False
+    dsu = _DisjointSet()
+    share_indices: Dict[str, Set[int]] = {}
+    share_totals: Dict[str, int] = {}
+    share_obs_tokens: Dict[str, List[int]] = {}
+    for index, obs in enumerate(observations):
+        token = ("obs", index)
+        if obs.session:
+            dsu.union(token, ("session", obs.session))
+        dsu.union(token, ("digest", obs.value_digest))
+        if obs.share_info is not None:
+            group = obs.share_info.group
+            share_indices.setdefault(group, set()).add(obs.share_info.index)
+            share_totals[group] = obs.share_info.total
+            share_obs_tokens.setdefault(group, []).append(index)
+
+    # Reconstructable share groups: merge their components and mark the
+    # merged component as holding reconstructed sensitive data.
+    reconstructed_roots: Set[object] = set()
+    for group, indices in share_indices.items():
+        if len(indices) >= share_totals[group]:
+            tokens = share_obs_tokens[group]
+            first = ("obs", tokens[0])
+            for other in tokens[1:]:
+                dsu.union(first, ("obs", other))
+            reconstructed_roots.add(dsu.find(first))
+
+    identity_roots: Set[object] = set()
+    data_roots: Set[object] = set()
+    for index, obs in enumerate(observations):
+        root = dsu.find(("obs", index))
+        if obs.label.is_identity and obs.label.is_sensitive:
+            identity_roots.add(root)
+        if obs.label.is_data and obs.label.is_sensitive:
+            data_roots.add(root)
+    # Reconstructed share groups count as sensitive data in whatever
+    # component they ended up in (re-canonicalized after all unions).
+    data_roots |= {dsu.find(root) for root in reconstructed_roots}
+    return bool(identity_roots & data_roots)
+
+
+class DecouplingAnalyzer:
+    """Derives decoupling facts from a world's observation ledger."""
+
+    def __init__(self, world: World) -> None:
+        self.world = world
+        self.ledger: Ledger = world.ledger
+
+    # ------------------------------------------------------------------
+    # Knowledge tables
+    # ------------------------------------------------------------------
+
+    def facets(self) -> Tuple[Facet, ...]:
+        return facets_in_ledger(self.ledger)
+
+    def knowledge_cell(
+        self, entity: str, subject: Optional[Subject] = None
+    ) -> KnowledgeCell:
+        """The cell for one entity, maximized over subjects by default."""
+        labels = self.ledger.labels_of(entity, subject)
+        return cell_from_labels(labels, self.facets())
+
+    def table(
+        self,
+        entities: Optional[Sequence[str]] = None,
+        subject: Optional[Subject] = None,
+        title: str = "",
+    ) -> KnowledgeTable:
+        """The run's decoupling-analysis table in declaration order."""
+        if entities is None:
+            entities = [e.name for e in self.world.entities]
+        rows = {name: self.knowledge_cell(name, subject) for name in entities}
+        return KnowledgeTable(
+            rows=rows, facets=self.facets(), subject=subject, title=title
+        )
+
+    # ------------------------------------------------------------------
+    # Coupling machinery
+    # ------------------------------------------------------------------
+
+    def _pool(
+        self,
+        subject: Subject,
+        *,
+        entities: Optional[Set[str]] = None,
+        organizations: Optional[FrozenSet[str]] = None,
+    ) -> List[Observation]:
+        pool: List[Observation] = []
+        for obs in self.ledger:
+            if obs.subject != subject:
+                continue
+            if entities is not None and obs.entity not in entities:
+                continue
+            if organizations is not None and obs.organization not in organizations:
+                continue
+            pool.append(obs)
+        return pool
+
+    def entity_couples(self, entity: str, subject: Subject) -> bool:
+        """Can this entity alone attribute sensitive data to ▲?"""
+        return _observations_couple(self._pool(subject, entities={entity}))
+
+    def coalition_couples(
+        self, organizations: Iterable[str], subject: Optional[Subject] = None
+    ) -> bool:
+        """Would these organizations, colluding, re-couple ▲ with ●?"""
+        orgs = frozenset(organizations)
+        subjects = [subject] if subject is not None else list(self.ledger.subjects())
+        return any(
+            _observations_couple(self._pool(subj, organizations=orgs))
+            for subj in subjects
+        )
+
+    # ------------------------------------------------------------------
+    # Verdicts
+    # ------------------------------------------------------------------
+
+    def verdict(self, trust_attested: bool = False) -> DecouplingVerdict:
+        """Apply section 2.4: only the user may hold (▲, ●).
+
+        ``trust_attested=True`` extends trust to attested TEE
+        organizations (paper section 4.3): their coupling is excused,
+        modeling the "locus of trust moved to the hardware vendor".
+        The default is the conservative reading.
+        """
+        violations: List[CouplingViolation] = []
+        for entity in self.world.non_user_entities():
+            if trust_attested and entity.organization.attested:
+                continue
+            for subject in self.ledger.subjects():
+                if self.entity_couples(entity.name, subject):
+                    labels = self.ledger.labels_of(entity.name, subject)
+                    violations.append(
+                        CouplingViolation(
+                            entity=entity.name,
+                            organization=entity.organization.name,
+                            subject=subject,
+                            cell=cell_from_labels(labels, self.facets()),
+                        )
+                    )
+        return DecouplingVerdict(
+            decoupled=not violations, violations=tuple(violations)
+        )
+
+    # ------------------------------------------------------------------
+    # Collusion analysis
+    # ------------------------------------------------------------------
+
+    def non_user_organizations(self) -> Tuple[str, ...]:
+        seen: Dict[str, None] = {}
+        for entity in self.world.non_user_entities():
+            seen.setdefault(entity.organization.name, None)
+        return tuple(seen)
+
+    def minimal_recoupling_coalitions(
+        self, max_size: Optional[int] = None
+    ) -> Tuple[FrozenSet[str], ...]:
+        """All minimal non-user coalitions that re-couple ▲ with ●.
+
+        Returned coalitions are minimal under set inclusion, smallest
+        first.  An empty result means no coalition (up to ``max_size``)
+        can re-couple -- the information the coalition pools simply
+        does not join, as with a blind signer's logs.
+        """
+        organizations = self.non_user_organizations()
+        limit = max_size if max_size is not None else len(organizations)
+        found: List[FrozenSet[str]] = []
+        for size in range(1, limit + 1):
+            for combo in itertools.combinations(organizations, size):
+                coalition = frozenset(combo)
+                if any(prior <= coalition for prior in found):
+                    continue
+                if self.coalition_couples(coalition):
+                    found.append(coalition)
+        return tuple(found)
+
+    def collusion_resistance(self, max_size: Optional[int] = None) -> int:
+        """Size of the smallest re-coupling coalition.
+
+        Returns ``len(non-user orgs) + 1`` when no coalition of any
+        size re-couples (information-theoretic decoupling, as with
+        blind signatures or a VOPRF issuer).
+        """
+        coalitions = self.minimal_recoupling_coalitions(max_size)
+        if not coalitions:
+            return len(self.non_user_organizations()) + 1
+        return min(len(c) for c in coalitions)
+
+    # ------------------------------------------------------------------
+    # Breach analysis
+    # ------------------------------------------------------------------
+
+    def breach(self, organization: str) -> BreachReport:
+        """What an attacker holding all of ``organization``'s data gets."""
+        orgs = frozenset([organization])
+        identified: List[Subject] = []
+        with_data: List[Subject] = []
+        coupled: List[Subject] = []
+        for subject in self.ledger.subjects():
+            pool = self._pool(subject, organizations=orgs)
+            labels = {obs.label for obs in pool}
+            cell = cell_from_labels(labels, self.facets())
+            if cell.knows_sensitive_identity:
+                identified.append(subject)
+            if cell.knows_sensitive_data:
+                with_data.append(subject)
+            if _observations_couple(pool):
+                coupled.append(subject)
+        return BreachReport(
+            organization=organization,
+            subjects_identified=tuple(identified),
+            subjects_with_sensitive_data=tuple(with_data),
+            coupled_subjects=tuple(coupled),
+        )
+
+    def breach_reports(self) -> Tuple[BreachReport, ...]:
+        """One breach report per non-user organization."""
+        return tuple(self.breach(org) for org in self.non_user_organizations())
+
+    # ------------------------------------------------------------------
+    # Narration
+    # ------------------------------------------------------------------
+
+    def explain(self, entity: str, max_items: int = 12) -> str:
+        """A human-readable account of what one entity learned.
+
+        Groups the entity's observations by subject and kind of
+        information, most sensitive first -- the narrative version of
+        its table cell, for audits and demos.
+        """
+        observations = self.ledger.by_entity(entity)
+        if not observations:
+            return f"{entity} observed nothing."
+        lines = [f"What {entity} learned:"]
+        for subject in self.ledger.subjects():
+            subject_obs = [o for o in observations if o.subject == subject]
+            if not subject_obs:
+                continue
+            cell = self.knowledge_cell(entity, subject)
+            lines.append(f"  about {subject}: {cell.render()}")
+            seen: Set[Tuple[str, str]] = set()
+            shown = 0
+            for obs in sorted(
+                subject_obs, key=lambda o: (-o.label.rank, o.time)
+            ):
+                key = (obs.label.glyph, obs.description)
+                if key in seen:
+                    continue
+                seen.add(key)
+                lines.append(
+                    f"    {obs.label.glyph:<5} {obs.description or '(unnamed)'}"
+                    f"  [via {obs.channel}]"
+                )
+                shown += 1
+                if shown >= max_items:
+                    lines.append("    ...")
+                    break
+            coupled = self.entity_couples(entity, subject)
+            if coupled:
+                lines.append(
+                    "    => can attribute sensitive data to this subject"
+                )
+        return "\n".join(lines)

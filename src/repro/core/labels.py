@@ -1,0 +1,217 @@
+"""Sensitivity labels: the vocabulary of the Decoupling Principle.
+
+Section 2.4 of the paper defines four marks used throughout its
+decoupling analyses:
+
+* ``▲`` -- a *sensitive* user identity known by some entity
+* ``△`` -- a *non-sensitive* (pseudonymous / aggregate) user identity
+* ``●`` -- sensitive user data
+* ``⊙`` -- non-sensitive user data
+
+Section 3.2.3 (Pretty Good Phone Privacy) further decomposes the
+identity mark into facets: the *human* identity ``▲_H`` (name, billing
+relationship) and the *network* identity ``▲_N`` (IMSI, IP address).
+This module models the full lattice: a :class:`Label` is a point in
+``Kind x Sensitivity x Facet`` and knows how to render itself in the
+paper's notation.
+
+Labels are immutable and hashable; they are attached to values by
+:mod:`repro.core.values` and accumulated per entity by
+:mod:`repro.core.ledger`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = [
+    "Kind",
+    "Sensitivity",
+    "Facet",
+    "Label",
+    "SENSITIVE_IDENTITY",
+    "NONSENSITIVE_IDENTITY",
+    "SENSITIVE_DATA",
+    "PARTIAL_SENSITIVE_DATA",
+    "NONSENSITIVE_DATA",
+    "SENSITIVE_HUMAN_IDENTITY",
+    "NONSENSITIVE_HUMAN_IDENTITY",
+    "SENSITIVE_NETWORK_IDENTITY",
+    "NONSENSITIVE_NETWORK_IDENTITY",
+]
+
+
+class Kind(enum.Enum):
+    """What a labeled value fundamentally is: an identity or data.
+
+    The Decoupling Principle is stated as "separate *who you are*
+    (identity) from *what you do* (data)"; every labeled value falls on
+    one side of that split.
+    """
+
+    IDENTITY = "identity"
+    DATA = "data"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class Sensitivity(enum.Enum):
+    """Whether knowledge of a value harms the subject's privacy.
+
+    ``SENSITIVE`` identity marks are the filled triangle ``▲``;
+    ``NONSENSITIVE`` ones are the hollow triangle ``△`` (a pseudonym,
+    a rotated identifier, membership of a large anonymity set).  For
+    data, ``SENSITIVE`` is ``●`` (a DNS query, a purchase, a location
+    trace) and ``NONSENSITIVE`` is ``⊙`` (ciphertext, a blinded token,
+    an aggregate).
+    """
+
+    NONSENSITIVE = 0
+    SENSITIVE = 1
+
+    def __str__(self) -> str:
+        return "sensitive" if self is Sensitivity.SENSITIVE else "non-sensitive"
+
+    @property
+    def is_sensitive(self) -> bool:
+        return self is Sensitivity.SENSITIVE
+
+
+class Facet(enum.Enum):
+    """Identity facet, used when one ▲ decomposes into several.
+
+    The PGPP analysis (paper section 3.2.3) splits the user identity
+    into a human facet (``▲_H``: legal name, billing account) and a
+    network facet (``▲_N``: IMSI, network address).  Systems that do
+    not need the distinction use ``GENERIC``.  Data labels always use
+    ``GENERIC``.
+    """
+
+    GENERIC = ""
+    HUMAN = "H"
+    NETWORK = "N"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+_IDENTITY_GLYPHS = {Sensitivity.SENSITIVE: "▲", Sensitivity.NONSENSITIVE: "△"}
+_DATA_GLYPHS = {Sensitivity.SENSITIVE: "●", Sensitivity.NONSENSITIVE: "⊙"}
+
+
+@dataclass(frozen=True, order=True)
+class Label:
+    """An immutable point in the sensitivity lattice.
+
+    Ordering is derived from the dataclass fields and is used only for
+    deterministic rendering; the *privacy* order is exposed through
+    :meth:`dominates`.
+
+    ``partial`` marks *partially sensitive data*: information that
+    reveals something real but bounded about the subject -- a domain
+    name rather than a full request, a transaction amount rather than a
+    purchase.  The paper renders knowledge of such data as ``⊙/●``
+    (e.g. the Oblivious Resolver, MPR Relay 2, and the blind-signature
+    Verifier columns).
+    """
+
+    kind: Kind
+    sensitivity: Sensitivity
+    facet: Facet = Facet.GENERIC
+    partial: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind is Kind.DATA and self.facet is not Facet.GENERIC:
+            raise ValueError("data labels cannot carry an identity facet")
+        if self.partial and (
+            self.kind is not Kind.DATA or self.sensitivity is not Sensitivity.SENSITIVE
+        ):
+            raise ValueError("only sensitive data labels can be partial")
+
+    @property
+    def glyph(self) -> str:
+        """The paper's notation for this label, e.g. ``▲`` or ``⊙/●``."""
+        if self.partial:
+            return "⊙/●"
+        table = _IDENTITY_GLYPHS if self.kind is Kind.IDENTITY else _DATA_GLYPHS
+        base = table[self.sensitivity]
+        if self.facet is not Facet.GENERIC:
+            return f"{base}_{self.facet.value}"
+        return base
+
+    @property
+    def is_sensitive(self) -> bool:
+        return self.sensitivity.is_sensitive
+
+    @property
+    def is_identity(self) -> bool:
+        return self.kind is Kind.IDENTITY
+
+    @property
+    def is_data(self) -> bool:
+        return self.kind is Kind.DATA
+
+    @property
+    def rank(self) -> int:
+        """Numeric privacy rank: 0 non-sensitive, 1 partial, 2 sensitive."""
+        if not self.is_sensitive:
+            return 0
+        return 1 if self.partial else 2
+
+    def dominates(self, other: "Label") -> bool:
+        """True if knowing ``self`` reveals at least as much as ``other``.
+
+        Only labels of the same kind and facet are comparable; a fully
+        sensitive label dominates a partial one, which dominates the
+        non-sensitive one.
+        """
+        return (
+            self.kind is other.kind
+            and self.facet is other.facet
+            and self.rank >= other.rank
+        )
+
+    def downgraded(self) -> "Label":
+        """The non-sensitive version of this label.
+
+        This is what blinding, encryption (toward a key the observer
+        lacks), aggregation and shuffling achieve: the same kind and
+        facet of information, stripped of its sensitivity.
+        """
+        return Label(self.kind, Sensitivity.NONSENSITIVE, self.facet)
+
+    def upgraded(self) -> "Label":
+        """The fully sensitive version of this label."""
+        return Label(self.kind, Sensitivity.SENSITIVE, self.facet)
+
+    def partially(self) -> "Label":
+        """The partially sensitive version (data labels only)."""
+        return Label(self.kind, Sensitivity.SENSITIVE, self.facet, partial=True)
+
+    def __str__(self) -> str:
+        return self.glyph
+
+
+#: ▲ -- e.g. a source IP address, an account name, an IMSI.
+SENSITIVE_IDENTITY = Label(Kind.IDENTITY, Sensitivity.SENSITIVE)
+#: △ -- e.g. a rotating pseudonym, an unlinkable token, "some Tor user".
+NONSENSITIVE_IDENTITY = Label(Kind.IDENTITY, Sensitivity.NONSENSITIVE)
+#: ● -- e.g. a full request, a purchase, a location fix.
+SENSITIVE_DATA = Label(Kind.DATA, Sensitivity.SENSITIVE)
+#: ⊙/● -- partially sensitive data: a domain name, a transaction amount.
+PARTIAL_SENSITIVE_DATA = Label(Kind.DATA, Sensitivity.SENSITIVE, partial=True)
+#: ⊙ -- e.g. ciphertext, a blinded message, an aggregate statistic.
+NONSENSITIVE_DATA = Label(Kind.DATA, Sensitivity.NONSENSITIVE)
+
+#: ▲_H -- the human identity facet (legal name, billing relationship).
+SENSITIVE_HUMAN_IDENTITY = Label(Kind.IDENTITY, Sensitivity.SENSITIVE, Facet.HUMAN)
+#: △_H -- an anonymized human identity facet.
+NONSENSITIVE_HUMAN_IDENTITY = Label(Kind.IDENTITY, Sensitivity.NONSENSITIVE, Facet.HUMAN)
+#: ▲_N -- the network identity facet (IMSI, IP address).
+SENSITIVE_NETWORK_IDENTITY = Label(Kind.IDENTITY, Sensitivity.SENSITIVE, Facet.NETWORK)
+#: △_N -- a rotated / shuffled network identity facet.
+NONSENSITIVE_NETWORK_IDENTITY = Label(
+    Kind.IDENTITY, Sensitivity.NONSENSITIVE, Facet.NETWORK
+)

@@ -1,0 +1,153 @@
+"""The observation ledger: ground truth for every decoupling analysis.
+
+Every time an entity observes information during a protocol run -- a
+message delivered to it, a packet passing a wiretap, an identifier
+presented during authentication -- an :class:`Observation` is appended
+to the run's :class:`Ledger`.  The analyzer
+(:mod:`repro.core.analysis`) never looks at the systems themselves,
+only at the ledger; this keeps the derivation of the paper's tables
+honest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from .labels import Label
+from .values import LabeledValue, ShareInfo, Subject, digest
+
+__all__ = ["Observation", "Ledger"]
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One entity learning one labeled value at one moment.
+
+    ``channel`` records how the information arrived ("wire", "message",
+    "attestation", "breach", ...) which the breach and collusion
+    analyses use to slice the ledger.
+    """
+
+    entity: str
+    organization: str
+    subject: Subject
+    label: Label
+    value_digest: str
+    description: str
+    time: float
+    channel: str
+    session: str = ""
+    provenance: Tuple[str, ...] = ()
+    share_info: Optional[ShareInfo] = None
+
+    def __str__(self) -> str:
+        return (
+            f"t={self.time:.3f} {self.entity} saw {self.label.glyph}"
+            f"[{self.description}] of {self.subject} via {self.channel}"
+        )
+
+
+class Ledger:
+    """Append-only record of all observations in a protocol run."""
+
+    def __init__(self) -> None:
+        self._observations: List[Observation] = []
+
+    def record(
+        self,
+        entity: str,
+        organization: str,
+        value: LabeledValue,
+        *,
+        time: float = 0.0,
+        channel: str = "message",
+        session: str = "",
+    ) -> Observation:
+        """Append one observation and return it.
+
+        ``session`` names the interaction this observation arrived in
+        (one packet delivery, one local act).  Observations of the same
+        entity in the same session are mutually *linkable*; across
+        sessions, only a shared value digest (a pseudonym seen twice)
+        links them.  The analyzer's coupling logic builds on this.
+        """
+        observation = Observation(
+            entity=entity,
+            organization=organization,
+            subject=value.subject,
+            label=value.label,
+            value_digest=digest(value.payload),
+            description=value.description,
+            time=time,
+            channel=channel,
+            session=session,
+            provenance=value.provenance,
+            share_info=value.share_info,
+        )
+        self._observations.append(observation)
+        return observation
+
+    def __len__(self) -> int:
+        return len(self._observations)
+
+    def __iter__(self) -> Iterator[Observation]:
+        return iter(self._observations)
+
+    @property
+    def observations(self) -> Tuple[Observation, ...]:
+        return tuple(self._observations)
+
+    def entities(self) -> Tuple[str, ...]:
+        """Entity names in order of first appearance."""
+        seen: Dict[str, None] = {}
+        for obs in self._observations:
+            seen.setdefault(obs.entity, None)
+        return tuple(seen)
+
+    def subjects(self) -> Tuple[Subject, ...]:
+        """Subjects in order of first appearance."""
+        seen: Dict[Subject, None] = {}
+        for obs in self._observations:
+            seen.setdefault(obs.subject, None)
+        return tuple(seen)
+
+    def by_entity(self, entity: str) -> Tuple[Observation, ...]:
+        return tuple(o for o in self._observations if o.entity == entity)
+
+    def by_organization(self, organization: str) -> Tuple[Observation, ...]:
+        return tuple(o for o in self._observations if o.organization == organization)
+
+    def by_subject(self, subject: Subject) -> Tuple[Observation, ...]:
+        return tuple(o for o in self._observations if o.subject == subject)
+
+    def labels_of(
+        self,
+        entity: str,
+        subject: Optional[Subject] = None,
+        *,
+        channels: Optional[Iterable[str]] = None,
+    ) -> Set[Label]:
+        """The set of labels ``entity`` has observed (optionally per subject)."""
+        wanted = set(channels) if channels is not None else None
+        result: Set[Label] = set()
+        for obs in self._observations:
+            if obs.entity != entity:
+                continue
+            if subject is not None and obs.subject != subject:
+                continue
+            if wanted is not None and obs.channel not in wanted:
+                continue
+            result.add(obs.label)
+        return result
+
+    def merged(self, other: "Ledger") -> "Ledger":
+        """A new ledger holding both runs' observations, time-ordered."""
+        combined = Ledger()
+        combined._observations = sorted(
+            [*self._observations, *other._observations], key=lambda o: o.time
+        )
+        return combined
+
+    def clear(self) -> None:
+        self._observations.clear()

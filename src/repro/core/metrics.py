@@ -1,0 +1,161 @@
+"""Degrees-of-decoupling metrics (paper section 4.2).
+
+The paper argues that decoupling has a *degree*: more relays or more
+aggregators buy collusion resistance at a performance cost, with
+diminishing returns.  This module provides the quantitative vocabulary
+for that argument:
+
+* anonymity-set size and entropy (how well an observer can pin down
+  *which* user acted);
+* collusion resistance (minimal re-coupling coalition size, from
+  :class:`~repro.core.analysis.DecouplingAnalyzer`);
+* overhead accounting (added latency, bandwidth expansion, message
+  counts) collected by the network simulator;
+* the :class:`DegreePoint` record used by every D-series benchmark.
+"""
+
+from __future__ import annotations
+
+import math
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Mapping, Sequence
+
+__all__ = [
+    "anonymity_set_size",
+    "entropy_bits",
+    "normalized_entropy",
+    "uniformity_l1_distance",
+    "DegreePoint",
+    "DegreeSweep",
+]
+
+
+def anonymity_set_size(candidates: Iterable[object]) -> int:
+    """The number of distinct users an observation could belong to."""
+    return len(set(candidates))
+
+
+def entropy_bits(distribution: Mapping[object, float] | Sequence[float]) -> float:
+    """Shannon entropy (bits) of a probability distribution.
+
+    Accepts either a mapping ``outcome -> probability`` or a bare
+    sequence of probabilities.  Probabilities are normalized first, so
+    raw counts are accepted too.
+    """
+    if isinstance(distribution, Mapping):
+        weights = [w for w in distribution.values() if w > 0]
+    else:
+        weights = [w for w in distribution if w > 0]
+    total = float(sum(weights))
+    if total <= 0:
+        return 0.0
+    # ``+ 0.0`` normalizes the -0.0 a single-outcome distribution yields.
+    return -sum((w / total) * math.log2(w / total) for w in weights) + 0.0
+
+
+def normalized_entropy(
+    distribution: Mapping[object, float] | Sequence[float],
+) -> float:
+    """Entropy divided by its maximum (``log2 n``); 1.0 is uniform."""
+    if isinstance(distribution, Mapping):
+        n = sum(1 for w in distribution.values() if w > 0)
+    else:
+        n = sum(1 for w in distribution if w > 0)
+    if n <= 1:
+        return 0.0
+    return entropy_bits(distribution) / math.log2(n)
+
+
+def uniformity_l1_distance(counts: Mapping[object, int]) -> float:
+    """L1 distance between an observed share distribution and uniform.
+
+    0.0 means perfectly even striping (section 5.1's resolver
+    distribution ideal); 2(1-1/n) is the worst case (all mass on one).
+    """
+    total = sum(counts.values())
+    n = len(counts)
+    if total == 0 or n == 0:
+        return 0.0
+    uniform = 1.0 / n
+    return sum(abs(c / total - uniform) for c in counts.values())
+
+
+@dataclass(frozen=True)
+class DegreePoint:
+    """One point of a degree-of-decoupling sweep.
+
+    ``degree`` is the number of decoupled parties (relays, mixes,
+    aggregators, resolvers); the remaining fields quantify the privacy
+    benefit and the performance cost at that degree.
+    """
+
+    degree: int
+    collusion_resistance: int
+    latency: float
+    bandwidth_overhead: float = 0.0
+    messages: int = 0
+    anonymity_bits: float = 0.0
+    extra: Mapping[str, float] = field(default_factory=dict)
+
+    def privacy_per_cost(self) -> float:
+        """Collusion resistance bought per unit latency (crude ROI)."""
+        if self.latency <= 0:
+            return float("inf")
+        return self.collusion_resistance / self.latency
+
+
+@dataclass
+class DegreeSweep:
+    """A full sweep: the data behind a D-series figure."""
+
+    name: str
+    points: List[DegreePoint] = field(default_factory=list)
+
+    def add(self, point: DegreePoint) -> None:
+        self.points.append(point)
+
+    def sorted_points(self) -> List[DegreePoint]:
+        return sorted(self.points, key=lambda p: p.degree)
+
+    def privacy_is_monotone(self) -> bool:
+        """Collusion resistance never decreases with degree."""
+        pts = self.sorted_points()
+        return all(
+            a.collusion_resistance <= b.collusion_resistance
+            for a, b in zip(pts, pts[1:])
+        )
+
+    def cost_is_monotone(self) -> bool:
+        """Latency never decreases with degree (more hops cost more)."""
+        pts = self.sorted_points()
+        return all(a.latency <= b.latency for a, b in zip(pts, pts[1:]))
+
+    def has_diminishing_returns(self) -> bool:
+        """Marginal privacy gain per added party eventually shrinks.
+
+        The paper's 4.2 claim: "decoupling eventually reaches a point
+        where it offers limited return in privacy at great cost".  We
+        check that the marginal collusion-resistance gain of the last
+        step is no larger than that of the first step.
+        """
+        pts = self.sorted_points()
+        if len(pts) < 3:
+            return True
+        first_gain = pts[1].collusion_resistance - pts[0].collusion_resistance
+        last_gain = pts[-1].collusion_resistance - pts[-2].collusion_resistance
+        return last_gain <= first_gain
+
+    def render(self) -> str:
+        """A text table: one row per degree (the figure's data series)."""
+        header = (
+            f"{'degree':>6} {'collusion':>9} {'latency':>10} "
+            f"{'bandwidth':>10} {'messages':>8} {'anon bits':>9}"
+        )
+        lines = [self.name, header]
+        for p in self.sorted_points():
+            lines.append(
+                f"{p.degree:>6} {p.collusion_resistance:>9} {p.latency:>10.3f} "
+                f"{p.bandwidth_overhead:>10.2f} {p.messages:>8} {p.anonymity_bits:>9.2f}"
+            )
+        return "\n".join(lines)

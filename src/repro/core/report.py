@@ -1,0 +1,128 @@
+"""Experiment reports: paper-versus-measured comparison records.
+
+Every benchmark produces an :class:`ExperimentReport` pairing the
+paper's expected table (or series shape) with the one derived from the
+run.  EXPERIMENTS.md is generated from these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .ledger import Ledger
+from .tuples import KnowledgeTable
+
+__all__ = ["ExperimentReport", "compare_tables", "FlowStep", "flow_series"]
+
+
+@dataclass(frozen=True)
+class FlowStep:
+    """One step of a protocol-flow figure: who learned what, when."""
+
+    time: float
+    entity: str
+    glyph: str
+    description: str
+
+    def render(self) -> str:
+        return f"t={self.time:7.3f}  {self.entity:<22} {self.glyph:<5} {self.description}"
+
+
+def flow_series(
+    ledger: Ledger,
+    entities: Sequence[str],
+    max_steps: Optional[int] = None,
+) -> List[FlowStep]:
+    """The data series behind a protocol-flow figure (paper Figs. 1-2).
+
+    Produces the time-ordered sequence of *new* knowledge events: the
+    first time each entity observes each distinct (label, description)
+    pair.  Rendering these steps reconstructs the figure's arrows --
+    who received which class of information at which protocol stage.
+    """
+    wanted = set(entities)
+    seen: set = set()
+    steps: List[FlowStep] = []
+    for obs in sorted(ledger, key=lambda o: o.time):
+        if obs.entity not in wanted:
+            continue
+        key = (obs.entity, obs.label, obs.description)
+        if key in seen:
+            continue
+        seen.add(key)
+        steps.append(
+            FlowStep(
+                time=obs.time,
+                entity=obs.entity,
+                glyph=obs.label.glyph,
+                description=obs.description,
+            )
+        )
+        if max_steps is not None and len(steps) >= max_steps:
+            break
+    return steps
+
+
+@dataclass
+class ExperimentReport:
+    """Outcome of reproducing one paper artifact (table or figure)."""
+
+    experiment_id: str
+    title: str
+    expected: Mapping[str, str]
+    measured: Mapping[str, str]
+    notes: str = ""
+
+    @property
+    def matches(self) -> bool:
+        return dict(self.expected) == dict(self.measured)
+
+    def mismatches(self) -> Dict[str, Tuple[str, str]]:
+        """Entity -> (expected, measured) for every differing cell."""
+        out: Dict[str, Tuple[str, str]] = {}
+        for key in {*self.expected, *self.measured}:
+            exp = self.expected.get(key, "<absent>")
+            got = self.measured.get(key, "<absent>")
+            if exp != got:
+                out[key] = (exp, got)
+        return out
+
+    def render(self) -> str:
+        status = "MATCH" if self.matches else "MISMATCH"
+        lines = [f"[{self.experiment_id}] {self.title}: {status}"]
+        for key in self.expected:
+            exp = self.expected[key]
+            got = self.measured.get(key, "<absent>")
+            flag = "" if exp == got else "   <-- differs"
+            lines.append(f"  {key:<22} paper={exp:<16} measured={got}{flag}")
+        for key in self.measured:
+            if key not in self.expected:
+                lines.append(f"  {key:<22} paper=<absent>       measured={self.measured[key]}")
+        if self.notes:
+            lines.append(f"  notes: {self.notes}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def compare_tables(
+    experiment_id: str,
+    title: str,
+    expected: Mapping[str, str],
+    measured: KnowledgeTable | Mapping[str, str],
+    notes: str = "",
+) -> ExperimentReport:
+    """Build a report from a paper table and a derived one."""
+    if isinstance(measured, KnowledgeTable):
+        measured_map: Mapping[str, str] = measured.as_mapping()
+    else:
+        measured_map = measured
+    return ExperimentReport(
+        experiment_id=experiment_id,
+        title=title,
+        expected=dict(expected),
+        measured=dict(measured_map),
+        notes=notes,
+    )

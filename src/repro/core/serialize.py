@@ -1,0 +1,112 @@
+"""Ledger serialization: export runs for offline analysis.
+
+Observation ledgers serialize to plain dicts (one per observation),
+suitable for JSON Lines; :func:`ledger_from_dicts` round-trips them.
+This is how a long simulation's evidence can be archived, diffed
+between runs, or fed to external tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional
+
+from .labels import Facet, Kind, Label, Sensitivity
+from .ledger import Ledger, Observation
+from .values import ShareInfo, Subject
+
+__all__ = [
+    "label_to_dict",
+    "label_from_dict",
+    "observation_to_dict",
+    "observation_from_dict",
+    "ledger_to_dicts",
+    "ledger_from_dicts",
+    "ledger_to_jsonl",
+    "ledger_from_jsonl",
+]
+
+
+def label_to_dict(label: Label) -> Dict[str, Any]:
+    return {
+        "kind": label.kind.value,
+        "sensitivity": label.sensitivity.name.lower(),
+        "facet": label.facet.name.lower(),
+        "partial": label.partial,
+    }
+
+
+def label_from_dict(data: Dict[str, Any]) -> Label:
+    return Label(
+        kind=Kind(data["kind"]),
+        sensitivity=Sensitivity[data["sensitivity"].upper()],
+        facet=Facet[data["facet"].upper()],
+        partial=bool(data.get("partial", False)),
+    )
+
+
+def observation_to_dict(observation: Observation) -> Dict[str, Any]:
+    data: Dict[str, Any] = {
+        "entity": observation.entity,
+        "organization": observation.organization,
+        "subject": observation.subject.name,
+        "label": label_to_dict(observation.label),
+        "value_digest": observation.value_digest,
+        "description": observation.description,
+        "time": observation.time,
+        "channel": observation.channel,
+        "session": observation.session,
+        "provenance": list(observation.provenance),
+    }
+    if observation.share_info is not None:
+        data["share_info"] = {
+            "group": observation.share_info.group,
+            "index": observation.share_info.index,
+            "total": observation.share_info.total,
+        }
+    return data
+
+
+def observation_from_dict(data: Dict[str, Any]) -> Observation:
+    share_info: Optional[ShareInfo] = None
+    if "share_info" in data and data["share_info"] is not None:
+        raw = data["share_info"]
+        share_info = ShareInfo(
+            group=raw["group"], index=int(raw["index"]), total=int(raw["total"])
+        )
+    return Observation(
+        entity=data["entity"],
+        organization=data["organization"],
+        subject=Subject(data["subject"]),
+        label=label_from_dict(data["label"]),
+        value_digest=data["value_digest"],
+        description=data.get("description", ""),
+        time=float(data.get("time", 0.0)),
+        channel=data.get("channel", "message"),
+        session=data.get("session", ""),
+        provenance=tuple(data.get("provenance", ())),
+        share_info=share_info,
+    )
+
+
+def ledger_to_dicts(ledger: Ledger) -> List[Dict[str, Any]]:
+    return [observation_to_dict(obs) for obs in ledger]
+
+
+def ledger_from_dicts(rows: Iterable[Dict[str, Any]]) -> Ledger:
+    ledger = Ledger()
+    ledger._observations = [observation_from_dict(row) for row in rows]
+    return ledger
+
+
+def ledger_to_jsonl(ledger: Ledger) -> str:
+    """One JSON object per line, in observation order."""
+    return "\n".join(
+        json.dumps(row, ensure_ascii=False, sort_keys=True)
+        for row in ledger_to_dicts(ledger)
+    )
+
+
+def ledger_from_jsonl(text: str) -> Ledger:
+    rows = [json.loads(line) for line in text.splitlines() if line.strip()]
+    return ledger_from_dicts(rows)

@@ -1,0 +1,272 @@
+"""Labeled values: the unit of information that flows through systems.
+
+Every piece of user-derived information that moves through a modeled
+system is a :class:`LabeledValue`: a payload plus the label it carries,
+the *subject* whose privacy is at stake, and a provenance chain
+recording the transformations (blinding, encryption, shuffling,
+aggregation) that produced it.
+
+The privacy-critical construct is :class:`Sealed`: an envelope bound to
+a key identifier.  When an entity observes a sealed envelope it learns
+the *inner* values only if its keyring contains the key; otherwise it
+learns just the envelope's (non-sensitive) exterior.  This is how the
+framework derives, rather than asserts, facts like "the recursive
+resolver forwards the encrypted query but learns nothing from it".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Optional, Tuple
+
+from .labels import (
+    Kind,
+    Label,
+    NONSENSITIVE_DATA,
+    Sensitivity,
+)
+
+__all__ = [
+    "Subject",
+    "ShareInfo",
+    "LabeledValue",
+    "Sealed",
+    "Aggregate",
+    "walk_values",
+    "digest",
+]
+
+_serial = itertools.count(1)
+
+
+def digest(value: Any) -> str:
+    """A short stable digest of a value, used for ledger bookkeeping."""
+    raw = repr(value).encode("utf-8", "replace")
+    return hashlib.sha256(raw).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class Subject:
+    """The principal whose privacy a labeled value concerns.
+
+    Usually a user; occasionally a population (for aggregates).  Two
+    subjects are the same iff their names match.
+    """
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class ShareInfo:
+    """Marks a value as one share of a secret-shared sensitive value.
+
+    Individually a share is information-theoretically useless (its
+    label is ``⊙``); a coalition holding *all* ``total`` indices of the
+    same ``group`` can reconstruct the underlying sensitive value.  The
+    collusion analyzer (:mod:`repro.core.analysis`) uses this to model
+    Prio/PPM-style guarantees.
+    """
+
+    group: str
+    index: int
+    total: int
+    reconstructed_label_sensitive: bool = True
+
+
+@dataclass(frozen=True)
+class LabeledValue:
+    """A payload annotated with its privacy label and subject.
+
+    Parameters
+    ----------
+    payload:
+        The concrete value (an address, a query name, ciphertext bytes,
+        a token, ...).  Payloads should be cheap to ``repr``.
+    label:
+        The :class:`~repro.core.labels.Label` describing what knowing
+        this payload reveals about ``subject``.
+    subject:
+        Whose information this is.
+    description:
+        A short human-readable note ("source IP", "DNS qname", ...).
+    provenance:
+        Names of the transformations that produced this value, oldest
+        first, e.g. ``("qname", "hpke-seal")``.
+    """
+
+    payload: Any
+    label: Label
+    subject: Subject
+    description: str = ""
+    provenance: Tuple[str, ...] = ()
+    share_info: Optional[ShareInfo] = None
+    uid: int = field(default_factory=lambda: next(_serial))
+
+    def derived(
+        self,
+        payload: Any,
+        *,
+        label: Optional[Label] = None,
+        description: Optional[str] = None,
+        step: str = "",
+    ) -> "LabeledValue":
+        """A new value derived from this one, extending provenance."""
+        return LabeledValue(
+            payload=payload,
+            label=self.label if label is None else label,
+            subject=self.subject,
+            description=self.description if description is None else description,
+            provenance=self.provenance + ((step,) if step else ()),
+            uid=next(_serial),
+        )
+
+    def blinded(self, payload: Any, step: str = "blind") -> "LabeledValue":
+        """The blinded form of this value: same kind, non-sensitive.
+
+        Blinding (Chaum), encryption toward someone else, and hashing
+        with a secret all map a sensitive value to an unlinkable
+        non-sensitive one.
+        """
+        return self.derived(payload, label=self.label.downgraded(), step=step)
+
+    def pseudonym(self, payload: Any, step: str = "pseudonymize") -> "LabeledValue":
+        """A non-sensitive identity standing in for this value's subject."""
+        label = Label(Kind.IDENTITY, Sensitivity.NONSENSITIVE, self.label.facet)
+        return self.derived(payload, label=label, step=step)
+
+    def __str__(self) -> str:
+        return f"{self.label.glyph}[{self.description or self.payload!r}]@{self.subject}"
+
+
+@dataclass(frozen=True)
+class Sealed:
+    """An envelope whose contents are visible only to key holders.
+
+    ``key_id`` names the decryption capability required to open the
+    envelope; entities hold key ids in their keyrings (see
+    :class:`repro.core.entities.Entity`).  ``exterior`` is what a
+    non-holder learns by observing the envelope: by default an opaque
+    non-sensitive datum attributed to the same subject as the first
+    inner value.
+
+    Envelopes nest: onion encryption is ``Sealed(k1, [Sealed(k2, ...)])``.
+    """
+
+    key_id: str
+    contents: Tuple[Any, ...]
+    exterior: Optional[LabeledValue] = None
+    description: str = ""
+
+    @staticmethod
+    def wrap(
+        key_id: str,
+        contents: Iterable[Any],
+        *,
+        subject: Optional[Subject] = None,
+        description: str = "",
+    ) -> "Sealed":
+        """Seal ``contents`` under ``key_id`` with a default exterior."""
+        items = tuple(contents)
+        if subject is None:
+            subject = _first_subject(items)
+        exterior = LabeledValue(
+            payload=f"ciphertext<{key_id}>",
+            label=NONSENSITIVE_DATA,
+            subject=subject or Subject("nobody"),
+            description=description or f"ciphertext under {key_id}",
+            provenance=("seal",),
+        )
+        return Sealed(key_id=key_id, contents=items, exterior=exterior, description=description)
+
+    def __str__(self) -> str:
+        return f"Sealed<{self.key_id}>({len(self.contents)} items)"
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """A value computed from many subjects' inputs.
+
+    Observing an aggregate reveals a non-sensitive datum about each
+    contributing subject (their membership in the aggregate), never the
+    individual contributions.  Used by the PPM / Prio models.
+    """
+
+    payload: Any
+    contributors: Tuple[Subject, ...]
+    description: str = "aggregate"
+
+    def exterior_values(self) -> Tuple[LabeledValue, ...]:
+        """One non-sensitive datum per contributor."""
+        return tuple(
+            LabeledValue(
+                payload=self.payload,
+                label=NONSENSITIVE_DATA,
+                subject=subject,
+                description=self.description,
+                provenance=("aggregate",),
+            )
+            for subject in self.contributors
+        )
+
+    def __str__(self) -> str:
+        return f"Aggregate({self.description}, {len(self.contributors)} contributors)"
+
+
+def _first_subject(items: Tuple[Any, ...]) -> Optional[Subject]:
+    for item in items:
+        if isinstance(item, LabeledValue):
+            return item.subject
+        if isinstance(item, Sealed) and item.exterior is not None:
+            return item.exterior.subject
+        if isinstance(item, Aggregate) and item.contributors:
+            return item.contributors[0]
+    return None
+
+
+def walk_values(
+    item: Any, keyring: frozenset[str] | set[str]
+) -> Iterator[LabeledValue]:
+    """Yield every labeled value visible to a holder of ``keyring``.
+
+    Walks arbitrarily nested tuples/lists/dicts, opening
+    :class:`Sealed` envelopes whose ``key_id`` is in ``keyring`` and
+    yielding only the exterior of those that are not.  This function is
+    the single place where "who can see what" is decided; entities call
+    it from :meth:`~repro.core.entities.Entity.observe`.
+    """
+    if isinstance(item, LabeledValue):
+        yield item
+    elif isinstance(item, Sealed):
+        if item.key_id in keyring:
+            # A key holder sees the ciphertext too: the exterior is
+            # yielded alongside the contents.  This is what lets the
+            # linkage analysis connect an envelope observed in transit
+            # by one entity with its decryption at another.
+            if item.exterior is not None:
+                yield item.exterior
+            for inner in item.contents:
+                yield from walk_values(inner, keyring)
+        elif item.exterior is not None:
+            yield item.exterior
+    elif isinstance(item, Aggregate):
+        yield from item.exterior_values()
+    elif isinstance(item, dict):
+        for child in item.values():
+            yield from walk_values(child, keyring)
+    elif isinstance(item, (tuple, list, set, frozenset)):
+        for child in item:
+            yield from walk_values(child, keyring)
+    elif dataclasses.is_dataclass(item) and not isinstance(item, type):
+        # Protocol messages are dataclasses; walk their fields so the
+        # labels they embed (a query's qname, a request's target) are
+        # observed without each message type teaching the walker.
+        for f in dataclasses.fields(item):
+            yield from walk_values(getattr(item, f.name), keyring)
+    # Bare payloads (str/int/bytes/None) carry no labeled information.
+

@@ -1,0 +1,98 @@
+"""Byte/integer conversion and hashing helpers (RFC 8017 style).
+
+Small, dependency-free utilities shared by every cryptographic module:
+``i2osp``/``os2ip`` integer-string conversion, SHA-256 conveniences, a
+full-domain hash for RSA signatures, and an expandable hash for
+hash-to-field operations.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac as _hmac
+
+__all__ = [
+    "i2osp",
+    "os2ip",
+    "sha256",
+    "hmac_sha256",
+    "full_domain_hash",
+    "expand_message_xmd",
+    "constant_time_equal",
+]
+
+
+def i2osp(value: int, length: int) -> bytes:
+    """Integer-to-octet-string primitive (big endian, fixed length)."""
+    if value < 0:
+        raise ValueError("i2osp requires a non-negative integer")
+    if value >= 1 << (8 * length):
+        raise ValueError(f"integer too large for {length} octets")
+    return value.to_bytes(length, "big")
+
+
+def os2ip(data: bytes) -> int:
+    """Octet-string-to-integer primitive (big endian)."""
+    return int.from_bytes(data, "big")
+
+
+def sha256(*parts: bytes) -> bytes:
+    """SHA-256 over the concatenation of ``parts``."""
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(part)
+    return h.digest()
+
+
+def hmac_sha256(key: bytes, *parts: bytes) -> bytes:
+    """HMAC-SHA-256 over the concatenation of ``parts``."""
+    mac = _hmac.new(key, digestmod=hashlib.sha256)
+    for part in parts:
+        mac.update(part)
+    return mac.digest()
+
+
+def full_domain_hash(message: bytes, target_bytes: int, domain: bytes = b"FDH") -> int:
+    """A full-domain hash: ``message`` -> integer of ``target_bytes`` size.
+
+    Used by RSA-FDH signatures (and their blind variant) so the signed
+    value covers the whole modulus range rather than a fixed digest
+    size.  Implemented as counter-mode SHA-256 (MGF1 style).
+    """
+    out = bytearray()
+    counter = 0
+    while len(out) < target_bytes:
+        out.extend(sha256(domain, i2osp(counter, 4), message))
+        counter += 1
+    return os2ip(bytes(out[:target_bytes]))
+
+
+def expand_message_xmd(
+    message: bytes, dst: bytes, length: int
+) -> bytes:
+    """``expand_message_xmd`` from RFC 9380 section 5.3.1 (SHA-256).
+
+    Produces a uniformly pseudorandom byte string of ``length`` bytes,
+    suitable for hash-to-field / hash-to-group constructions.
+    """
+    b_in_bytes = 32
+    r_in_bytes = 64
+    ell = (length + b_in_bytes - 1) // b_in_bytes
+    if ell > 255 or length > 65535 or len(dst) > 255:
+        raise ValueError("expand_message_xmd parameter out of range")
+    dst_prime = dst + i2osp(len(dst), 1)
+    z_pad = b"\x00" * r_in_bytes
+    l_i_b_str = i2osp(length, 2)
+    b0 = sha256(z_pad, message, l_i_b_str, i2osp(0, 1), dst_prime)
+    b1 = sha256(b0, i2osp(1, 1), dst_prime)
+    blocks = [b1]
+    for i in range(2, ell + 1):
+        prev = blocks[-1]
+        mixed = bytes(x ^ y for x, y in zip(b0, prev))
+        blocks.append(sha256(mixed, i2osp(i, 1), dst_prime))
+    return b"".join(blocks)[:length]
+
+
+def constant_time_equal(a: bytes, b: bytes) -> bool:
+    """Timing-safe byte comparison (wraps :func:`hmac.compare_digest`)."""
+    return _hmac.compare_digest(a, b)

@@ -1,0 +1,196 @@
+"""HPKE (RFC 9180): DHKEM(X25519, HKDF-SHA256) + HKDF-SHA256 + ChaCha20-Poly1305.
+
+Hybrid public-key encryption, base mode, implemented from scratch on the
+package's own X25519, HKDF, and ChaCha20-Poly1305.  HPKE is the
+workhorse of the decoupled systems the paper discusses: ODoH and OHTTP
+seal the user's query to the *target* so the proxy relays bytes it
+cannot read.
+
+Ciphersuite (fixed): kem_id 0x0020, kdf_id 0x0001, aead_id 0x0003.
+"""
+
+from __future__ import annotations
+
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from .chacha20poly1305 import ChaCha20Poly1305
+from .hashutil import i2osp
+from .hkdf import hkdf_expand, hkdf_extract
+from .x25519 import X25519PrivateKey
+
+__all__ = [
+    "HpkeKeyPair",
+    "HpkeSenderContext",
+    "HpkeRecipientContext",
+    "setup_base_sender",
+    "setup_base_recipient",
+    "seal",
+    "open_sealed",
+]
+
+KEM_ID = 0x0020
+KDF_ID = 0x0001
+AEAD_ID = 0x0003
+_NK = 32
+_NN = 12
+_NSECRET = 32
+_MODE_BASE = b"\x00"
+
+_KEM_SUITE_ID = b"KEM" + i2osp(KEM_ID, 2)
+_HPKE_SUITE_ID = b"HPKE" + i2osp(KEM_ID, 2) + i2osp(KDF_ID, 2) + i2osp(AEAD_ID, 2)
+
+
+def _labeled_extract(salt: bytes, label: bytes, ikm: bytes, suite_id: bytes) -> bytes:
+    return hkdf_extract(salt, b"HPKE-v1" + suite_id + label + ikm)
+
+
+def _labeled_expand(
+    prk: bytes, label: bytes, info: bytes, length: int, suite_id: bytes
+) -> bytes:
+    labeled_info = i2osp(length, 2) + b"HPKE-v1" + suite_id + label + info
+    return hkdf_expand(prk, labeled_info, length)
+
+
+@dataclass(frozen=True)
+class HpkeKeyPair:
+    """A recipient keypair for HPKE base mode."""
+
+    private: X25519PrivateKey
+
+    @staticmethod
+    def generate(seed: Optional[bytes] = None) -> "HpkeKeyPair":
+        return HpkeKeyPair(private=X25519PrivateKey.generate(seed))
+
+    @property
+    def public_bytes(self) -> bytes:
+        return self.private.public_bytes
+
+
+def _extract_and_expand(dh: bytes, kem_context: bytes) -> bytes:
+    eae_prk = _labeled_extract(b"", b"eae_prk", dh, _KEM_SUITE_ID)
+    return _labeled_expand(
+        eae_prk, b"shared_secret", kem_context, _NSECRET, _KEM_SUITE_ID
+    )
+
+
+def _encap(
+    recipient_public: bytes, ephemeral_seed: Optional[bytes] = None
+) -> Tuple[bytes, bytes]:
+    """KEM encapsulation: (shared_secret, enc)."""
+    ephemeral = X25519PrivateKey.generate(ephemeral_seed)
+    dh = ephemeral.exchange(recipient_public)
+    enc = ephemeral.public_bytes
+    shared_secret = _extract_and_expand(dh, enc + recipient_public)
+    return shared_secret, enc
+
+
+def _decap(enc: bytes, keypair: HpkeKeyPair) -> bytes:
+    dh = keypair.private.exchange(enc)
+    return _extract_and_expand(dh, enc + keypair.public_bytes)
+
+
+def _key_schedule(shared_secret: bytes, info: bytes) -> Tuple[bytes, bytes, bytes]:
+    """Base-mode key schedule: (key, base_nonce, exporter_secret)."""
+    psk_id_hash = _labeled_extract(b"", b"psk_id_hash", b"", _HPKE_SUITE_ID)
+    info_hash = _labeled_extract(b"", b"info_hash", info, _HPKE_SUITE_ID)
+    context = _MODE_BASE + psk_id_hash + info_hash
+    secret = _labeled_extract(shared_secret, b"secret", b"", _HPKE_SUITE_ID)
+    key = _labeled_expand(secret, b"key", context, _NK, _HPKE_SUITE_ID)
+    base_nonce = _labeled_expand(secret, b"base_nonce", context, _NN, _HPKE_SUITE_ID)
+    exporter = _labeled_expand(secret, b"exp", context, 32, _HPKE_SUITE_ID)
+    return key, base_nonce, exporter
+
+
+class _HpkeContext:
+    """Shared nonce/sequence machinery for both directions."""
+
+    def __init__(self, key: bytes, base_nonce: bytes, exporter_secret: bytes) -> None:
+        self._aead = ChaCha20Poly1305(key)
+        self._base_nonce = base_nonce
+        self.exporter_secret = exporter_secret
+        self._sequence = 0
+
+    def _current_nonce(self) -> bytes:
+        seq_bytes = i2osp(self._sequence, _NN)
+        return bytes(a ^ b for a, b in zip(self._base_nonce, seq_bytes))
+
+    def _advance(self) -> None:
+        self._sequence += 1
+
+    def export(self, exporter_context: bytes, length: int) -> bytes:
+        """The HPKE secret-export interface."""
+        return _labeled_expand(
+            self.exporter_secret, b"sec", exporter_context, length, _HPKE_SUITE_ID
+        )
+
+
+class HpkeSenderContext(_HpkeContext):
+    """Sender side: seals a sequence of messages to the recipient."""
+
+    def __init__(
+        self, enc: bytes, key: bytes, base_nonce: bytes, exporter_secret: bytes
+    ) -> None:
+        super().__init__(key, base_nonce, exporter_secret)
+        self.enc = enc
+
+    def seal(self, plaintext: bytes, aad: bytes = b"") -> bytes:
+        sealed = self._aead.seal(self._current_nonce(), plaintext, aad)
+        self._advance()
+        return sealed
+
+
+class HpkeRecipientContext(_HpkeContext):
+    """Recipient side: opens the sender's sealed messages in order."""
+
+    def open(self, ciphertext: bytes, aad: bytes = b"") -> bytes:
+        # The sequence advances only on success (RFC 9180 semantics):
+        # a forged or reordered message must not desynchronize us.
+        plaintext = self._aead.open(self._current_nonce(), ciphertext, aad)
+        self._advance()
+        return plaintext
+
+
+def setup_base_sender(
+    recipient_public: bytes,
+    info: bytes = b"",
+    ephemeral_seed: Optional[bytes] = None,
+) -> HpkeSenderContext:
+    """HPKE SetupBaseS: a sender context plus its encapsulated key."""
+    shared_secret, enc = _encap(recipient_public, ephemeral_seed)
+    key, base_nonce, exporter = _key_schedule(shared_secret, info)
+    return HpkeSenderContext(enc, key, base_nonce, exporter)
+
+
+def setup_base_recipient(
+    enc: bytes, keypair: HpkeKeyPair, info: bytes = b""
+) -> HpkeRecipientContext:
+    """HPKE SetupBaseR from the sender's encapsulated key."""
+    shared_secret = _decap(enc, keypair)
+    key, base_nonce, exporter = _key_schedule(shared_secret, info)
+    return HpkeRecipientContext(key, base_nonce, exporter)
+
+
+def seal(
+    recipient_public: bytes,
+    plaintext: bytes,
+    info: bytes = b"",
+    aad: bytes = b"",
+    ephemeral_seed: Optional[bytes] = None,
+) -> Tuple[bytes, bytes]:
+    """Single-shot HPKE seal: returns ``(enc, ciphertext)``."""
+    context = setup_base_sender(recipient_public, info, ephemeral_seed)
+    return context.enc, context.seal(plaintext, aad)
+
+
+def open_sealed(
+    enc: bytes,
+    ciphertext: bytes,
+    keypair: HpkeKeyPair,
+    info: bytes = b"",
+    aad: bytes = b"",
+) -> bytes:
+    """Single-shot HPKE open; raises ``ValueError`` on failure."""
+    context = setup_base_recipient(enc, keypair, info)
+    return context.open(ciphertext, aad)

@@ -1,0 +1,162 @@
+"""Number-theoretic primitives: primality, prime generation, inverses.
+
+Everything the RSA, Schnorr-group, and secret-sharing modules need,
+implemented from scratch on Python integers.  Random numbers come from
+:mod:`secrets` by default; deterministic generation (for reproducible
+tests and benchmarks) is available by passing a ``random.Random``.
+"""
+
+from __future__ import annotations
+
+import random as _random
+import secrets
+from typing import Optional, Tuple
+
+__all__ = [
+    "is_probable_prime",
+    "random_prime",
+    "random_safe_prime",
+    "modinv",
+    "egcd",
+    "crt_pair",
+    "random_below",
+    "random_unit",
+]
+
+# Small primes for fast trial division before Miller-Rabin.
+_SMALL_PRIMES = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61,
+    67, 71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137,
+    139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199,
+]
+
+
+def _miller_rabin_witness(n: int, a: int, d: int, r: int) -> bool:
+    """True if ``a`` witnesses that odd ``n = d * 2^r + 1`` is composite."""
+    x = pow(a, d, n)
+    if x in (1, n - 1):
+        return False
+    for _ in range(r - 1):
+        x = (x * x) % n
+        if x == n - 1:
+            return False
+    return True
+
+
+def is_probable_prime(n: int, rounds: int = 40, rng: Optional[_random.Random] = None) -> bool:
+    """Miller-Rabin primality test with ``rounds`` random bases.
+
+    Deterministic for n < 3317044064679887385961981 when the first 13
+    prime bases are used, which we always include.
+    """
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    bases = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41]
+    for a in bases:
+        if a % n == 0:
+            continue
+        if _miller_rabin_witness(n, a, d, r):
+            return False
+    extra = max(0, rounds - len(bases))
+    for _ in range(extra):
+        if rng is not None:
+            a = rng.randrange(2, n - 1)
+        else:
+            a = secrets.randbelow(n - 3) + 2
+        if _miller_rabin_witness(n, a, d, r):
+            return False
+    return True
+
+
+def _random_odd(bits: int, rng: Optional[_random.Random]) -> int:
+    if bits < 2:
+        raise ValueError("need at least 2 bits")
+    if rng is not None:
+        n = rng.getrandbits(bits)
+    else:
+        n = secrets.randbits(bits)
+    n |= (1 << (bits - 1)) | 1  # full bit length, odd
+    return n
+
+
+def random_prime(bits: int, rng: Optional[_random.Random] = None) -> int:
+    """A random prime of exactly ``bits`` bits."""
+    while True:
+        candidate = _random_odd(bits, rng)
+        if is_probable_prime(candidate, rng=rng):
+            return candidate
+
+
+def random_safe_prime(bits: int, rng: Optional[_random.Random] = None) -> int:
+    """A random safe prime ``p`` (``(p-1)/2`` also prime) of ``bits`` bits.
+
+    Safe primes give prime-order subgroups of order ``(p-1)/2``, the
+    setting the Schnorr-group and VOPRF modules use.  Generation is
+    slow for large sizes; the :mod:`repro.crypto.group` module ships
+    fixed well-known parameters for production-size groups.
+    """
+    while True:
+        q = random_prime(bits - 1, rng)
+        p = 2 * q + 1
+        if is_probable_prime(p, rng=rng):
+            return p
+
+
+def egcd(a: int, b: int) -> Tuple[int, int, int]:
+    """Extended Euclid: returns ``(g, x, y)`` with ``a*x + b*y = g``."""
+    old_r, r = a, b
+    old_s, s = 1, 0
+    old_t, t = 0, 1
+    while r:
+        q = old_r // r
+        old_r, r = r, old_r - q * r
+        old_s, s = s, old_s - q * s
+        old_t, t = t, old_t - q * t
+    return old_r, old_s, old_t
+
+
+def modinv(a: int, m: int) -> int:
+    """The inverse of ``a`` modulo ``m``; raises if not invertible."""
+    g, x, _ = egcd(a % m, m)
+    if g != 1:
+        raise ValueError(f"{a} is not invertible modulo {m}")
+    return x % m
+
+
+def crt_pair(r1: int, m1: int, r2: int, m2: int) -> int:
+    """The unique ``x mod m1*m2`` with ``x = r1 (mod m1)``, ``x = r2 (mod m2)``.
+
+    Moduli must be coprime.  Used by RSA-CRT private operations.
+    """
+    g, p, _ = egcd(m1, m2)
+    if g != 1:
+        raise ValueError("moduli are not coprime")
+    diff = (r2 - r1) % m2
+    return (r1 + m1 * ((diff * p) % m2)) % (m1 * m2)
+
+
+def random_below(bound: int, rng: Optional[_random.Random] = None) -> int:
+    """Uniform integer in ``[0, bound)``."""
+    if bound <= 0:
+        raise ValueError("bound must be positive")
+    if rng is not None:
+        return rng.randrange(bound)
+    return secrets.randbelow(bound)
+
+
+def random_unit(modulus: int, rng: Optional[_random.Random] = None) -> int:
+    """Uniform integer in ``[1, modulus)`` coprime to ``modulus``."""
+    while True:
+        candidate = random_below(modulus - 1, rng) + 1
+        if egcd(candidate, modulus)[0] == 1:
+            return candidate

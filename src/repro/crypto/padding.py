@@ -1,0 +1,57 @@
+"""Message padding for traffic-analysis resistance (paper section 4.3).
+
+Tor-style constant-size cells and bucket padding: encryption hides
+content but not size, so decoupled relay systems pad to fixed sizes.
+The mix-net model and the D3 traffic-analysis benchmark use these.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = ["pad_to_cell", "unpad_from_cell", "padded_length", "bucket_pad_length", "CELL_SIZE"]
+
+#: Tor's classic fixed cell payload size.
+CELL_SIZE = 512
+
+_LENGTH_PREFIX = 4
+
+
+def padded_length(payload_length: int, cell_size: int = CELL_SIZE) -> int:
+    """Total padded size: the smallest multiple of ``cell_size`` that
+    fits the payload plus its 4-byte length prefix."""
+    needed = payload_length + _LENGTH_PREFIX
+    cells = max(1, math.ceil(needed / cell_size))
+    return cells * cell_size
+
+
+def pad_to_cell(payload: bytes, cell_size: int = CELL_SIZE) -> bytes:
+    """Pad ``payload`` to a whole number of fixed-size cells."""
+    if len(payload) >= 1 << 32:
+        raise ValueError("payload too large")
+    total = padded_length(len(payload), cell_size)
+    framed = len(payload).to_bytes(_LENGTH_PREFIX, "big") + payload
+    return framed + b"\x00" * (total - len(framed))
+
+
+def unpad_from_cell(padded: bytes) -> bytes:
+    """Recover the payload from :func:`pad_to_cell` output."""
+    if len(padded) < _LENGTH_PREFIX:
+        raise ValueError("padded message too short")
+    length = int.from_bytes(padded[:_LENGTH_PREFIX], "big")
+    if length > len(padded) - _LENGTH_PREFIX:
+        raise ValueError("corrupt padding: declared length exceeds data")
+    return padded[_LENGTH_PREFIX : _LENGTH_PREFIX + length]
+
+
+def bucket_pad_length(payload_length: int, buckets: Sequence[int]) -> int:
+    """The smallest bucket size that fits; exposes only the bucket.
+
+    Used when constant cells are too costly: sizes leak only
+    ``log2(len(buckets))`` bits instead of the exact length.
+    """
+    for bucket in sorted(buckets):
+        if payload_length <= bucket:
+            return bucket
+    raise ValueError(f"payload of {payload_length} bytes exceeds all buckets")

@@ -1,0 +1,101 @@
+"""RSA key generation and full-domain-hash signatures.
+
+The substrate for Chaum blind signatures (:mod:`repro.crypto.blind`).
+Signing uses RSA-FDH: the message is hashed onto the full modulus range
+and the signature is the eth root.  Private operations use the CRT.
+
+Key sizes are configurable; tests and simulations use 512-1024 bit
+keys for speed (security is not the point of a simulator), and the
+structure is identical at any size.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from dataclasses import dataclass
+from typing import Optional
+
+from .hashutil import full_domain_hash
+from .numtheory import crt_pair, egcd, modinv, random_prime
+
+__all__ = ["RsaPublicKey", "RsaPrivateKey", "generate_rsa_keypair"]
+
+_DEFAULT_E = 65537
+
+
+@dataclass(frozen=True)
+class RsaPublicKey:
+    """An RSA public key ``(n, e)`` with FDH verification."""
+
+    n: int
+    e: int
+
+    @property
+    def byte_length(self) -> int:
+        return (self.n.bit_length() + 7) // 8
+
+    def raw_verify_value(self, signature: int) -> int:
+        """The RSA verification function ``s^e mod n``."""
+        if not 0 <= signature < self.n:
+            raise ValueError("signature out of range")
+        return pow(signature, self.e, self.n)
+
+    def hash_to_modulus(self, message: bytes) -> int:
+        """FDH of ``message`` into ``[0, n)``."""
+        return full_domain_hash(message, self.byte_length, b"RSA-FDH") % self.n
+
+    def verify(self, message: bytes, signature: int) -> bool:
+        """Verify an RSA-FDH signature."""
+        try:
+            return self.raw_verify_value(signature) == self.hash_to_modulus(message)
+        except ValueError:
+            return False
+
+
+@dataclass(frozen=True)
+class RsaPrivateKey:
+    """An RSA private key with CRT acceleration."""
+
+    public: RsaPublicKey
+    d: int
+    p: int
+    q: int
+
+    def raw_sign_value(self, value: int) -> int:
+        """The RSA signing function ``value^d mod n`` via the CRT."""
+        if not 0 <= value < self.public.n:
+            raise ValueError("value out of range")
+        dp = self.d % (self.p - 1)
+        dq = self.d % (self.q - 1)
+        sp = pow(value % self.p, dp, self.p)
+        sq = pow(value % self.q, dq, self.q)
+        return crt_pair(sp, self.p, sq, self.q)
+
+    def sign(self, message: bytes) -> int:
+        """RSA-FDH signature of ``message``."""
+        return self.raw_sign_value(self.public.hash_to_modulus(message))
+
+
+def generate_rsa_keypair(
+    bits: int = 1024,
+    e: int = _DEFAULT_E,
+    rng: Optional[_random.Random] = None,
+) -> RsaPrivateKey:
+    """Generate an RSA keypair with modulus of roughly ``bits`` bits.
+
+    Pass a seeded ``random.Random`` for deterministic test keys.
+    """
+    if bits < 128:
+        raise ValueError("modulus below 128 bits is not even a simulation")
+    half = bits // 2
+    while True:
+        p = random_prime(half, rng)
+        q = random_prime(bits - half, rng)
+        if p == q:
+            continue
+        n = p * q
+        phi = (p - 1) * (q - 1)
+        if egcd(e, phi)[0] != 1:
+            continue
+        d = modinv(e, phi)
+        return RsaPrivateKey(public=RsaPublicKey(n=n, e=e), d=d, p=p, q=q)

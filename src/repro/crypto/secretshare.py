@@ -1,0 +1,247 @@
+"""Secret sharing and Prio-style validated aggregation.
+
+The substrate for the paper's Private Aggregate Statistics analysis
+(section 3.2.5): additive sharing over a prime field (what Prio/PPM
+deployments use for sums), Shamir threshold sharing, and a
+Beaver-triple multiplication check that lets aggregators verify a
+shared value is boolean without learning it.
+
+The validity check follows Prio's *structure* (client-supplied
+multiplication triples, aggregators exchanging only masked openings);
+full SNIP soundness against *malicious* clients additionally requires
+random-point polynomial evaluation, which we note in DESIGN.md as out
+of scope -- the privacy (decoupling) properties, which are what the
+paper analyzes, are identical.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from .numtheory import modinv, random_below
+
+__all__ = [
+    "FIELD_PRIME",
+    "share_additive",
+    "reconstruct_additive",
+    "shamir_share",
+    "shamir_reconstruct",
+    "BeaverTriple",
+    "BooleanValidityProof",
+    "make_boolean_proof",
+    "check_boolean_shares",
+    "HistogramProof",
+    "make_histogram_proof",
+    "check_histogram_shares",
+]
+
+#: A 61-bit Mersenne prime: fast arithmetic, room for large sums.
+FIELD_PRIME = 2**61 - 1
+
+
+def share_additive(
+    value: int,
+    parties: int,
+    prime: int = FIELD_PRIME,
+    rng: Optional[_random.Random] = None,
+) -> List[int]:
+    """Split ``value`` into ``parties`` additive shares mod ``prime``.
+
+    Any proper subset of shares is uniformly random and independent of
+    ``value`` -- the information-theoretic heart of PPM decoupling.
+    """
+    if parties < 1:
+        raise ValueError("need at least one party")
+    shares = [random_below(prime, rng) for _ in range(parties - 1)]
+    last = (value - sum(shares)) % prime
+    shares.append(last)
+    return shares
+
+
+def reconstruct_additive(shares: Sequence[int], prime: int = FIELD_PRIME) -> int:
+    """Sum shares mod ``prime`` (requires *all* shares)."""
+    return sum(shares) % prime
+
+
+def _poly_eval(coefficients: Sequence[int], x: int, prime: int) -> int:
+    acc = 0
+    for coefficient in reversed(coefficients):
+        acc = (acc * x + coefficient) % prime
+    return acc
+
+
+def shamir_share(
+    value: int,
+    parties: int,
+    threshold: int,
+    prime: int = FIELD_PRIME,
+    rng: Optional[_random.Random] = None,
+) -> List[Tuple[int, int]]:
+    """Shamir ``threshold``-of-``parties`` sharing: [(x, f(x)), ...]."""
+    if not 1 <= threshold <= parties:
+        raise ValueError("need 1 <= threshold <= parties")
+    coefficients = [value % prime] + [
+        random_below(prime, rng) for _ in range(threshold - 1)
+    ]
+    return [(x, _poly_eval(coefficients, x, prime)) for x in range(1, parties + 1)]
+
+
+def shamir_reconstruct(
+    shares: Sequence[Tuple[int, int]], prime: int = FIELD_PRIME
+) -> int:
+    """Lagrange interpolation at 0 from any ``threshold`` shares."""
+    if not shares:
+        raise ValueError("no shares given")
+    xs = [x for x, _ in shares]
+    if len(set(xs)) != len(xs):
+        raise ValueError("duplicate share indices")
+    secret = 0
+    for i, (xi, yi) in enumerate(shares):
+        numerator, denominator = 1, 1
+        for j, (xj, _) in enumerate(shares):
+            if i == j:
+                continue
+            numerator = (numerator * (-xj)) % prime
+            denominator = (denominator * (xi - xj)) % prime
+        secret = (secret + yi * numerator * modinv(denominator, prime)) % prime
+    return secret
+
+
+@dataclass(frozen=True)
+class BeaverTriple:
+    """Shares of a multiplication triple ``c = a * b`` for one party."""
+
+    a: int
+    b: int
+    c: int
+
+
+@dataclass(frozen=True)
+class BooleanValidityProof:
+    """Per-aggregator material proving a shared value is 0 or 1.
+
+    Contains this aggregator's shares of ``x``, of ``x - 1``, and of a
+    client-generated Beaver triple.  Aggregators run
+    :func:`check_boolean_shares` to jointly verify ``x * (x - 1) = 0``
+    while each sees only uniformly random field elements.
+    """
+
+    x_share: int
+    x_minus_one_share: int
+    triple: BeaverTriple
+
+
+def make_boolean_proof(
+    value: int,
+    parties: int,
+    prime: int = FIELD_PRIME,
+    rng: Optional[_random.Random] = None,
+) -> List[BooleanValidityProof]:
+    """Client side: share ``value`` with boolean-validity material."""
+    x_shares = share_additive(value, parties, prime, rng)
+    x1_shares = share_additive((value - 1) % prime, parties, prime, rng)
+    a = random_below(prime, rng)
+    b = random_below(prime, rng)
+    c = (a * b) % prime
+    a_shares = share_additive(a, parties, prime, rng)
+    b_shares = share_additive(b, parties, prime, rng)
+    c_shares = share_additive(c, parties, prime, rng)
+    return [
+        BooleanValidityProof(
+            x_share=x_shares[i],
+            x_minus_one_share=x1_shares[i],
+            triple=BeaverTriple(a=a_shares[i], b=b_shares[i], c=c_shares[i]),
+        )
+        for i in range(parties)
+    ]
+
+
+@dataclass(frozen=True)
+class HistogramProof:
+    """One aggregator's share of a one-hot histogram report.
+
+    A histogram report is a vector with exactly one 1 (the client's
+    bucket).  Validity = every entry is boolean (per-entry Beaver
+    material) *and* the entries sum to 1 (checkable locally per
+    aggregator since summation is linear: the aggregators' published
+    sums of their entry-shares must total 1).
+    """
+
+    entries: Tuple[BooleanValidityProof, ...]
+
+    def entry_share_sum(self, prime: int = FIELD_PRIME) -> int:
+        """This aggregator's share of sum(x): safe to publish once per
+        report (it is a share of the public constant 1 for valid
+        reports)."""
+        return sum(entry.x_share for entry in self.entries) % prime
+
+
+def make_histogram_proof(
+    bucket: int,
+    buckets: int,
+    parties: int,
+    prime: int = FIELD_PRIME,
+    rng: Optional[_random.Random] = None,
+) -> List[HistogramProof]:
+    """Client side: share a one-hot vector with validity material."""
+    if not 0 <= bucket < buckets:
+        raise ValueError("bucket out of range")
+    per_entry: List[List[BooleanValidityProof]] = []
+    for index in range(buckets):
+        value = 1 if index == bucket else 0
+        per_entry.append(make_boolean_proof(value, parties, prime, rng))
+    return [
+        HistogramProof(entries=tuple(per_entry[j][i] for j in range(buckets)))
+        for i in range(parties)
+    ]
+
+
+def check_histogram_shares(
+    proofs: Sequence[HistogramProof], prime: int = FIELD_PRIME
+) -> bool:
+    """Aggregator side: one-hot validity over the parties' shares.
+
+    Every entry must pass the Beaver boolean check and the published
+    entry-share sums must reconstruct exactly 1.
+    """
+    if not proofs:
+        raise ValueError("no proofs given")
+    buckets = len(proofs[0].entries)
+    if any(len(p.entries) != buckets for p in proofs):
+        raise ValueError("inconsistent histogram widths")
+    for entry_index in range(buckets):
+        entry_shares = [p.entries[entry_index] for p in proofs]
+        if not check_boolean_shares(entry_shares, prime):
+            return False
+    total = sum(p.entry_share_sum(prime) for p in proofs) % prime
+    return total == 1
+
+
+def check_boolean_shares(
+    proofs: Sequence[BooleanValidityProof], prime: int = FIELD_PRIME
+) -> bool:
+    """Aggregator side: jointly verify ``x * (x - 1) == 0``.
+
+    Beaver's protocol: parties open ``d = x - a`` and ``e = (x-1) - b``
+    (both uniformly random, revealing nothing), then the product shares
+    are ``de/n + d*b_i + e*a_i + c_i``; the sum must be 0.
+
+    The function simulates the aggregators' exchange; each step uses
+    only values an individual aggregator could see.
+    """
+    n = len(proofs)
+    if n == 0:
+        raise ValueError("no proofs given")
+    # Each aggregator broadcasts its d/e shares; everyone sums them.
+    d = sum((p.x_share - p.triple.a) % prime for p in proofs) % prime
+    e = sum((p.x_minus_one_share - p.triple.b) % prime for p in proofs) % prime
+    de_term = (d * e) % prime
+    total = 0
+    for index, proof in enumerate(proofs):
+        share = (d * proof.triple.b + e * proof.triple.a + proof.triple.c) % prime
+        if index == 0:  # exactly one party adds the public d*e term
+            share = (share + de_term) % prime
+        total = (total + share) % prime
+    return total == 0

@@ -1,0 +1,147 @@
+"""A verifiable oblivious PRF (2HashDH with Chaum-Pedersen DLEQ proofs).
+
+The cryptographic core of Privacy Pass (paper section 3.2.1).  The
+client obtains ``F_k(input) = H2(input, H1(input)^k)`` without the
+server learning ``input``, and the server proves in zero knowledge that
+it used its committed key ``k`` (so it cannot segregate users by key).
+
+Protocol::
+
+    client:  P = H1(input); pick blind r; M = P^r       -> server
+    server:  Z = M^k; DLEQ proof that log_g(Y) = log_M(Z) -> client
+    client:  verify proof; N = Z^(1/r) = P^k; token = H2(input, N)
+
+Unlinkability: the server sees only ``M`` (uniformly random for random
+``r``) at issuance and ``token`` at redemption; tokens are independent
+of issuance transcripts.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from .group import SchnorrGroup, default_group
+from .hashutil import sha256
+from .numtheory import random_below
+
+__all__ = [
+    "VoprfServer",
+    "VoprfClientState",
+    "DleqProof",
+    "voprf_blind",
+    "voprf_finalize",
+]
+
+
+@dataclass(frozen=True)
+class DleqProof:
+    """A Chaum-Pedersen proof that two pairs share a discrete log."""
+
+    challenge: int
+    response: int
+
+
+@dataclass(frozen=True)
+class VoprfClientState:
+    """Client-side secret state between blind and finalize."""
+
+    input_data: bytes
+    blind: int
+    blinded_element: int
+
+
+def _dleq_challenge(
+    group: SchnorrGroup, y: int, m: int, z: int, a: int, b: int
+) -> int:
+    encoded = b"".join(
+        group.encode_element(v) for v in (group.generator, y, m, z, a, b)
+    )
+    return int.from_bytes(sha256(b"DLEQ", encoded), "big") % group.order
+
+
+class VoprfServer:
+    """The issuer's side: a PRF key, evaluation, and DLEQ proving."""
+
+    def __init__(
+        self,
+        group: Optional[SchnorrGroup] = None,
+        key: Optional[int] = None,
+        rng: Optional[_random.Random] = None,
+    ) -> None:
+        self.group = group if group is not None else default_group()
+        self._rng = rng
+        self._key = key if key is not None else self.group.random_scalar(rng)
+        self.public_key = self.group.exp(self.group.generator, self._key)
+
+    def evaluate(self, blinded_element: int) -> Tuple[int, DleqProof]:
+        """Evaluate the PRF on a blinded element, with proof."""
+        g = self.group
+        if not g.is_element(blinded_element):
+            raise ValueError("blinded element is not in the group")
+        z = g.exp(blinded_element, self._key)
+        t = random_below(g.order - 1, self._rng) + 1
+        a = g.exp(g.generator, t)
+        b = g.exp(blinded_element, t)
+        c = _dleq_challenge(g, self.public_key, blinded_element, z, a, b)
+        s = (t - c * self._key) % g.order
+        return z, DleqProof(challenge=c, response=s)
+
+    def evaluate_unblinded(self, input_data: bytes) -> bytes:
+        """The PRF value the server could compute alone (for tests)."""
+        g = self.group
+        n = g.exp(g.hash_to_group(input_data), self._key)
+        return sha256(b"VOPRF-finalize", input_data, g.encode_element(n))
+
+
+def verify_dleq(
+    group: SchnorrGroup,
+    public_key: int,
+    blinded_element: int,
+    evaluated: int,
+    proof: DleqProof,
+) -> bool:
+    """Check a Chaum-Pedersen DLEQ proof."""
+    g = group
+    a = g.mul(
+        g.exp(g.generator, proof.response), g.exp(public_key, proof.challenge)
+    )
+    b = g.mul(
+        g.exp(blinded_element, proof.response), g.exp(evaluated, proof.challenge)
+    )
+    expected = _dleq_challenge(g, public_key, blinded_element, evaluated, a, b)
+    return expected == proof.challenge
+
+
+def voprf_blind(
+    input_data: bytes,
+    group: Optional[SchnorrGroup] = None,
+    rng: Optional[_random.Random] = None,
+) -> VoprfClientState:
+    """Client step 1: hash to the group and blind."""
+    g = group if group is not None else default_group()
+    r = g.random_scalar(rng)
+    element = g.hash_to_group(input_data)
+    return VoprfClientState(
+        input_data=input_data, blind=r, blinded_element=g.exp(element, r)
+    )
+
+
+def voprf_finalize(
+    state: VoprfClientState,
+    evaluated: int,
+    proof: DleqProof,
+    public_key: int,
+    group: Optional[SchnorrGroup] = None,
+) -> bytes:
+    """Client step 2: verify the proof, unblind, and hash to the output.
+
+    Raises ``ValueError`` if the DLEQ proof fails (a key-segregating
+    or misbehaving server).
+    """
+    g = group if group is not None else default_group()
+    if not verify_dleq(g, public_key, state.blinded_element, evaluated, proof):
+        raise ValueError("DLEQ proof verification failed")
+    unblinded = g.exp(evaluated, g.scalar_inv(state.blind))
+    return sha256(b"VOPRF-finalize", state.input_data, g.encode_element(unblinded))

@@ -1,0 +1,121 @@
+"""X25519 Diffie-Hellman (RFC 7748), implemented from scratch.
+
+The Montgomery-ladder scalar multiplication over Curve25519, exactly
+as specified in RFC 7748 section 5, including scalar clamping and
+little-endian encodings.  Verified against the RFC's test vectors in
+``tests/test_crypto_x25519.py``.
+
+This is the KEM substrate for HPKE (:mod:`repro.crypto.hpke`), which in
+turn powers the ODoH and OHTTP models.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+__all__ = ["X25519PrivateKey", "x25519", "X25519_BASEPOINT"]
+
+P = 2**255 - 19
+A24 = 121665
+X25519_BASEPOINT = b"\x09" + b"\x00" * 31
+
+
+def _decode_u_coordinate(u: bytes) -> int:
+    if len(u) != 32:
+        raise ValueError("u-coordinate must be 32 bytes")
+    value = int.from_bytes(u, "little")
+    return value & ((1 << 255) - 1)  # mask the high bit per RFC 7748
+
+
+def _encode_u_coordinate(value: int) -> bytes:
+    return (value % P).to_bytes(32, "little")
+
+
+def _decode_scalar(scalar: bytes) -> int:
+    if len(scalar) != 32:
+        raise ValueError("scalar must be 32 bytes")
+    raw = bytearray(scalar)
+    raw[0] &= 248
+    raw[31] &= 127
+    raw[31] |= 64
+    return int.from_bytes(bytes(raw), "little")
+
+
+def _cswap(swap: int, a: int, b: int) -> Tuple[int, int]:
+    """Conditional swap; branchless in spirit (this is a simulator)."""
+    mask = -swap  # 0 or all-ones (Python ints extend infinitely)
+    dummy = mask & (a ^ b)
+    return a ^ dummy, b ^ dummy
+
+
+def x25519(scalar: bytes, u: bytes = X25519_BASEPOINT) -> bytes:
+    """The X25519 function: scalar multiplication on Curve25519.
+
+    ``scalar`` and ``u`` are 32-byte strings; returns the 32-byte
+    little-endian u-coordinate of the product.
+    """
+    k = _decode_scalar(scalar)
+    x1 = _decode_u_coordinate(u)
+    x2, z2 = 1, 0
+    x3, z3 = x1, 1
+    swap = 0
+    for t in reversed(range(255)):
+        k_t = (k >> t) & 1
+        swap ^= k_t
+        x2, x3 = _cswap(swap, x2, x3)
+        z2, z3 = _cswap(swap, z2, z3)
+        swap = k_t
+
+        a = (x2 + z2) % P
+        aa = (a * a) % P
+        b = (x2 - z2) % P
+        bb = (b * b) % P
+        e = (aa - bb) % P
+        c = (x3 + z3) % P
+        d = (x3 - z3) % P
+        da = (d * a) % P
+        cb = (c * b) % P
+        x3 = (da + cb) % P
+        x3 = (x3 * x3) % P
+        z3 = (da - cb) % P
+        z3 = (z3 * z3) % P
+        z3 = (z3 * x1) % P
+        x2 = (aa * bb) % P
+        z2 = (e * ((aa + A24 * e) % P)) % P
+
+    x2, x3 = _cswap(swap, x2, x3)
+    z2, z3 = _cswap(swap, z2, z3)
+    result = (x2 * pow(z2, P - 2, P)) % P
+    return _encode_u_coordinate(result)
+
+
+@dataclass(frozen=True)
+class X25519PrivateKey:
+    """A clamped X25519 private key with its public key."""
+
+    private_bytes: bytes
+
+    @staticmethod
+    def generate(seed: Optional[bytes] = None) -> "X25519PrivateKey":
+        """A fresh key; pass a 32-byte ``seed`` for determinism."""
+        raw = seed if seed is not None else secrets.token_bytes(32)
+        if len(raw) != 32:
+            raise ValueError("seed must be 32 bytes")
+        return X25519PrivateKey(private_bytes=raw)
+
+    @property
+    def public_bytes(self) -> bytes:
+        return x25519(self.private_bytes, X25519_BASEPOINT)
+
+    def exchange(self, peer_public: bytes) -> bytes:
+        """The shared secret with ``peer_public``.
+
+        Raises ``ValueError`` on an all-zero result (non-contributory
+        key exchange), per RFC 7748's MUST-check guidance.
+        """
+        shared = x25519(self.private_bytes, peer_public)
+        if shared == b"\x00" * 32:
+            raise ValueError("non-contributory X25519 exchange (zero shared secret)")
+        return shared

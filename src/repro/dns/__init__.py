@@ -1,0 +1,37 @@
+"""DNS substrate: messages, zones, resolvers, cache, and striping.
+
+The baseline system whose privacy failure motivates ODNS/ODoH (paper
+section 3.2.2): a recursive resolver that sees both who you are and
+what you look up.
+"""
+
+from .cache import DnsCache
+from .messages import DnsAnswer, DnsQuery, make_query
+from .resolver import DNS_PROTOCOL, RecursiveResolver, StubResolver
+from .striping import (
+    HashPolicy,
+    RandomPolicy,
+    RoundRobinPolicy,
+    StripingPolicy,
+    StripingStub,
+)
+from .zones import AUTH_PROTOCOL, AuthoritativeServer, Zone, ZoneRegistry
+
+__all__ = [
+    "DnsAnswer",
+    "DnsQuery",
+    "make_query",
+    "DnsCache",
+    "RecursiveResolver",
+    "StubResolver",
+    "DNS_PROTOCOL",
+    "AUTH_PROTOCOL",
+    "AuthoritativeServer",
+    "Zone",
+    "ZoneRegistry",
+    "StripingPolicy",
+    "RoundRobinPolicy",
+    "RandomPolicy",
+    "HashPolicy",
+    "StripingStub",
+]

@@ -1,0 +1,65 @@
+"""A TTL-respecting DNS cache keyed on (qname, qtype).
+
+Time comes from the simulator clock, so expiry is deterministic.
+Caching matters to the reproduction for a practical reason the paper's
+4.2 cost argument relies on: resolver-side state is part of what makes
+centralized resolvers fast *and* privacy-relevant (a cache is a record
+of what was asked).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from .messages import DnsAnswer, RecordType
+
+__all__ = ["DnsCache"]
+
+
+@dataclass
+class _CacheSlot:
+    answer: DnsAnswer
+    expires_at: float
+
+
+class DnsCache:
+    """A positive/negative answer cache with simulator-time TTLs."""
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        self.max_entries = max_entries
+        self._slots: Dict[Tuple[str, RecordType], _CacheSlot] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Tuple[str, RecordType], now: float) -> Optional[DnsAnswer]:
+        slot = self._slots.get(key)
+        if slot is None or slot.expires_at < now:
+            if slot is not None:
+                del self._slots[key]
+            self.misses += 1
+            return None
+        self.hits += 1
+        return slot.answer
+
+    def put(self, key: Tuple[str, RecordType], answer: DnsAnswer, now: float) -> None:
+        if len(self._slots) >= self.max_entries:
+            self._evict_one(now)
+        self._slots[key] = _CacheSlot(answer=answer, expires_at=now + answer.ttl)
+
+    def _evict_one(self, now: float) -> None:
+        """Drop one expired slot, or the oldest-expiring one."""
+        expired = [k for k, slot in self._slots.items() if slot.expires_at < now]
+        if expired:
+            del self._slots[expired[0]]
+            return
+        victim = min(self._slots, key=lambda k: self._slots[k].expires_at)
+        del self._slots[victim]
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

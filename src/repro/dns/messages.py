@@ -1,0 +1,65 @@
+"""DNS message model.
+
+Queries carry the query name as a *labeled* value: a qname is partially
+sensitive data about the querying user (it reveals the domain being
+visited, not the full activity) -- this is exactly the ``⊙/●`` mark the
+paper gives the Oblivious Resolver.  Answers are public zone data and
+carry no user label of their own; what an answer reveals is already
+revealed by the query it answers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.core.labels import PARTIAL_SENSITIVE_DATA
+from repro.core.values import LabeledValue, Subject
+
+__all__ = ["DnsQuery", "DnsAnswer", "make_query", "RecordType"]
+
+RecordType = str  # "A", "AAAA", "TXT" -- a plain tag is enough here
+
+
+@dataclass(frozen=True)
+class DnsQuery:
+    """One DNS question."""
+
+    qname: LabeledValue
+    qtype: RecordType = "A"
+
+    @property
+    def name(self) -> str:
+        return str(self.qname.payload)
+
+    def cache_key(self) -> Tuple[str, RecordType]:
+        return (self.name.lower(), self.qtype)
+
+
+@dataclass(frozen=True)
+class DnsAnswer:
+    """A response: the answered question plus record data."""
+
+    qname: str
+    qtype: RecordType
+    rdata: Optional[str]
+    ttl: float = 300.0
+    authoritative: bool = False
+
+    @property
+    def is_nxdomain(self) -> bool:
+        return self.rdata is None
+
+
+def make_query(
+    name: str, subject: Subject, qtype: RecordType = "A"
+) -> DnsQuery:
+    """Build a query whose qname is labeled for ``subject``."""
+    qname = LabeledValue(
+        payload=name,
+        label=PARTIAL_SENSITIVE_DATA,
+        subject=subject,
+        description="dns qname",
+        provenance=("qname",),
+    )
+    return DnsQuery(qname=qname, qtype=qtype)

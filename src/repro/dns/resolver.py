@@ -1,0 +1,107 @@
+"""Recursive and stub resolvers.
+
+The :class:`RecursiveResolver` is the paper's baseline privacy problem:
+"recursive DNS resolvers ... are able to tie browsing behavior (DNS
+queries) to individual users (IP addresses)".  It serves the plain-DNS
+protocol, recursing to authoritative servers and caching.  The ODNS and
+ODoH models (:mod:`repro.odns`) reuse it unchanged as the entity that
+*should not* learn query content.
+"""
+
+from __future__ import annotations
+
+
+from repro.core.entities import Entity
+from repro.net.addressing import Address
+from repro.net.network import Network, SimHost
+from repro.net.packets import Packet
+
+from .cache import DnsCache
+from .messages import DnsAnswer, DnsQuery, make_query
+from .zones import AUTH_PROTOCOL, ZoneRegistry
+
+__all__ = ["RecursiveResolver", "StubResolver", "DNS_PROTOCOL"]
+
+DNS_PROTOCOL = "dns"
+
+
+class RecursiveResolver:
+    """An ISP/cloud-style recursive resolver with a cache."""
+
+    def __init__(
+        self,
+        network: Network,
+        entity: Entity,
+        registry: ZoneRegistry,
+        name: str = "recursive-resolver",
+    ) -> None:
+        self.network = network
+        self.registry = registry
+        self.cache = DnsCache()
+        self.host: SimHost = network.add_host(name, entity)
+        self.host.register(DNS_PROTOCOL, self._handle)
+        self.queries_served = 0
+
+    @property
+    def address(self) -> Address:
+        return self.host.address
+
+    def _handle(self, packet: Packet) -> DnsAnswer:
+        query: DnsQuery = packet.payload
+        self.queries_served += 1
+        return self.resolve(query)
+
+    MAX_CNAME_CHAIN = 8
+
+    def resolve(self, query: DnsQuery) -> DnsAnswer:
+        """Answer from cache or recurse, chasing CNAME chains."""
+        current = query
+        for _ in range(self.MAX_CNAME_CHAIN):
+            answer = self._resolve_once(current)
+            if answer.qtype != "CNAME" or query.qtype == "CNAME":
+                if current is not query:
+                    # Present the answer under the original question.
+                    answer = DnsAnswer(
+                        qname=query.name,
+                        qtype=answer.qtype,
+                        rdata=answer.rdata,
+                        ttl=answer.ttl,
+                        authoritative=answer.authoritative,
+                    )
+                return answer
+            # Follow the alias with the same labeled provenance: the
+            # chased name is still the user's (derived) query.
+            current = DnsQuery(
+                qname=current.qname.derived(
+                    answer.rdata, step="cname", description="dns qname"
+                ),
+                qtype=query.qtype,
+            )
+        raise RuntimeError(f"CNAME chain too long for {query.name!r}")
+
+    def _resolve_once(self, query: DnsQuery) -> DnsAnswer:
+        now = self.network.simulator.now
+        cached = self.cache.get(query.cache_key(), now)
+        if cached is not None:
+            return cached
+        upstream = self.registry.authoritative_for(query.name)
+        answer: DnsAnswer = self.host.transact(upstream, query, AUTH_PROTOCOL)
+        self.cache.put(query.cache_key(), answer, self.network.simulator.now)
+        return answer
+
+
+class StubResolver:
+    """The client-side stub: sends queries to a configured resolver.
+
+    This is where a user's queries acquire their labels; the stub
+    builds queries via :func:`repro.dns.messages.make_query` with the
+    host's owner as subject.
+    """
+
+    def __init__(self, host: SimHost, resolver_address: Address) -> None:
+        self.host = host
+        self.resolver_address = resolver_address
+
+    def lookup(self, name: str, subject, qtype: str = "A") -> DnsAnswer:
+        query = make_query(name, subject, qtype)
+        return self.host.transact(self.resolver_address, query, DNS_PROTOCOL)

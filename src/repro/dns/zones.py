@@ -1,0 +1,118 @@
+"""Authoritative DNS: zones and the servers that answer for them.
+
+A :class:`Zone` is a flat map of names to record data; an
+:class:`AuthoritativeServer` is a simulated host answering queries for
+one zone.  The :class:`ZoneRegistry` plays the role of the root/TLD
+hierarchy: recursive resolvers use it to find the authoritative server
+for a name by longest-suffix match.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.core.entities import Entity
+from repro.net.addressing import Address
+from repro.net.network import Network, SimHost
+from repro.net.packets import Packet
+
+from .messages import DnsAnswer, DnsQuery, RecordType
+
+__all__ = ["Zone", "ZoneRegistry", "AuthoritativeServer", "AUTH_PROTOCOL"]
+
+AUTH_PROTOCOL = "dns-auth"
+
+
+@dataclass
+class Zone:
+    """One zone's records: (name, type) -> rdata.
+
+    Supports CNAME indirection: a lookup for any type first tries the
+    exact record, then a CNAME at the name (returned as-is for the
+    resolver to chase).  Negative answers carry a shorter TTL
+    (``negative_ttl``), the classic SOA-minimum behaviour.
+    """
+
+    origin: str
+    records: Dict[Tuple[str, RecordType], str] = field(default_factory=dict)
+    default_ttl: float = 300.0
+    negative_ttl: float = 60.0
+
+    def add(self, name: str, rdata: str, rtype: RecordType = "A") -> None:
+        self.records[(name.lower(), rtype)] = rdata
+
+    def add_cname(self, alias: str, canonical: str) -> None:
+        self.add(alias, canonical, "CNAME")
+
+    def lookup(self, name: str, rtype: RecordType = "A") -> DnsAnswer:
+        rdata = self.records.get((name.lower(), rtype))
+        if rdata is not None:
+            return DnsAnswer(
+                qname=name, qtype=rtype, rdata=rdata,
+                ttl=self.default_ttl, authoritative=True,
+            )
+        if rtype != "CNAME":
+            cname = self.records.get((name.lower(), "CNAME"))
+            if cname is not None:
+                return DnsAnswer(
+                    qname=name, qtype="CNAME", rdata=cname,
+                    ttl=self.default_ttl, authoritative=True,
+                )
+        return DnsAnswer(
+            qname=name, qtype=rtype, rdata=None,
+            ttl=self.negative_ttl, authoritative=True,
+        )
+
+    def contains_name(self, name: str) -> bool:
+        lowered = name.lower()
+        return lowered == self.origin or lowered.endswith("." + self.origin)
+
+
+class ZoneRegistry:
+    """The delegation map: zone origin -> authoritative address."""
+
+    def __init__(self) -> None:
+        self._delegations: Dict[str, Address] = {}
+
+    def delegate(self, origin: str, address: Address) -> None:
+        self._delegations[origin.lower()] = address
+
+    def authoritative_for(self, name: str) -> Address:
+        """Longest-suffix match, as the root/TLD walk would produce."""
+        lowered = name.lower()
+        best: Optional[str] = None
+        for origin in self._delegations:
+            if lowered == origin or lowered.endswith("." + origin):
+                if best is None or len(origin) > len(best):
+                    best = origin
+        if best is None:
+            raise LookupError(f"no authoritative server known for {name!r}")
+        return self._delegations[best]
+
+
+class AuthoritativeServer:
+    """A host that answers :data:`AUTH_PROTOCOL` queries for one zone."""
+
+    def __init__(
+        self,
+        network: Network,
+        entity: Entity,
+        zone: Zone,
+        registry: ZoneRegistry,
+        name: Optional[str] = None,
+    ) -> None:
+        self.zone = zone
+        self.host: SimHost = network.add_host(name or f"auth:{zone.origin}", entity)
+        self.host.register(AUTH_PROTOCOL, self._handle)
+        registry.delegate(zone.origin, self.host.address)
+        self.queries_served = 0
+
+    @property
+    def address(self) -> Address:
+        return self.host.address
+
+    def _handle(self, packet: Packet) -> DnsAnswer:
+        query: DnsQuery = packet.payload
+        self.queries_served += 1
+        return self.zone.lookup(query.name, query.qtype)

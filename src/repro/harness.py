@@ -1,0 +1,264 @@
+"""The reproduction harness: every paper artifact, one call each.
+
+Benchmarks (``benchmarks/bench_*.py``), the text report
+(``benchmarks/report.py``), and the CLI (``python -m repro``) all build
+on these functions, so "regenerate table T4" means the same thing
+everywhere.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Dict, List, Tuple
+
+from repro.blindsig import PAPER_TABLE_T1, run_digital_cash
+from repro.core.metrics import DegreePoint, DegreeSweep
+from repro.core.report import ExperimentReport, compare_tables, flow_series
+from repro.mixnet import paper_table_t2, run_mixnet
+from repro.mpr import PAPER_TABLE_T6, run_mpr
+from repro.odns import (
+    PAPER_TABLE_T4_ODNS,
+    PAPER_TABLE_T4_ODOH,
+    run_odns,
+    run_odoh,
+)
+from repro.pgpp import (
+    PAPER_TABLE_T5,
+    TrajectoryLinker,
+    extract_epoch_tracks,
+    run_pgpp,
+    tracking_accuracy,
+)
+from repro.ppm import PAPER_TABLE_T7, run_prio
+from repro.privacypass import PAPER_TABLE_T3, run_privacy_pass
+from repro.sso import EXPECTED_TABLES_SSO, run_sso
+from repro.tee import (
+    EXPECTED_TABLE_CACTI,
+    EXPECTED_TABLE_PHOENIX,
+    run_cacti,
+    run_phoenix,
+)
+from repro.vpn import PAPER_TABLE_T8, run_vpn
+
+__all__ = [
+    "table_experiments",
+    "table_reports",
+    "figure_f1_series",
+    "figure_f2_series",
+    "sweep_relays",
+    "sweep_aggregators",
+    "sweep_batches",
+    "sweep_striping",
+    "sweep_tracking",
+    "sweep_disclosure",
+]
+
+
+def table_experiments() -> List[Tuple[str, str, Dict[str, str], object]]:
+    """(id, title, paper table, completed run) for every table."""
+    return [
+        ("T1", "Blind-signature digital cash (3.1.1)", PAPER_TABLE_T1, run_digital_cash()),
+        ("T2", "Mix-net, 3 mixes (3.1.2)", paper_table_t2(3), run_mixnet(mixes=3, senders=4)),
+        ("T3", "Privacy Pass (3.2.1)", PAPER_TABLE_T3, run_privacy_pass()),
+        ("T4a", "Oblivious DNS -- ODNS (3.2.2)", PAPER_TABLE_T4_ODNS, run_odns()),
+        ("T4b", "Oblivious DNS -- ODoH (3.2.2)", PAPER_TABLE_T4_ODOH, run_odoh()),
+        ("T5", "Pretty Good Phone Privacy (3.2.3)", PAPER_TABLE_T5, run_pgpp()),
+        ("T6", "Multi-Party Relay (3.2.4)", PAPER_TABLE_T6, run_mpr()),
+        ("T7", "Private aggregate statistics -- Prio (3.2.5)", PAPER_TABLE_T7, run_prio()),
+        ("T8", "Centralized VPN, cautionary (3.3)", PAPER_TABLE_T8, run_vpn()),
+        ("E1a", "CACTI (4.3, extension)", EXPECTED_TABLE_CACTI, run_cacti()),
+        ("E1b", "Phoenix keyless CDN (4.3, extension)", EXPECTED_TABLE_PHOENIX, run_phoenix()),
+        ("E2a", "SSO, global ids (2.2, extension)", EXPECTED_TABLES_SSO["global"], run_sso("global")),
+        ("E2b", "SSO, pairwise ids (2.2, extension)", EXPECTED_TABLES_SSO["pairwise"], run_sso("pairwise")),
+        ("E2c", "SSO, blind tickets (2.2, extension)", EXPECTED_TABLES_SSO["anonymous"], run_sso("anonymous")),
+    ]
+
+
+def table_reports() -> List[Tuple[ExperimentReport, object]]:
+    """Experiment reports paired with their runs."""
+    return [
+        (compare_tables(experiment_id, title, expected, run.table()), run)
+        for experiment_id, title, expected, run in table_experiments()
+    ]
+
+
+def figure_f1_series(max_steps: int = 10):
+    run = run_mixnet(mixes=3, senders=4)
+    return flow_series(
+        run.world.ledger, ["Mix 1", "Mix 2", "Mix 3", "Receiver"], max_steps
+    )
+
+
+def figure_f2_series(max_steps: int = 10):
+    run = run_privacy_pass(tokens=1)
+    return flow_series(run.world.ledger, ["Issuer", "Origin"], max_steps)
+
+
+def sweep_relays(degrees=(1, 2, 3, 4, 5)) -> DegreeSweep:
+    """D1: relay count vs collusion resistance and latency."""
+    sweep = DegreeSweep(name="D1: relays vs privacy/cost")
+    for relays in degrees:
+        run = run_mpr(relays=relays, requests=2)
+        sweep.add(
+            DegreePoint(
+                degree=relays,
+                collusion_resistance=run.analyzer.collusion_resistance(),
+                latency=run.mean_latency,
+                messages=run.network.messages_delivered,
+                bandwidth_overhead=run.network.bytes_delivered,
+            )
+        )
+    return sweep
+
+
+def sweep_aggregators(degrees=(2, 3, 4, 5), clients: int = 6) -> DegreeSweep:
+    """D2: aggregator count vs collusion resistance and traffic."""
+    sweep = DegreeSweep(name="D2: aggregators vs privacy/cost")
+    for count in degrees:
+        run = run_prio(clients=clients, aggregators=count)
+        if run.reported_total != run.true_total:
+            raise AssertionError("aggregate total diverged from ground truth")
+        sweep.add(
+            DegreePoint(
+                degree=count,
+                collusion_resistance=run.analyzer.collusion_resistance(),
+                latency=run.network.simulator.now,
+                messages=run.network.messages_delivered,
+                bandwidth_overhead=run.network.bytes_delivered,
+            )
+        )
+    return sweep
+
+
+def sweep_batches(
+    use_padding: bool, batches=(1, 2, 4, 8), seeds=range(6)
+) -> List[Dict[str, float]]:
+    """D3: batch size vs correlation accuracy and latency."""
+    from repro.adversary import PassiveCorrelator, correlation_accuracy
+
+    series = []
+    for batch in batches:
+        timing, sizes, latencies = [], [], []
+        for seed in seeds:
+            run = run_mixnet(
+                mixes=2, senders=8, batch_size=batch, seed=seed,
+                use_padding=use_padding,
+            )
+            correlator = PassiveCorrelator(run.network.trace)
+            args = (
+                run.mixes[0].address,
+                run.mixes[-1].address,
+                run.receiver.address,
+            )
+            truth = run.ground_truth()
+            timing.append(
+                correlation_accuracy(correlator.fifo_guesses(*args), truth)
+            )
+            sizes.append(
+                correlation_accuracy(correlator.size_guesses(*args), truth)
+            )
+            latencies.append(run.end_to_end_latency())
+        series.append(
+            {
+                "batch": batch,
+                "timing_accuracy": statistics.mean(timing),
+                "size_accuracy": statistics.mean(sizes),
+                "latency": statistics.mean(latencies),
+            }
+        )
+    return series
+
+
+def sweep_striping(resolver_counts=(1, 2, 4, 8)) -> List[Dict[str, float]]:
+    """D4: resolver count vs per-resolver knowledge."""
+    from repro.core.entities import World
+    from repro.core.labels import SENSITIVE_IDENTITY
+    from repro.core.values import LabeledValue, Subject
+    from repro.dns.resolver import RecursiveResolver
+    from repro.dns.striping import RoundRobinPolicy, StripingStub
+    from repro.dns.zones import AuthoritativeServer, Zone, ZoneRegistry
+    from repro.net.network import Network
+
+    names = [f"site-{i}.example.com" for i in range(16)]
+    series = []
+    for count in resolver_counts:
+        world = World()
+        network = Network()
+        registry = ZoneRegistry()
+        zone = Zone("example.com")
+        for name in names:
+            zone.add(name, "203.0.113.99")
+        AuthoritativeServer(network, world.entity("Auth", "dns-infra"), zone, registry)
+        resolvers = [
+            RecursiveResolver(
+                network,
+                world.entity(f"Resolver {i}", f"resolver-org-{i}"),
+                registry,
+                name=f"resolver-{i}",
+            )
+            for i in range(count)
+        ]
+        alice = Subject("alice")
+        host = network.add_host(
+            "client",
+            world.entity("Client", "device", trusted_by_user=True),
+            identity=LabeledValue("198.51.100.9", SENSITIVE_IDENTITY, alice, "ip"),
+        )
+        stub = StripingStub(host, [r.address for r in resolvers], RoundRobinPolicy())
+        for name in names:
+            stub.lookup(name, alice)
+        series.append(
+            {
+                "resolvers": count,
+                "max_query_share": stub.max_resolver_share(),
+                "max_name_coverage": stub.max_name_coverage(len(names)),
+                "load_entropy_bits": stub.load_entropy_bits(),
+                "imbalance": stub.load_imbalance(),
+            }
+        )
+    return series
+
+
+def sweep_disclosure(
+    rounds=(2, 8, 32), seeds=range(8), recipients: int = 6
+) -> List[Dict[str, float]]:
+    """D6 (extension): statistical disclosure vs observation time."""
+    from repro.adversary import StatisticalDisclosureAttack, generate_sda_rounds
+
+    series = []
+    for round_count in rounds:
+        hits = 0
+        for seed in seeds:
+            observations, target, truth = generate_sda_rounds(
+                rounds=round_count, covers=9, recipients=recipients, seed=seed
+            )
+            guess = StatisticalDisclosureAttack().estimate(observations, target)
+            hits += int(guess == truth)
+        series.append(
+            {
+                "rounds": round_count,
+                "accuracy": hits / len(list(seeds)),
+                "chance": 1.0 / recipients,
+            }
+        )
+    return series
+
+
+def sweep_tracking(populations=(2, 4, 8, 16), seeds=range(5)) -> List[Dict[str, float]]:
+    """D5 (extension): PGPP tracking accuracy vs population size."""
+    series = []
+    for users in populations:
+        accuracies = []
+        for seed in seeds:
+            run = run_pgpp(users=users, cells=6, steps=4, epochs=3, seed=seed)
+            tracks = extract_epoch_tracks(run.core.mobility_log)
+            chains = TrajectoryLinker().link(tracks)
+            accuracies.append(tracking_accuracy(chains, run.imsi_truth()))
+        series.append(
+            {
+                "users": users,
+                "tracking_accuracy": statistics.mean(accuracies),
+                "chance": 1.0 / users,
+            }
+        )
+    return series

@@ -1,0 +1,40 @@
+"""HTTP substrate: messages, origins, and CONNECT proxying.
+
+The transport layer under the Multi-Party Relay model (paper section
+3.2.4) and the OHTTP-proxied aggregation variant (3.2.5).
+"""
+
+from .messages import HttpRequest, HttpResponse, fqdn_value, make_request
+from .ohttp import (
+    OHTTP_GATEWAY_PROTOCOL,
+    OHTTP_RELAY_PROTOCOL,
+    OhttpClient,
+    OhttpGateway,
+    OhttpRelay,
+)
+from .origin import (
+    HTTP_PROTOCOL,
+    TLS_HTTP_PROTOCOL,
+    OriginDirectory,
+    OriginServer,
+)
+from .proxy import CONNECT_PROTOCOL, ConnectProxy, ConnectRequest
+
+__all__ = [
+    "HttpRequest",
+    "HttpResponse",
+    "make_request",
+    "fqdn_value",
+    "OriginServer",
+    "OriginDirectory",
+    "HTTP_PROTOCOL",
+    "TLS_HTTP_PROTOCOL",
+    "ConnectProxy",
+    "ConnectRequest",
+    "CONNECT_PROTOCOL",
+    "OhttpClient",
+    "OhttpGateway",
+    "OhttpRelay",
+    "OHTTP_RELAY_PROTOCOL",
+    "OHTTP_GATEWAY_PROTOCOL",
+]

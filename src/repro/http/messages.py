@@ -1,0 +1,83 @@
+"""HTTP message model.
+
+Requests separate the two grades of sensitivity the paper's MPR
+analysis distinguishes: the *target FQDN* is partially sensitive data
+(what Relay 2 may learn -- ``⊙/●``), while the *full request* (path,
+headers, body) is fully sensitive (``●``, what only the origin should
+see).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.labels import PARTIAL_SENSITIVE_DATA, SENSITIVE_DATA
+from repro.core.values import LabeledValue, Subject
+
+__all__ = ["HttpRequest", "HttpResponse", "make_request", "fqdn_value"]
+
+
+@dataclass(frozen=True)
+class HttpRequest:
+    """One HTTP request with labeled sensitive parts."""
+
+    method: str
+    fqdn: LabeledValue
+    content: LabeledValue
+    headers: Tuple[Tuple[str, str], ...] = ()
+
+    @property
+    def host(self) -> str:
+        return str(self.fqdn.payload)
+
+    @property
+    def path_and_body(self) -> str:
+        return str(self.content.payload)
+
+
+@dataclass(frozen=True)
+class HttpResponse:
+    """An origin's reply; the body inherits the request's subject."""
+
+    status: int
+    body: LabeledValue
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+
+def fqdn_value(host: str, subject: Subject) -> LabeledValue:
+    """The FQDN as partially sensitive data about ``subject``."""
+    return LabeledValue(
+        payload=host,
+        label=PARTIAL_SENSITIVE_DATA,
+        subject=subject,
+        description="target fqdn",
+        provenance=("fqdn",),
+    )
+
+
+def make_request(
+    host: str,
+    path: str,
+    subject: Subject,
+    method: str = "GET",
+    body: str = "",
+    headers: Optional[Dict[str, str]] = None,
+) -> HttpRequest:
+    """Build a labeled request on behalf of ``subject``."""
+    content = LabeledValue(
+        payload=f"{method} {path} {body}".strip(),
+        label=SENSITIVE_DATA,
+        subject=subject,
+        description="http request",
+        provenance=("request",),
+    )
+    return HttpRequest(
+        method=method,
+        fqdn=fqdn_value(host, subject),
+        content=content,
+        headers=tuple((headers or {}).items()),
+    )

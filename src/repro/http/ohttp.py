@@ -1,0 +1,193 @@
+"""Oblivious HTTP: the generalization of ODoH (paper section 3.2.5).
+
+"One approach is to hide sensitive client identifying information from
+the server using Oblivious HTTP, a generalization of ODoH; clients
+would send encrypted reports to the collection server through a proxy."
+
+The module implements the RFC 9458 shape on this package's real HPKE:
+the client encapsulates a request to the *gateway's* key and sends it
+via the *relay*; the gateway decapsulates, hands the request to its
+application, and encrypts the response back under an AEAD key exported
+from the same HPKE context.  The relay learns who is asking but only
+ever carries ciphertext.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.entities import Entity
+from repro.core.values import LabeledValue, Sealed, Subject
+from repro.crypto.chacha20poly1305 import ChaCha20Poly1305
+from repro.crypto.hpke import (
+    HpkeKeyPair,
+    setup_base_recipient,
+    setup_base_sender,
+)
+from repro.net.addressing import Address
+from repro.net.network import Network, SimHost
+from repro.net.packets import Packet
+
+__all__ = ["OhttpGateway", "OhttpRelay", "OhttpClient", "OHTTP_RELAY_PROTOCOL", "OHTTP_GATEWAY_PROTOCOL"]
+
+OHTTP_RELAY_PROTOCOL = "ohttp"
+OHTTP_GATEWAY_PROTOCOL = "ohttp-gateway"
+
+_OHTTP_INFO = b"message/bhttp request"
+_RESPONSE_EXPORT = b"message/bhttp response"
+_RESPONSE_NONCE = b"\x00" * 12
+
+_message_ids = itertools.count(1)
+
+#: The gateway application: plaintext request bytes -> response bytes.
+GatewayApp = Callable[[bytes], bytes]
+
+
+@dataclass(frozen=True)
+class _EncapsulatedRequest:
+    """Wire form: HPKE enc + ciphertext, plus the logical envelope."""
+
+    enc: bytes
+    ciphertext: bytes
+    envelope: Sealed
+
+
+@dataclass(frozen=True)
+class _EncapsulatedResponse:
+    ciphertext: bytes
+    envelope: Sealed
+
+
+class OhttpGateway:
+    """The request target: decapsulates, serves, re-encrypts."""
+
+    def __init__(
+        self,
+        network: Network,
+        entity: Entity,
+        app: GatewayApp,
+        key_seed: Optional[bytes] = None,
+        name: str = "ohttp-gateway",
+    ) -> None:
+        self.entity = entity
+        self.app = app
+        self.keypair = HpkeKeyPair.generate(key_seed)
+        self.key_id = f"ohttp:{name}"
+        entity.grant_key(self.key_id)
+        self.host: SimHost = network.add_host(name, entity)
+        self.host.register(OHTTP_GATEWAY_PROTOCOL, self._handle)
+        self.requests_served = 0
+
+    @property
+    def address(self) -> Address:
+        return self.host.address
+
+    @property
+    def public_key(self) -> bytes:
+        return self.keypair.public_bytes
+
+    def _handle(self, packet: Packet) -> _EncapsulatedResponse:
+        wrapped: _EncapsulatedRequest = packet.payload
+        context = setup_base_recipient(wrapped.enc, self.keypair, _OHTTP_INFO)
+        plaintext = context.open(wrapped.ciphertext)
+        # Logical envelope must agree with the real decryption.
+        contents = self.entity.unseal(wrapped.envelope)
+        labeled = next(
+            (c for c in contents if isinstance(c, LabeledValue)), None
+        )
+        if labeled is None or str(labeled.payload).encode() != plaintext:
+            raise ValueError("HPKE plaintext does not match the logical envelope")
+        self.requests_served += 1
+        response_plain = self.app(plaintext)
+        response_key = context.export(_RESPONSE_EXPORT, 32)
+        response_ct = ChaCha20Poly1305(response_key).seal(
+            _RESPONSE_NONCE, response_plain
+        )
+        session_key_id = f"ohttp-resp:{wrapped.enc.hex()[:16]}"
+        self.entity.grant_key(session_key_id)
+        envelope = Sealed.wrap(
+            session_key_id,
+            [
+                LabeledValue(
+                    payload=response_plain.decode("utf-8", "replace"),
+                    label=labeled.label.downgraded(),
+                    subject=labeled.subject,
+                    description="ohttp response",
+                )
+            ],
+            subject=labeled.subject,
+            description="encapsulated ohttp response",
+        )
+        return _EncapsulatedResponse(ciphertext=response_ct, envelope=envelope)
+
+
+class OhttpRelay:
+    """The oblivious relay: forwards ciphertext, learns only who asked."""
+
+    def __init__(
+        self,
+        network: Network,
+        entity: Entity,
+        gateway_address: Address,
+        name: str = "ohttp-relay",
+    ) -> None:
+        self.gateway_address = gateway_address
+        self.host: SimHost = network.add_host(name, entity)
+        self.host.register(OHTTP_RELAY_PROTOCOL, self._handle)
+        self.relayed = 0
+
+    @property
+    def address(self) -> Address:
+        return self.host.address
+
+    def _handle(self, packet: Packet) -> _EncapsulatedResponse:
+        self.relayed += 1
+        return self.host.transact(
+            self.gateway_address, packet.payload, OHTTP_GATEWAY_PROTOCOL
+        )
+
+
+class OhttpClient:
+    """The client: encapsulate to the gateway, send via the relay."""
+
+    def __init__(
+        self,
+        host: SimHost,
+        relay: OhttpRelay,
+        gateway: OhttpGateway,
+        subject: Subject,
+    ) -> None:
+        self.host = host
+        self.relay = relay
+        self.gateway = gateway
+        self.subject = subject
+
+    def request(self, request_value: LabeledValue) -> bytes:
+        """Send one labeled request; returns the plaintext response.
+
+        ``request_value.payload`` (stringified) is what actually rides
+        the HPKE channel; its label/subject drive the flow analysis.
+        """
+        plaintext = str(request_value.payload).encode("utf-8")
+        sender = setup_base_sender(self.gateway.public_key, _OHTTP_INFO)
+        ciphertext = sender.seal(plaintext)
+        envelope = Sealed.wrap(
+            self.gateway.key_id,
+            [request_value],
+            subject=self.subject,
+            description="encapsulated ohttp request",
+        )
+        self.host.entity.grant_key(f"ohttp-resp:{sender.enc.hex()[:16]}")
+        wrapped = _EncapsulatedRequest(
+            enc=sender.enc, ciphertext=ciphertext, envelope=envelope
+        )
+        response: _EncapsulatedResponse = self.host.transact(
+            self.relay.address, wrapped, OHTTP_RELAY_PROTOCOL
+        )
+        response_key = sender.export(_RESPONSE_EXPORT, 32)
+        plaintext_response = ChaCha20Poly1305(response_key).open(
+            _RESPONSE_NONCE, response.ciphertext
+        )
+        return plaintext_response

@@ -1,0 +1,116 @@
+"""Origin servers: the application endpoints requests terminate at.
+
+An origin registers under a hostname, optionally publishes a TLS-like
+key (so clients can seal requests end-to-end through proxies), and runs
+an application callback to produce responses.  The origin *always* sees
+the full request -- that is its job, and it is why the paper's tables
+mark every Origin column ``(△, ●)`` at best.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.core.entities import Entity
+from repro.core.labels import NONSENSITIVE_DATA
+from repro.core.values import LabeledValue, Sealed
+from repro.net.addressing import Address
+from repro.net.network import Network, SimHost
+from repro.net.packets import Packet
+
+from .messages import HttpRequest, HttpResponse
+
+__all__ = ["OriginServer", "OriginDirectory", "HTTP_PROTOCOL", "TLS_HTTP_PROTOCOL"]
+
+HTTP_PROTOCOL = "http"
+TLS_HTTP_PROTOCOL = "tls-http"
+
+AppHandler = Callable[[HttpRequest], str]
+
+
+def _default_app(request: HttpRequest) -> str:
+    return f"content for {request.path_and_body} at {request.host}"
+
+
+class OriginDirectory:
+    """Hostname -> origin address resolution for proxies and clients.
+
+    Stands in for DNS in HTTP-layer scenarios that are not *about*
+    DNS; the ODNS/ODoH models wire in the real DNS substrate instead.
+    """
+
+    def __init__(self) -> None:
+        self._origins: Dict[str, "OriginServer"] = {}
+
+    def register(self, origin: "OriginServer") -> None:
+        self._origins[origin.hostname.lower()] = origin
+
+    def lookup(self, hostname: str) -> "OriginServer":
+        try:
+            return self._origins[hostname.lower()]
+        except KeyError:
+            raise LookupError(f"unknown origin {hostname!r}") from None
+
+    def address_of(self, hostname: str) -> Address:
+        return self.lookup(hostname).address
+
+
+class OriginServer:
+    """A web origin with optional end-to-end session encryption."""
+
+    def __init__(
+        self,
+        network: Network,
+        entity: Entity,
+        hostname: str,
+        directory: Optional[OriginDirectory] = None,
+        app: Optional[AppHandler] = None,
+        tls_key_id: Optional[str] = None,
+    ) -> None:
+        self.hostname = hostname
+        self.entity = entity
+        self.app = app if app is not None else _default_app
+        self.tls_key_id = tls_key_id if tls_key_id is not None else f"tls:{hostname}"
+        entity.grant_key(self.tls_key_id)
+        self.host: SimHost = network.add_host(f"origin:{hostname}", entity)
+        self.host.register(HTTP_PROTOCOL, self._handle_plain)
+        self.host.register(TLS_HTTP_PROTOCOL, self._handle_tls)
+        self.requests_served = 0
+        if directory is not None:
+            directory.register(self)
+
+    @property
+    def address(self) -> Address:
+        return self.host.address
+
+    def _respond(self, request: HttpRequest) -> HttpResponse:
+        self.requests_served += 1
+        body_text = self.app(request)
+        body = LabeledValue(
+            payload=body_text,
+            label=NONSENSITIVE_DATA,
+            subject=request.content.subject,
+            description="http response body",
+            provenance=request.content.provenance + ("response",),
+        )
+        return HttpResponse(status=200, body=body)
+
+    def _handle_plain(self, packet: Packet) -> HttpResponse:
+        request: HttpRequest = packet.payload
+        return self._respond(request)
+
+    def _handle_tls(self, packet: Packet) -> Sealed:
+        """A sealed request arrives; the response is sealed back.
+
+        The envelope may carry metadata items after the request (e.g. a
+        geolocation hint, section 4.4); the app only needs the request.
+        """
+        sealed: Sealed = packet.payload
+        request, *_metadata = self.entity.unseal(sealed)
+        response = self._respond(request)
+        return Sealed.wrap(
+            self.tls_key_id,
+            [response],
+            subject=request.content.subject,
+            description="tls response",
+        )

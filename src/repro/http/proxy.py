@@ -1,0 +1,94 @@
+"""HTTP CONNECT proxying: the relay primitive of MPR services.
+
+A :class:`ConnectProxy` terminates one layer of tunnel encryption,
+learns only where to forward next, and relays opaque bytes.  Nesting
+two of them (run by different organizations) is exactly Apple Private
+Relay's architecture as the paper describes it: "two nested HTTP
+CONNECT tunnels from the client, the first to the first relay, and the
+second via the first to a second relay".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Union
+
+from repro.core.entities import Entity
+from repro.core.values import LabeledValue, Sealed
+from repro.net.addressing import Address
+from repro.net.network import Network, SimHost
+from repro.net.packets import Packet
+
+from .origin import OriginDirectory
+
+__all__ = ["ConnectRequest", "ConnectProxy", "CONNECT_PROTOCOL"]
+
+CONNECT_PROTOCOL = "connect"
+
+
+@dataclass(frozen=True)
+class ConnectRequest:
+    """One CONNECT hop: where to forward, what to forward, how.
+
+    ``target`` is either a literal address (the next relay) or a
+    hostname to resolve through the proxy's directory; when it is a
+    hostname the labeled ``target_fqdn`` should be set so the proxy's
+    (partial) knowledge of the destination is observed honestly.
+    """
+
+    target: Union[Address, str]
+    inner: Any
+    inner_protocol: str
+    target_fqdn: Optional[LabeledValue] = None
+
+
+class ConnectProxy:
+    """One relay hop: decrypt own tunnel layer, forward, re-encrypt."""
+
+    def __init__(
+        self,
+        network: Network,
+        entity: Entity,
+        name: str,
+        tunnel_key_id: str,
+        directory: Optional[OriginDirectory] = None,
+    ) -> None:
+        self.network = network
+        self.entity = entity
+        self.tunnel_key_id = tunnel_key_id
+        self.directory = directory
+        entity.grant_key(tunnel_key_id)
+        self.host: SimHost = network.add_host(name, entity)
+        self.host.register(CONNECT_PROTOCOL, self._handle)
+        self.connections_relayed = 0
+
+    @property
+    def address(self) -> Address:
+        return self.host.address
+
+    def _resolve_target(self, request: ConnectRequest) -> Address:
+        if isinstance(request.target, Address):
+            return request.target
+        if self.directory is None:
+            raise LookupError(
+                f"proxy {self.host.name} cannot resolve {request.target!r}: no directory"
+            )
+        return self.directory.address_of(request.target)
+
+    def _handle(self, packet: Packet) -> Sealed:
+        sealed: Sealed = packet.payload
+        (request,) = self.entity.unseal(sealed)
+        if not isinstance(request, ConnectRequest):
+            raise TypeError("CONNECT tunnel did not contain a ConnectRequest")
+        self.connections_relayed += 1
+        upstream = self._resolve_target(request)
+        response = self.host.transact(
+            upstream, request.inner, request.inner_protocol
+        )
+        subject = sealed.exterior.subject if sealed.exterior is not None else None
+        return Sealed.wrap(
+            self.tunnel_key_id,
+            [response],
+            subject=subject,
+            description=f"tunnel response via {self.host.name}",
+        )

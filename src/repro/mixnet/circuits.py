@@ -1,0 +1,259 @@
+"""Onion-routing circuits (Tor-style), distinct from batching mixes.
+
+The paper: "Mix-nets were later adapted by Syverson et al. for
+real-time Internet communications in their work on Onion Routing, and
+later improved in the popularly-deployed Tor system" -- and "Tor
+embodies this approach by allowing for circuits of 3 or more hops,
+albeit at greater performance cost" (section 4.2).
+
+Unlike a Chaum mix (stateless, batching, one-way), an onion router
+keeps *circuit state*: a circuit is built once with a layered setup
+onion, then carries many bidirectional streams with low latency.  Each
+router maps an inbound circuit id to (previous hop, next hop, outbound
+circuit id, session key); data cells are peeled hop by hop on the way
+out and onion-wrapped hop by hop on the way back.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.entities import Entity
+
+from repro.core.values import Sealed, Subject
+from repro.http.messages import HttpRequest, HttpResponse
+from repro.http.origin import HTTP_PROTOCOL, OriginDirectory
+from repro.net.addressing import Address
+from repro.net.network import Network, SimHost
+from repro.net.packets import Packet
+
+__all__ = ["OnionRouter", "CircuitClient", "CIRCUIT_PROTOCOL"]
+
+CIRCUIT_PROTOCOL = "onion-circuit"
+
+_circuit_ids = itertools.count(1000)
+_session_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class _CircuitSetup:
+    """One layer of the circuit-building onion."""
+
+    circuit_id: int
+    session_key_id: str
+    next_hop: Optional[Address]  # None at the exit
+    inner: Optional[Sealed]  # the next router's setup layer
+
+
+@dataclass(frozen=True)
+class _SetupCell:
+    setup: Sealed  # sealed to the receiving router's long-term key
+
+
+@dataclass(frozen=True)
+class _DataCell:
+    circuit_id: int
+    payload: Any  # onion of session-key-sealed layers (outbound)
+
+
+@dataclass
+class _CircuitHopState:
+    session_key_id: str
+    next_hop: Optional[Address]
+    outbound_circuit_id: Optional[int]
+
+
+class OnionRouter:
+    """A stateful relay: builds circuit hops, relays cells both ways."""
+
+    def __init__(
+        self,
+        network: Network,
+        entity: Entity,
+        name: str,
+        key_id: str,
+        directory: Optional[OriginDirectory] = None,
+    ) -> None:
+        self.network = network
+        self.entity = entity
+        self.key_id = key_id
+        self.directory = directory
+        entity.grant_key(key_id)
+        self.host: SimHost = network.add_host(name, entity)
+        self.host.register(CIRCUIT_PROTOCOL, self._handle)
+        self._circuits: Dict[int, _CircuitHopState] = {}
+        self.cells_relayed = 0
+
+    @property
+    def address(self) -> Address:
+        return self.host.address
+
+    def _handle(self, packet: Packet):
+        cell = packet.payload
+        if isinstance(cell, _SetupCell):
+            return self._handle_setup(cell, packet)
+        if isinstance(cell, _DataCell):
+            return self._handle_data(cell, packet)
+        raise TypeError(f"unexpected circuit cell {type(cell).__name__}")
+
+    def _handle_setup(self, cell: _SetupCell, packet: Packet):
+        (layer,) = self.entity.unseal(cell.setup)
+        if not isinstance(layer, _CircuitSetup):
+            raise TypeError("setup cell did not contain a circuit layer")
+        self.entity.grant_key(layer.session_key_id)
+        state = _CircuitHopState(
+            session_key_id=layer.session_key_id,
+            next_hop=layer.next_hop,
+            outbound_circuit_id=None,
+        )
+        self._circuits[layer.circuit_id] = state
+        if layer.next_hop is not None and layer.inner is not None:
+            # Telescope: extend the circuit one hop further.
+            inner_setup = layer.inner
+            # Peek at the inner layer's id is impossible (sealed to the
+            # next router); we mint our own outbound id and learn the
+            # mapping implicitly by forwarding.
+            outbound_id = self._extract_inner_circuit_id(inner_setup)
+            state.outbound_circuit_id = outbound_id
+            self.host.transact(
+                layer.next_hop, _SetupCell(setup=inner_setup), CIRCUIT_PROTOCOL
+            )
+        return "created"
+
+    @staticmethod
+    def _extract_inner_circuit_id(inner_setup: Sealed) -> Optional[int]:
+        """The client pre-assigns per-hop circuit ids; the previous hop
+        learns the *outbound* id from the setup flow (it must, to tag
+        forwarded cells).  We model that by carrying it in the envelope
+        description -- metadata a real EXTEND cell exposes to the
+        extending router."""
+        description = inner_setup.description
+        if description.startswith("circuit-setup:"):
+            try:
+                return int(description.split(":", 1)[1])
+            except ValueError:
+                return None
+        return None
+
+    def _handle_data(self, cell: _DataCell, packet: Packet):
+        state = self._circuits.get(cell.circuit_id)
+        if state is None:
+            raise KeyError(f"unknown circuit {cell.circuit_id}")
+        self.cells_relayed += 1
+        (inner,) = self.entity.unseal(cell.payload)
+        if state.next_hop is None:
+            # Exit hop: the payload is the client's request; act on it.
+            return self._serve_exit(inner, state)
+        response = self.host.transact(
+            state.next_hop,
+            _DataCell(circuit_id=state.outbound_circuit_id, payload=inner),
+            CIRCUIT_PROTOCOL,
+        )
+        # Backward direction: add our onion skin.
+        return Sealed.wrap(
+            state.session_key_id,
+            [response],
+            subject=self._subject_of(cell.payload),
+            description="backward cell",
+        )
+
+    def _serve_exit(self, inner: Any, state: _CircuitHopState):
+        if not isinstance(inner, HttpRequest):
+            raise TypeError("exit expected an HTTP request")
+        if self.directory is None:
+            raise LookupError("exit router has no directory")
+        upstream = self.directory.address_of(inner.host)
+        response: HttpResponse = self.host.transact(
+            upstream, inner, HTTP_PROTOCOL
+        )
+        return Sealed.wrap(
+            state.session_key_id,
+            [response],
+            subject=inner.content.subject,
+            description="backward cell",
+        )
+
+    @staticmethod
+    def _subject_of(sealed: Sealed):
+        return sealed.exterior.subject if sealed.exterior is not None else None
+
+
+class CircuitClient:
+    """Builds circuits through routers and runs streams over them."""
+
+    def __init__(
+        self,
+        host: SimHost,
+        routers: Sequence[OnionRouter],
+        subject: Subject,
+    ) -> None:
+        if not routers:
+            raise ValueError("need at least one router")
+        self.host = host
+        self.routers = list(routers)
+        self.subject = subject
+        self._hop_ids: List[int] = []
+        self._session_keys: List[str] = []
+        self.established = False
+
+    def build_circuit(self) -> None:
+        """Telescoped setup, modeled as one layered setup onion."""
+        self._hop_ids = [next(_circuit_ids) for _ in self.routers]
+        self._session_keys = [
+            f"circ-session:{next(_session_ids)}" for _ in self.routers
+        ]
+        for key in self._session_keys:
+            self.host.entity.grant_key(key)
+        setup: Optional[Sealed] = None
+        for index in range(len(self.routers) - 1, -1, -1):
+            router = self.routers[index]
+            next_hop = (
+                self.routers[index + 1].address
+                if index + 1 < len(self.routers)
+                else None
+            )
+            layer = _CircuitSetup(
+                circuit_id=self._hop_ids[index],
+                session_key_id=self._session_keys[index],
+                next_hop=next_hop,
+                inner=setup,
+            )
+            setup = Sealed.wrap(
+                router.key_id,
+                [layer],
+                subject=self.subject,
+                description=f"circuit-setup:{self._hop_ids[index]}",
+            )
+        outcome = self.host.transact(
+            self.routers[0].address, _SetupCell(setup=setup), CIRCUIT_PROTOCOL
+        )
+        if outcome != "created":
+            raise RuntimeError("circuit setup failed")
+        self.established = True
+
+    def fetch(self, request: HttpRequest) -> HttpResponse:
+        """One stream over the established circuit."""
+        if not self.established:
+            self.build_circuit()
+        self.host.entity.observe(request.content, channel="self", session="self")
+        # Outbound onion: innermost is the request, one skin per hop.
+        payload: Any = request
+        for index in range(len(self.routers) - 1, -1, -1):
+            payload = Sealed.wrap(
+                self._session_keys[index],
+                [payload],
+                subject=self.subject,
+                description=f"forward cell hop {index + 1}",
+            )
+        # The first hop opens the outermost skin itself.
+        reply = self.host.transact(
+            self.routers[0].address,
+            _DataCell(circuit_id=self._hop_ids[0], payload=payload),
+            CIRCUIT_PROTOCOL,
+        )
+        # Backward: peel one skin per hop, outermost first.
+        for _ in self.routers:
+            (reply,) = self.host.entity.unseal(reply)
+        return reply

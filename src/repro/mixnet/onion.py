@@ -1,0 +1,79 @@
+"""Onion construction: layered sealing along a route.
+
+Chaum's construction (paper section 3.1.2): the sender seals the
+message to the receiver, then wraps one routing layer per mix from the
+inside out.  Each mix can remove exactly its own layer, learning only
+the next hop; the bit pattern changes at every hop, so no two links
+carry a linkable ciphertext -- except through the mix that did the
+re-encryption, which is precisely the linkage the analyzer tracks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence, Tuple
+
+from repro.core.labels import SENSITIVE_DATA
+from repro.core.values import LabeledValue, Sealed, Subject
+from repro.net.addressing import Address
+
+__all__ = ["RoutingLayer", "build_onion", "make_message"]
+
+
+@dataclass(frozen=True)
+class RoutingLayer:
+    """What one mix learns by removing its layer: next hop + payload."""
+
+    next_hop: Address
+    inner: Any
+
+
+def make_message(text: str, sender: Subject) -> LabeledValue:
+    """The sender's sensitive message content."""
+    return LabeledValue(
+        payload=text,
+        label=SENSITIVE_DATA,
+        subject=sender,
+        description="mixnet message",
+        provenance=("message",),
+    )
+
+
+def build_onion(
+    route: Sequence[Tuple[str, Address]],
+    receiver_key: str,
+    receiver_address: Address,
+    message: "LabeledValue | Sequence[Any]",
+) -> Sealed:
+    """Wrap ``message`` for delivery through ``route``.
+
+    ``route`` is a list of ``(mix_key_id, mix_address)`` in transit
+    order.  The returned envelope is addressed to the first mix; the
+    innermost layer is sealed to the receiver.  ``message`` may be a
+    single labeled value or a sequence of items (e.g. a message plus an
+    untraceable return address).
+    """
+    if not route:
+        raise ValueError("route must contain at least one mix")
+    contents = [message] if isinstance(message, LabeledValue) else list(message)
+    subject = next(
+        (item.subject for item in contents if isinstance(item, LabeledValue)), None
+    )
+    core = Sealed.wrap(
+        receiver_key,
+        contents,
+        subject=subject,
+        description="message for receiver",
+    )
+    next_hop = receiver_address
+    onion: Sealed = core
+    for key_id, address in reversed(route):
+        layer = RoutingLayer(next_hop=next_hop, inner=onion)
+        onion = Sealed.wrap(
+            key_id,
+            [layer],
+            subject=subject,
+            description=f"onion layer for {key_id}",
+        )
+        next_hop = address
+    return onion

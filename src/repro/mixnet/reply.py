@@ -1,0 +1,91 @@
+"""Untraceable return addresses (Chaum 1981, section on replies).
+
+The sender pre-builds a *return address*: a reverse-route onion whose
+innermost layer -- readable only by the final mix -- names the sender's
+own address.  The receiver attaches a reply body (sealed to a reply key
+the sender chose) and hands the pair to the first reverse mix.  Each
+mix peels its layer and forwards; the last one delivers the still-
+sealed body to the sender.  The receiver replies without ever learning
+who it is talking to, and no mix sees both endpoints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence, Tuple
+
+from repro.core.labels import SENSITIVE_DATA
+from repro.core.values import LabeledValue, Sealed, Subject
+from repro.net.addressing import Address
+
+from .onion import RoutingLayer
+
+__all__ = ["DeliverBody", "ReplyPacket", "build_return_address", "make_reply_body"]
+
+
+@dataclass(frozen=True)
+class DeliverBody:
+    """The terminal marker inside a return address: deliver the body."""
+
+
+@dataclass(frozen=True)
+class ReplyPacket:
+    """What travels on the reverse path: remaining onion + sealed body."""
+
+    return_onion: Sealed
+    body: Sealed
+
+
+def build_return_address(
+    reverse_route: Sequence[Tuple[str, Address]],
+    sender_address: Address,
+    subject: Subject,
+) -> Sealed:
+    """Build the reply onion for ``reverse_route`` ending at the sender.
+
+    ``reverse_route`` lists ``(mix_key_id, mix_address)`` in the order
+    the *reply* will traverse them.  The innermost layer (for the last
+    reverse mix) points at the sender's address with a delivery marker;
+    the receiver gets only the outermost envelope and learns nothing
+    but the first reverse hop.
+    """
+    if not reverse_route:
+        raise ValueError("reverse route must contain at least one mix")
+    next_hop = sender_address
+    inner_payload: Any = DeliverBody()
+    onion: Sealed | None = None
+    for key_id, address in reversed(reverse_route):
+        layer = RoutingLayer(next_hop=next_hop, inner=inner_payload)
+        onion = Sealed.wrap(
+            key_id,
+            [layer],
+            subject=subject,
+            description=f"return-address layer for {key_id}",
+        )
+        inner_payload = onion
+        next_hop = address
+    assert onion is not None
+    return onion
+
+
+def make_reply_body(
+    text: str, reply_key_id: str, responder: Subject
+) -> Sealed:
+    """The receiver's reply, sealed so only the original sender reads it.
+
+    The reply content is the *responder's* sensitive data (they wrote
+    it); mixes forwarding the packet see only the envelope.
+    """
+    body = LabeledValue(
+        payload=text,
+        label=SENSITIVE_DATA,
+        subject=responder,
+        description="reply message",
+        provenance=("reply",),
+    )
+    return Sealed.wrap(
+        reply_key_id,
+        [body],
+        subject=responder,
+        description="sealed reply body",
+    )

@@ -1,0 +1,251 @@
+"""The T2/F1 scenario: a mix-net run with batching and cover senders.
+
+One *tracked* sender (the subject of the paper's table) plus enough
+cover senders to fill mix batches, a configurable cascade of mixes each
+run by its own organization, and a receiver.  Returns the analyzed
+world plus end-to-end latency figures for the degree sweeps.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.analysis import DecouplingAnalyzer
+from repro.core.entities import World
+from repro.core.labels import SENSITIVE_IDENTITY
+from repro.core.values import LabeledValue, Subject
+from repro.net.network import Network
+
+from .mix import MIX_PROTOCOL, MixNode, MixReceiver
+from .onion import build_onion, make_message
+
+__all__ = ["MixnetRun", "run_mixnet", "paper_table_t2"]
+
+
+def paper_table_t2(mixes: int) -> Dict[str, str]:
+    """The paper's section 3.1.2 table, generalized to ``mixes`` hops."""
+    table = {"Sender": "(▲, ●)", "Mix 1": "(▲, ⊙)"}
+    for index in range(2, mixes + 1):
+        table[f"Mix {index}"] = "(△, ⊙)"
+    table["Receiver"] = "(△, ●)"
+    return table
+
+
+@dataclass
+class MixnetRun:
+    """Everything produced by one mix-net scenario run."""
+
+    world: World
+    network: Network
+    mixes: List[MixNode]
+    receiver: MixReceiver
+    analyzer: DecouplingAnalyzer
+    tracked_subject: Subject
+    senders: int
+    sender_send_times: Dict[Subject, float]
+    entity_order: List[str] = field(default_factory=list)
+    #: (outermost onion, innermost core) per message, send order.
+    onion_map: List[tuple] = field(default_factory=list)
+    #: Per-sender mix indices used (cascade: all identical).
+    routes_used: List[List[int]] = field(default_factory=list)
+
+    def ground_truth(self) -> Dict[int, int]:
+        """Egress packet id -> ingress packet id, for the adversary eval.
+
+        Uses the simulator's omniscient delivery log: the ingress
+        packet carries the outermost onion object, the egress packet
+        carries the core envelope object (same Python object end to
+        end, re-wrapped only logically at each hop).
+        """
+        truth: Dict[int, int] = {}
+        for onion, core in self.onion_map:
+            ingress_id = egress_id = None
+            for packet in self.network.delivered:
+                if packet.payload is onion:
+                    ingress_id = packet.packet_id
+                if packet.dst == self.receiver.address and packet.payload is core:
+                    egress_id = packet.packet_id
+            if ingress_id is not None and egress_id is not None:
+                truth[egress_id] = ingress_id
+        return truth
+
+    def table(self):
+        return self.analyzer.table(
+            entities=self.entity_order,
+            subject=self.tracked_subject,
+            title=f"T2: mix-net ({len(self.mixes)} mixes)",
+        )
+
+    def anonymity_set_size(self) -> int:
+        """How many senders each delivered message hides among.
+
+        For single-batch rounds this is the batch occupancy: the paper's
+        "anonymous member of a network aggregate".
+        """
+        if not self.mixes:
+            return 1
+        return max(1, min(self.senders, self.mixes[0].batch_size))
+
+    def anonymity_bits(self) -> float:
+        import math
+
+        return math.log2(self.anonymity_set_size())
+
+    def end_to_end_latency(self) -> float:
+        """Mean delivery latency over all received messages."""
+        if not self.receiver.delivery_times:
+            return 0.0
+        total = 0.0
+        for when in self.receiver.delivery_times:
+            total += when
+        # Senders injected at staggered times; average against mean
+        # injection time for a stable figure.
+        mean_injection = sum(self.sender_send_times.values()) / len(
+            self.sender_send_times
+        )
+        return total / len(self.receiver.delivery_times) - mean_injection
+
+
+def run_mixnet(
+    mixes: int = 3,
+    senders: int = 4,
+    batch_size: Optional[int] = None,
+    seed: int = 20221114,
+    link_latency: float = 0.010,
+    use_padding: bool = False,
+    shuffle: bool = True,
+    chaff_per_flush: int = 0,
+    mix_pool: Optional[int] = None,
+) -> MixnetRun:
+    """Send one message per sender through a cascade of ``mixes``.
+
+    ``batch_size`` defaults to ``senders`` so every mix flushes exactly
+    once -- the classic single-batch Chaum round.  Without
+    ``use_padding``, message sizes vary per sender (realistic and
+    exploitable by size correlation); with it, all payloads are padded
+    to a constant cell size.
+
+    ``mix_pool`` switches from a fixed cascade to *free routing* (the
+    Tor/volunteer-network topology): ``mix_pool`` mixes exist and each
+    sender picks a random ``mixes``-hop route through them.  The
+    tracked sender's privacy then depends only on *its own* route --
+    the paper's "multi-hop, volunteer network of decentralized nodes".
+    """
+    if senders < 1:
+        raise ValueError("need at least one sender")
+    rng = _random.Random(seed)
+    if batch_size is None:
+        batch_size = senders
+    world = World()
+    network = Network(default_latency=link_latency)
+
+    # The tracked sender is the table's subject; covers fill the batch.
+    subjects = [Subject("alice")] + [Subject(f"cover-{i}") for i in range(1, senders)]
+    sender_entities = []
+    for index, subject in enumerate(subjects):
+        org = "sender-device" if index == 0 else f"cover-device-{index}"
+        sender_entities.append(
+            world.entity(
+                "Sender" if index == 0 else f"Cover {index}",
+                org,
+                trusted_by_user=True,
+            )
+        )
+
+    receiver_entity = world.entity("Receiver", "receiver-org")
+    receiver = MixReceiver(network, receiver_entity, name="receiver")
+
+    pool_size = mix_pool if mix_pool is not None else mixes
+    if pool_size < mixes:
+        raise ValueError("mix_pool must be at least the route length")
+    mix_nodes: List[MixNode] = []
+    for index in range(1, pool_size + 1):
+        entity = world.entity(f"Mix {index}", f"mix-org-{index}")
+        # Egress mixes inject chaff toward the receiver so their
+        # output batches exceed their real input (section 4.3).  In a
+        # cascade only the last node is an egress; in a free-route pool
+        # any node can be, so all get the capability.
+        is_egress_candidate = (mix_pool is not None) or index == mixes
+        mix_nodes.append(
+            MixNode(
+                network,
+                entity,
+                name=f"mix-{index}",
+                key_id=f"mix-key-{index}",
+                batch_size=batch_size,
+                rng=_random.Random(seed + index),
+                shuffle=shuffle,
+                chaff_per_flush=chaff_per_flush if is_egress_candidate else 0,
+                chaff_destination=(receiver.key_id, receiver.address)
+                if is_egress_candidate and chaff_per_flush
+                else None,
+            )
+        )
+
+    cascade_route = [(node.key_id, node.address) for node in mix_nodes[:mixes]]
+    route_rng = _random.Random(seed * 7 + 1)
+    send_times: Dict[Subject, float] = {}
+    sender_hosts = []
+    onions: List[tuple] = []
+    routes_used: List[List[int]] = []
+    for index, (subject, entity) in enumerate(zip(subjects, sender_entities)):
+        identity = LabeledValue(
+            payload=f"sender-ip-{index}",
+            label=SENSITIVE_IDENTITY,
+            subject=subject,
+            description="sender network address",
+        )
+        host = network.add_host(f"sender-{index}", entity, identity=identity)
+        sender_hosts.append(host)
+        text = f"dear receiver, from {subject}: " + "x" * (8 + 32 * index)
+        if use_padding:
+            text = text.ljust(512, ".")
+        message = make_message(text, subject)
+        entity.observe([identity, message], channel="self", session=f"send-{index}")
+        if mix_pool is not None:
+            chosen = route_rng.sample(range(pool_size), mixes)
+            routes_used.append(chosen)
+            route = [
+                (mix_nodes[i].key_id, mix_nodes[i].address) for i in chosen
+            ]
+        else:
+            routes_used.append(list(range(mixes)))
+            route = cascade_route
+        onion = build_onion(route, receiver.key_id, receiver.address, message)
+        core = onion
+        while hasattr(core, "contents") and core.contents and hasattr(
+            core.contents[0], "inner"
+        ):
+            core = core.contents[0].inner
+        onions.append((onion, core))
+        when = index * 0.001  # staggered injection
+        send_times[subject] = when
+        first_hop = route[0][1]
+        network.simulator.at(
+            when,
+            lambda h=host, o=onion, fh=first_hop: h.send(fh, o, MIX_PROTOCOL),
+        )
+
+    network.run()
+    for node in mix_nodes:  # deliver any partial final batch
+        node.flush()
+    network.run()
+
+    entity_order = (
+        ["Sender"] + [f"Mix {i}" for i in range(1, pool_size + 1)] + ["Receiver"]
+    )
+    return MixnetRun(
+        world=world,
+        network=network,
+        mixes=mix_nodes,
+        receiver=receiver,
+        analyzer=DecouplingAnalyzer(world),
+        tracked_subject=subjects[0],
+        senders=senders,
+        sender_send_times=send_times,
+        entity_order=entity_order,
+        onion_map=onions,
+        routes_used=routes_used,
+    )

@@ -1,0 +1,127 @@
+"""Multi-Party Relay clients (paper section 3.2.4).
+
+The client side of an iCloud-Private-Relay-style service: nested
+CONNECT tunnels through a configurable chain of relays, each run by a
+distinct organization, with the request TLS-sealed end-to-end to the
+origin.  Relay 1 sees the user's address and nothing else; the last
+relay resolves and contacts the origin, learning the FQDN; the origin
+sees the request from the relay pool's address.
+
+``geo_hint`` reproduces the section 4.4 regression: the client volunteers
+a coarse geolocation to the origin (so DRM-style geo-dependent services
+keep working), deliberately stepping outside the Decoupling Principle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.entities import Entity
+from repro.core.labels import PARTIAL_SENSITIVE_DATA
+from repro.core.values import LabeledValue, Sealed, Subject
+from repro.http.messages import HttpResponse, fqdn_value, make_request
+from repro.http.origin import OriginDirectory, OriginServer, TLS_HTTP_PROTOCOL
+from repro.http.proxy import CONNECT_PROTOCOL, ConnectProxy, ConnectRequest
+from repro.net.network import Network, SimHost
+
+__all__ = ["MprClient", "build_relay_chain"]
+
+
+def build_relay_chain(
+    network: Network,
+    entities: Sequence[Entity],
+    directory: OriginDirectory,
+) -> List[ConnectProxy]:
+    """One :class:`ConnectProxy` per entity; only the last can resolve
+    hostnames (the egress relay holds the directory)."""
+    relays: List[ConnectProxy] = []
+    for index, entity in enumerate(entities):
+        is_last = index == len(entities) - 1
+        relays.append(
+            ConnectProxy(
+                network,
+                entity,
+                name=f"relay-{index + 1}",
+                tunnel_key_id=f"mpr-tunnel-{index + 1}",
+                directory=directory if is_last else None,
+            )
+        )
+    return relays
+
+
+@dataclass
+class MprClient:
+    """A user of the relay chain."""
+
+    host: SimHost
+    relays: List[ConnectProxy]
+    subject: Subject
+
+    def __post_init__(self) -> None:
+        for relay in self.relays:
+            self.host.entity.grant_key(relay.tunnel_key_id)
+
+    def fetch(
+        self,
+        origin: OriginServer,
+        path: str,
+        geo_hint: Optional[str] = None,
+    ) -> HttpResponse:
+        """One request through the chain; returns the opened response."""
+        request = make_request(origin.hostname, path, self.subject)
+        self.host.entity.observe(request.content, channel="self", session="self")
+        self.host.entity.grant_key(origin.tls_key_id)
+
+        tls_payload: list = [request]
+        if geo_hint is not None:
+            tls_payload.append(
+                LabeledValue(
+                    payload=geo_hint,
+                    label=PARTIAL_SENSITIVE_DATA,
+                    subject=self.subject,
+                    description="coarse geolocation hint",
+                    provenance=("location", "coarsen"),
+                )
+            )
+        innermost = Sealed.wrap(
+            origin.tls_key_id,
+            tls_payload,
+            subject=self.subject,
+            description="end-to-end tls request",
+        )
+
+        # Build the tunnel onion from the inside out: the last relay
+        # gets the hostname (it must connect out), earlier relays get
+        # only the next relay's address.
+        payload: Sealed = innermost
+        protocol = TLS_HTTP_PROTOCOL
+        for index in range(len(self.relays) - 1, -1, -1):
+            relay = self.relays[index]
+            if index == len(self.relays) - 1:
+                hop = ConnectRequest(
+                    target=origin.hostname,
+                    target_fqdn=fqdn_value(origin.hostname, self.subject),
+                    inner=payload,
+                    inner_protocol=protocol,
+                )
+            else:
+                hop = ConnectRequest(
+                    target=self.relays[index + 1].address,
+                    inner=payload,
+                    inner_protocol=protocol,
+                )
+            payload = Sealed.wrap(
+                relay.tunnel_key_id,
+                [hop],
+                subject=self.subject,
+                description=f"tunnel layer to relay {index + 1}",
+            )
+            protocol = CONNECT_PROTOCOL
+
+        reply = self.host.transact(self.relays[0].address, payload, CONNECT_PROTOCOL)
+        # Unwrap the response layers: relay 1's tunnel, ..., then TLS.
+        for relay in self.relays:
+            (reply,) = self.host.entity.unseal(reply)
+        (response,) = self.host.entity.unseal(reply)
+        return response

@@ -1,0 +1,69 @@
+"""Striping flows across relay providers (paper section 5.1).
+
+"Non-collusion can be more effective as a system property if a user can
+dynamically stitch services or stripe usage across multiple providers."
+
+A :class:`ProviderStriper` owns several independent relay chains (each
+a complete MPR deployment by a different pair of organizations) and
+spreads the user's requests across them.  The ingress relay of any one
+provider then attributes only a fraction of the user's activity volume,
+and a full-collusion compromise of one provider exposes only that
+fraction of flows.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.metrics import entropy_bits
+from repro.http.messages import HttpResponse
+from repro.http.origin import OriginServer
+
+from .relay import MprClient
+
+__all__ = ["ProviderStriper"]
+
+
+@dataclass
+class ProviderStriper:
+    """Round-robin (or random) striping across full relay chains."""
+
+    clients: List[MprClient]
+    rng: Optional[_random.Random] = None
+    requests_by_provider: Counter = field(default_factory=Counter)
+
+    def __post_init__(self) -> None:
+        if not self.clients:
+            raise ValueError("need at least one provider chain")
+        self._next = 0
+
+    def _choose(self) -> int:
+        if self.rng is not None:
+            return self.rng.randrange(len(self.clients))
+        choice = self._next % len(self.clients)
+        self._next += 1
+        return choice
+
+    def fetch(
+        self, origin: OriginServer, path: str, geo_hint: Optional[str] = None
+    ) -> HttpResponse:
+        index = self._choose()
+        self.requests_by_provider[index] += 1
+        return self.clients[index].fetch(origin, path, geo_hint=geo_hint)
+
+    # ------------------------------------------------------------------
+    # Knowledge metrics
+    # ------------------------------------------------------------------
+
+    def max_provider_share(self) -> float:
+        """Largest fraction of the user's flows any provider carried."""
+        total = sum(self.requests_by_provider.values())
+        if total == 0:
+            return 0.0
+        return max(self.requests_by_provider.values()) / total
+
+    def flow_entropy_bits(self) -> float:
+        return entropy_bits(dict(self.requests_by_provider))

@@ -1,0 +1,26 @@
+"""Discrete-event network simulation with information-flow observation.
+
+The substrate standing in for the real Internet: hosts bound to
+observing entities, point-to-point links with latencies, passive wire
+taps, and a global traffic trace.  See DESIGN.md for why a simulator
+preserves the behaviour the paper's analyses depend on.
+"""
+
+from .addressing import Address, AddressAllocator
+from .network import Network, SimHost, WireObserver
+from .packets import Packet, estimate_size
+from .sim import Simulator
+from .trace import PacketRecord, TrafficTrace
+
+__all__ = [
+    "Address",
+    "AddressAllocator",
+    "Network",
+    "SimHost",
+    "WireObserver",
+    "Packet",
+    "estimate_size",
+    "Simulator",
+    "PacketRecord",
+    "TrafficTrace",
+]

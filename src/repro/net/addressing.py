@@ -1,0 +1,55 @@
+"""IP-like addressing for simulated hosts.
+
+Addresses are dotted-quad strings allocated from per-network prefixes.
+An address is just an identifier with a network affiliation -- enough
+for the decoupling analyses, where *whose address appears as the
+source* is the whole game.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["Address", "AddressAllocator"]
+
+
+@dataclass(frozen=True, order=True)
+class Address:
+    """A simulated network-layer address."""
+
+    value: str
+
+    def __str__(self) -> str:
+        return self.value
+
+    @property
+    def prefix(self) -> str:
+        """The /24-style network prefix (first three octets)."""
+        return ".".join(self.value.split(".")[:3])
+
+
+class AddressAllocator:
+    """Hands out sequential addresses within named prefixes.
+
+    Deterministic: the same allocation order yields the same
+    addresses, which keeps traces and test expectations stable.
+    """
+
+    def __init__(self) -> None:
+        self._next_host: Dict[str, int] = {}
+        self._next_prefix = 0
+
+    def network_prefix(self) -> str:
+        """Allocate a fresh /24 prefix (a distinct simulated network)."""
+        index = self._next_prefix
+        self._next_prefix += 1
+        return f"10.{index // 256}.{index % 256}"
+
+    def allocate(self, prefix: str) -> Address:
+        """The next free address within ``prefix``."""
+        host = self._next_host.get(prefix, 1)
+        if host > 254:
+            raise ValueError(f"prefix {prefix} exhausted")
+        self._next_host[prefix] = host + 1
+        return Address(f"{prefix}.{host}")

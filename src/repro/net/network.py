@@ -1,0 +1,332 @@
+"""The simulated network: hosts, links, delivery, observation.
+
+A star of point-to-point links with per-pair latencies.  Delivery of a
+packet does four things, in order:
+
+1. the traffic trace records the packet's wire metadata;
+2. every matching wire observer observes the payload *exterior* (taps
+   hold no decryption keys) plus the sender identity, if the sending
+   host exposes one (a user device's source address);
+3. the destination host's entity observes the payload through its own
+   keyring, and the sender identity;
+4. the destination host's protocol handler runs; a non-``None`` return
+   value is sent back as a response packet.
+
+``transact`` layers a synchronous request/response call on top, so
+protocol models read like ordinary code while the clock and trace stay
+consistent.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random as _random
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.entities import Entity
+
+from .addressing import Address, AddressAllocator
+from .packets import Packet, estimate_size
+from .sim import Simulator
+from .trace import PacketRecord, TrafficTrace
+
+__all__ = ["Network", "SimHost", "WireObserver"]
+
+_request_ids = itertools.count(1)
+
+Handler = Callable[[Packet], Any]
+
+
+class SimHost:
+    """A network endpoint bound to an observing entity.
+
+    ``identity`` is the labeled identity value that receiving a packet
+    from this host reveals (a user device sets its owner's sensitive
+    network identity; infrastructure hosts usually set none).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        entity: Entity,
+        address: Address,
+        network: "Network",
+        identity: Optional[Any] = None,
+    ) -> None:
+        self.name = name
+        self.entity = entity
+        self.address = address
+        self.network = network
+        self.identity = identity
+        self._handlers: Dict[str, Handler] = {}
+
+    def register(self, protocol: str, handler: Handler) -> None:
+        """Install the handler for one protocol tag."""
+        if protocol in self._handlers:
+            raise ValueError(f"{self.name} already handles {protocol!r}")
+        self._handlers[protocol] = handler
+
+    def handler_for(self, protocol: str) -> Optional[Handler]:
+        return self._handlers.get(protocol)
+
+    def send(
+        self,
+        dst: Address,
+        payload: Any,
+        protocol: str,
+        size: Optional[int] = None,
+        flow: Optional[str] = None,
+    ) -> None:
+        """Fire-and-forget one-way send."""
+        self.network.send(self, dst, payload, protocol, size=size, flow=flow)
+
+    def transact(
+        self,
+        dst: Address,
+        payload: Any,
+        protocol: str,
+        size: Optional[int] = None,
+        flow: Optional[str] = None,
+    ) -> Any:
+        """Synchronous request/response; returns the response payload."""
+        return self.network.transact(
+            self, dst, payload, protocol, size=size, flow=flow
+        )
+
+    def __repr__(self) -> str:
+        return f"SimHost({self.name!r}@{self.address})"
+
+
+class WireObserver:
+    """A passive tap: an entity that sees wire metadata and exteriors.
+
+    ``watches`` restricts the tap to packets whose source or
+    destination prefix matches (a tap inside one operator's network);
+    by default the tap is global.
+    """
+
+    def __init__(
+        self,
+        entity: Entity,
+        prefixes: Optional[Tuple[str, ...]] = None,
+    ) -> None:
+        self.entity = entity
+        self.prefixes = prefixes
+        self.trace = TrafficTrace()
+
+    def watches(self, packet: Packet) -> bool:
+        if self.prefixes is None:
+            return True
+        return packet.src.prefix in self.prefixes or packet.dst.prefix in self.prefixes
+
+    def notice(self, packet: Packet, time: float) -> None:
+        self.trace.record(
+            PacketRecord(
+                time=time,
+                src=packet.src,
+                dst=packet.dst,
+                size=packet.size,
+                protocol=packet.protocol,
+                packet_id=packet.packet_id,
+            )
+        )
+        if packet.sender_identity is not None:
+            self.entity.observe(
+                packet.sender_identity,
+                time=time,
+                channel="wire",
+                session=packet.session,
+            )
+        self.entity.observe(
+            packet.payload, time=time, channel="wire", session=packet.session
+        )
+
+
+class Network:
+    """The routing fabric plus the global trace and observer list."""
+
+    def __init__(
+        self,
+        simulator: Optional[Simulator] = None,
+        default_latency: float = 0.010,
+        loss_rate: float = 0.0,
+        loss_rng: Optional[_random.Random] = None,
+    ) -> None:
+        """``loss_rate`` (0..1) drops that fraction of packets for
+        failure-injection experiments; losses use ``loss_rng`` so runs
+        stay reproducible."""
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        self.simulator = simulator if simulator is not None else Simulator()
+        self.default_latency = default_latency
+        self.loss_rate = loss_rate
+        self._loss_rng = loss_rng if loss_rng is not None else _random.Random()
+        self.packets_dropped = 0
+        self.allocator = AddressAllocator()
+        self.trace = TrafficTrace()
+        self._hosts: Dict[Address, SimHost] = {}
+        self._latencies: Dict[frozenset, float] = {}
+        self._observers: List[WireObserver] = []
+        self._responses: Dict[int, Any] = {}
+        self.messages_delivered = 0
+        self.bytes_delivered = 0
+        #: Every delivered packet, in order -- simulation-side ground
+        #: truth for adversary evaluations (not adversary-visible; the
+        #: adversary gets only the metadata in ``trace``).
+        self.delivered: List[Packet] = []
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+
+    def add_host(
+        self,
+        name: str,
+        entity: Entity,
+        prefix: Optional[str] = None,
+        identity: Optional[Any] = None,
+    ) -> SimHost:
+        """Create a host on a (possibly fresh) network prefix."""
+        if prefix is None:
+            prefix = self.allocator.network_prefix()
+        address = self.allocator.allocate(prefix)
+        host = SimHost(name, entity, address, self, identity=identity)
+        self._hosts[address] = host
+        return host
+
+    def host_at(self, address: Address) -> SimHost:
+        try:
+            return self._hosts[address]
+        except KeyError:
+            raise KeyError(f"no host at {address}") from None
+
+    def set_latency(self, a: Address, b: Address, latency: float) -> None:
+        """Override the one-way latency between two hosts."""
+        self._latencies[frozenset((a, b))] = latency
+
+    def latency(self, a: Address, b: Address) -> float:
+        return self._latencies.get(frozenset((a, b)), self.default_latency)
+
+    def add_observer(self, observer: WireObserver) -> None:
+        self._observers.append(observer)
+
+    # ------------------------------------------------------------------
+    # Delivery
+    # ------------------------------------------------------------------
+
+    def send(
+        self,
+        src_host: SimHost,
+        dst: Address,
+        payload: Any,
+        protocol: str,
+        size: Optional[int] = None,
+        request_id: Optional[int] = None,
+        response_to: Optional[int] = None,
+        flow: Optional[str] = None,
+    ) -> Packet:
+        """Schedule a one-way packet; returns it (already in flight).
+
+        ``flow`` (optional) names a multi-packet interaction so that
+        observations from its packets stay linkable at the receiver --
+        a TLS session, a cellular attach procedure.
+        """
+        packet = Packet(
+            src=src_host.address,
+            dst=dst,
+            protocol=protocol,
+            payload=payload,
+            size=size if size is not None else estimate_size(payload),
+            sender_identity=src_host.identity,
+            request_id=request_id,
+            response_to=response_to,
+            sent_at=self.simulator.now,
+            flow=flow,
+        )
+        if self.loss_rate > 0 and self._loss_rng.random() < self.loss_rate:
+            self.packets_dropped += 1
+            return packet  # lost in transit: never delivered
+        delay = self.latency(src_host.address, dst)
+        self.simulator.schedule(delay, lambda: self._deliver(packet))
+        return packet
+
+    def _deliver(self, packet: Packet) -> None:
+        now = self.simulator.now
+        self.trace.record(
+            PacketRecord(
+                time=now,
+                src=packet.src,
+                dst=packet.dst,
+                size=packet.size,
+                protocol=packet.protocol,
+                packet_id=packet.packet_id,
+            )
+        )
+        for observer in self._observers:
+            if observer.watches(packet):
+                observer.notice(packet, now)
+        host = self.host_at(packet.dst)
+        if packet.sender_identity is not None:
+            host.entity.observe(
+                packet.sender_identity,
+                time=now,
+                channel="network-header",
+                session=packet.session,
+            )
+        host.entity.observe(
+            packet.payload, time=now, channel=packet.protocol, session=packet.session
+        )
+        self.messages_delivered += 1
+        self.bytes_delivered += packet.size
+        self.delivered.append(packet)
+
+        if packet.is_response:
+            self._responses[packet.response_to] = packet.payload
+            return
+        handler = host.handler_for(packet.protocol)
+        if handler is None:
+            raise KeyError(
+                f"host {host.name} has no handler for {packet.protocol!r}"
+            )
+        result = handler(packet)
+        if result is not None and packet.request_id is not None:
+            self.send(
+                host,
+                packet.src,
+                result,
+                packet.protocol,
+                response_to=packet.request_id,
+                flow=packet.flow,
+            )
+
+    def transact(
+        self,
+        src_host: SimHost,
+        dst: Address,
+        payload: Any,
+        protocol: str,
+        size: Optional[int] = None,
+        flow: Optional[str] = None,
+    ) -> Any:
+        """Send a request and pump the simulation until its response.
+
+        Nested calls from inside handlers are fine (the simulator's
+        ``run_until`` is re-entrant), so a resolver may ``transact``
+        upstream while serving a client's ``transact``.
+        """
+        request_id = next(_request_ids)
+        self.send(
+            src_host,
+            dst,
+            payload,
+            protocol,
+            size=size,
+            request_id=request_id,
+            flow=flow,
+        )
+        self.simulator.run_until(lambda: request_id in self._responses)
+        return self._responses.pop(request_id)
+
+    def run(self) -> int:
+        """Pump until idle (for one-way protocols such as mixing)."""
+        return self.simulator.run_until_idle()

@@ -1,0 +1,90 @@
+"""Packets: the unit of simulated transmission.
+
+A packet carries an arbitrary payload structure (labeled values and
+sealed envelopes from :mod:`repro.core.values`), a protocol tag, a
+size in bytes (estimated from the payload when not given), and the
+request/response bookkeeping used by
+:meth:`repro.net.network.Network.transact`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.core.values import Aggregate, LabeledValue, Sealed
+
+from .addressing import Address
+
+__all__ = ["Packet", "estimate_size"]
+
+_packet_ids = itertools.count(1)
+
+_SEALED_OVERHEAD = 48  # encapsulated key + AEAD tag, roughly
+_DEFAULT_ITEM_SIZE = 16
+
+
+def estimate_size(payload: Any) -> int:
+    """A byte-size estimate for a payload structure.
+
+    Real enough for bandwidth-overhead comparisons: bytes and strings
+    count their length, sealed envelopes add header overhead, numbers
+    count as words.
+    """
+    if payload is None:
+        return 0
+    if isinstance(payload, (bytes, bytearray)):
+        return len(payload)
+    if isinstance(payload, str):
+        return len(payload.encode("utf-8"))
+    if isinstance(payload, bool):
+        return 1
+    if isinstance(payload, int):
+        return max(1, (payload.bit_length() + 7) // 8)
+    if isinstance(payload, float):
+        return 8
+    if isinstance(payload, LabeledValue):
+        return estimate_size(payload.payload)
+    if isinstance(payload, Sealed):
+        return _SEALED_OVERHEAD + sum(estimate_size(c) for c in payload.contents)
+    if isinstance(payload, Aggregate):
+        return 8 * max(1, len(payload.contributors))
+    if isinstance(payload, dict):
+        return sum(estimate_size(k) + estimate_size(v) for k, v in payload.items())
+    if isinstance(payload, (list, tuple, set, frozenset)):
+        return sum(estimate_size(item) for item in payload)
+    return _DEFAULT_ITEM_SIZE
+
+
+@dataclass
+class Packet:
+    """One simulated datagram/stream chunk."""
+
+    src: Address
+    dst: Address
+    protocol: str
+    payload: Any
+    size: int
+    sender_identity: Optional[LabeledValue] = None
+    request_id: Optional[int] = None
+    response_to: Optional[int] = None
+    sent_at: float = 0.0
+    flow: Optional[str] = None
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+
+    @property
+    def session(self) -> str:
+        """The linkage-session tag observations of this packet carry."""
+        return self.flow if self.flow is not None else f"pkt:{self.packet_id}"
+
+    @property
+    def is_response(self) -> bool:
+        return self.response_to is not None
+
+    def __str__(self) -> str:
+        kind = f"resp->{self.response_to}" if self.is_response else f"req#{self.request_id}"
+        return (
+            f"Packet({self.protocol} {self.src}->{self.dst} "
+            f"{self.size}B {kind})"
+        )

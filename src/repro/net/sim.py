@@ -1,0 +1,91 @@
+"""A deterministic discrete-event simulator.
+
+The time base for every networked model in the package.  Events are
+``(time, sequence, callback)`` triples in a heap; ``run_until_idle``
+pumps them in order.  :meth:`Simulator.run_until` supports re-entrant
+pumping, which lets :meth:`repro.net.network.Network.transact` offer a
+synchronous request/response API on top of one-way message events --
+protocol code reads like straight-line code while timestamps stay
+globally consistent.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Tuple
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """An event queue with a monotonically advancing clock."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._sequence = itertools.count()
+        self._processed = 0
+
+    @property
+    def events_processed(self) -> int:
+        return self._processed
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` ``delay`` time units from now."""
+        if delay < 0:
+            raise ValueError("cannot schedule into the past")
+        heapq.heappush(self._queue, (self.now + delay, next(self._sequence), callback))
+
+    def at(self, time: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at absolute ``time`` (>= now)."""
+        self.schedule(time - self.now, callback)
+
+    def _step(self) -> bool:
+        if not self._queue:
+            return False
+        time, _, callback = heapq.heappop(self._queue)
+        if time < self.now:
+            raise RuntimeError("event queue went backwards in time")
+        self.now = time
+        self._processed += 1
+        callback()
+        return True
+
+    def run_until_idle(self, max_events: int = 1_000_000) -> int:
+        """Pump events until the queue drains; returns events processed."""
+        count = 0
+        while self._step():
+            count += 1
+            if count > max_events:
+                raise RuntimeError("simulation did not quiesce (event storm?)")
+        return count
+
+    def run_until(
+        self, predicate: Callable[[], bool], max_events: int = 1_000_000
+    ) -> None:
+        """Pump events until ``predicate()`` holds.
+
+        Safe to call re-entrantly from inside an event callback -- this
+        is what makes synchronous ``transact`` possible.  Raises if the
+        queue drains first.
+        """
+        count = 0
+        while not predicate():
+            if not self._step():
+                raise RuntimeError(
+                    "simulation went idle before the awaited condition held"
+                )
+            count += 1
+            if count > max_events:
+                raise RuntimeError("predicate never satisfied (event storm?)")
+
+    def advance(self, delta: float) -> None:
+        """Move the clock forward with no events (pure think time)."""
+        if delta < 0:
+            raise ValueError("cannot advance backwards")
+        self.now += delta

@@ -1,0 +1,70 @@
+"""Traffic traces: what a passive wire observer records.
+
+Encryption hides payloads but not *that a packet of some size crossed a
+link at some time* (paper section 4.3).  Every delivery appends a
+:class:`PacketRecord` to the network's :class:`TrafficTrace`; the
+timing-correlation adversary (:mod:`repro.adversary.timing`) works from
+these records alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from .addressing import Address
+
+__all__ = ["PacketRecord", "TrafficTrace"]
+
+
+@dataclass(frozen=True)
+class PacketRecord:
+    """The metadata one packet leaks to a wire observer."""
+
+    time: float
+    src: Address
+    dst: Address
+    size: int
+    protocol: str
+    packet_id: int
+
+
+class TrafficTrace:
+    """An append-only sequence of packet records."""
+
+    def __init__(self) -> None:
+        self._records: List[PacketRecord] = []
+
+    def record(self, record: PacketRecord) -> None:
+        self._records.append(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[PacketRecord]:
+        return iter(self._records)
+
+    @property
+    def records(self) -> Tuple[PacketRecord, ...]:
+        return tuple(self._records)
+
+    def between(
+        self, src: Optional[Address] = None, dst: Optional[Address] = None
+    ) -> Tuple[PacketRecord, ...]:
+        """Records filtered by endpoint(s)."""
+        return tuple(
+            r
+            for r in self._records
+            if (src is None or r.src == src) and (dst is None or r.dst == dst)
+        )
+
+    def involving(self, address: Address) -> Tuple[PacketRecord, ...]:
+        return tuple(
+            r for r in self._records if r.src == address or r.dst == address
+        )
+
+    def total_bytes(self) -> int:
+        return sum(r.size for r in self._records)
+
+    def window(self, start: float, end: float) -> Tuple[PacketRecord, ...]:
+        return tuple(r for r in self._records if start <= r.time <= end)

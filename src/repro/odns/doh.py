@@ -1,0 +1,119 @@
+"""DNS over HTTPS -- encrypted, but not oblivious.
+
+The missing rung between plain DNS and ODoH: DoH seals the query to the
+*recursive resolver itself*.  A network observer is blinded (it saw the
+qname in plain DNS), but the resolver still holds (▲, ⊙/●) -- which is
+precisely why the paper's section 3.2.2 reaches for *oblivious* DNS:
+encryption relocates knowledge, only decoupling removes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.entities import Entity
+from repro.core.values import Sealed, Subject
+from repro.crypto.hpke import HpkeKeyPair, setup_base_recipient, setup_base_sender
+from repro.dns.messages import DnsAnswer, DnsQuery, make_query
+from repro.dns.resolver import RecursiveResolver
+from repro.dns.zones import ZoneRegistry
+from repro.net.addressing import Address
+from repro.net.network import Network, SimHost
+from repro.net.packets import Packet
+
+__all__ = ["DohResolver", "DohClient", "DOH_PROTOCOL"]
+
+DOH_PROTOCOL = "doh"
+
+_DOH_INFO = b"doh query"
+
+
+@dataclass(frozen=True)
+class _DohEnvelope:
+    enc: bytes
+    ciphertext: bytes
+    envelope: Sealed
+
+
+@dataclass(frozen=True)
+class _DohResponse:
+    envelope: Sealed
+
+
+class DohResolver:
+    """A recursive resolver that terminates the encryption itself."""
+
+    def __init__(
+        self,
+        network: Network,
+        entity: Entity,
+        registry: ZoneRegistry,
+        key_seed: Optional[bytes] = None,
+        name: str = "doh-resolver",
+    ) -> None:
+        self.entity = entity
+        self.keypair = HpkeKeyPair.generate(key_seed)
+        self.key_id = f"doh:{name}"
+        entity.grant_key(self.key_id)
+        self.resolver = RecursiveResolver(network, entity, registry, name=name)
+        self.host: SimHost = self.resolver.host
+        self.host.register(DOH_PROTOCOL, self._handle)
+        self.queries_answered = 0
+
+    @property
+    def address(self) -> Address:
+        return self.host.address
+
+    @property
+    def public_key(self) -> bytes:
+        return self.keypair.public_bytes
+
+    def _handle(self, packet: Packet) -> _DohResponse:
+        wrapped: _DohEnvelope = packet.payload
+        context = setup_base_recipient(wrapped.enc, self.keypair, _DOH_INFO)
+        plaintext_name = context.open(wrapped.ciphertext).decode("utf-8")
+        (query,) = self.entity.unseal(wrapped.envelope)
+        if not isinstance(query, DnsQuery) or query.name != plaintext_name:
+            raise ValueError("HPKE plaintext does not match the logical envelope")
+        answer = self.resolver.resolve(query)
+        self.queries_answered += 1
+        session_key_id = f"doh-resp:{wrapped.enc.hex()[:16]}"
+        self.entity.grant_key(session_key_id)
+        return _DohResponse(
+            envelope=Sealed.wrap(
+                session_key_id,
+                [answer],
+                subject=query.qname.subject,
+                description="doh response",
+            )
+        )
+
+
+class DohClient:
+    """The stub side: seal the query straight to the resolver."""
+
+    def __init__(
+        self, host: SimHost, resolver: DohResolver, subject: Subject
+    ) -> None:
+        self.host = host
+        self.resolver = resolver
+        self.subject = subject
+
+    def lookup(self, name: str, qtype: str = "A") -> DnsAnswer:
+        query = make_query(name, self.subject, qtype)
+        sender = setup_base_sender(self.resolver.public_key, _DOH_INFO)
+        ciphertext = sender.seal(name.encode("utf-8"))
+        envelope = Sealed.wrap(
+            self.resolver.key_id,
+            [query],
+            subject=self.subject,
+            description="doh encrypted query",
+        )
+        self.host.entity.grant_key(f"doh-resp:{sender.enc.hex()[:16]}")
+        wrapped = _DohEnvelope(enc=sender.enc, ciphertext=ciphertext, envelope=envelope)
+        response: _DohResponse = self.host.transact(
+            self.resolver.address, wrapped, DOH_PROTOCOL
+        )
+        (answer,) = self.host.entity.unseal(response.envelope)
+        return answer

@@ -1,0 +1,159 @@
+"""Original Oblivious DNS (paper section 3.2.2, ODNS variant).
+
+The client encrypts the real query and disguises it as a name under a
+special zone (``<blob>.odns.example``).  The user's *regular recursive
+resolver* handles it like any query: it recurses to the authoritative
+server for ``odns.example`` -- which is the *oblivious resolver*,
+holding the decryption key.  The oblivious resolver recovers the real
+query, resolves it recursively, and returns the answer encrypted under
+a client-chosen session key carried inside the query.
+
+The recursive resolver learns who asked (client IP) but only sees an
+opaque label; the oblivious resolver sees the query but only the
+recursive resolver's address.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+
+from repro.core.entities import Entity
+from repro.core.values import Sealed, Subject
+from repro.dns.messages import DnsAnswer, DnsQuery, make_query
+from repro.dns.resolver import DNS_PROTOCOL, RecursiveResolver
+from repro.dns.zones import AUTH_PROTOCOL, ZoneRegistry
+from repro.net.addressing import Address
+from repro.net.network import Network, SimHost
+from repro.net.packets import Packet
+
+__all__ = ["ObliviousResolver", "OdnsClient", "OdnsAwareResolver", "ODNS_SUFFIX"]
+
+ODNS_SUFFIX = "odns.example"
+
+_session_counter = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class _OdnsQuery:
+    """An obfuscated query: an opaque envelope riding the DNS path."""
+
+    obfuscated: Sealed  # sealed to the oblivious resolver
+    suffix: str = ODNS_SUFFIX
+
+
+@dataclass(frozen=True)
+class _OdnsAnswer:
+    """The oblivious resolver's reply, sealed to the client session."""
+
+    envelope: Sealed
+
+
+@dataclass(frozen=True)
+class _InnerQuery:
+    """What the oblivious resolver finds inside: query + reply key."""
+
+    query: DnsQuery
+    session_key_id: str
+
+
+class ObliviousResolver:
+    """Authoritative for the ODNS zone; decrypts and recurses."""
+
+    def __init__(
+        self,
+        network: Network,
+        entity: Entity,
+        registry: ZoneRegistry,
+        name: str = "oblivious-resolver",
+    ) -> None:
+        self.entity = entity
+        self.key_id = f"odns:{name}"
+        entity.grant_key(self.key_id)
+        # A full recursive resolver for the inner (real) queries.
+        self.resolver = RecursiveResolver(network, entity, registry, name=name)
+        self.host: SimHost = self.resolver.host
+        self.host.register(AUTH_PROTOCOL + ":odns", self._handle)
+        registry.delegate(ODNS_SUFFIX, self.host.address)
+        self.queries_answered = 0
+
+    @property
+    def address(self) -> Address:
+        return self.host.address
+
+    def _handle(self, packet: Packet) -> _OdnsAnswer:
+        odns_query: _OdnsQuery = packet.payload
+        (inner,) = self.entity.unseal(odns_query.obfuscated)
+        if not isinstance(inner, _InnerQuery):
+            raise TypeError("odns envelope did not contain an inner query")
+        answer = self.resolver.resolve(inner.query)
+        self.queries_answered += 1
+        self.entity.grant_key(inner.session_key_id)
+        return _OdnsAnswer(
+            envelope=Sealed.wrap(
+                inner.session_key_id,
+                [answer],
+                subject=inner.query.qname.subject,
+                description="odns answer",
+            )
+        )
+
+
+class OdnsAwareResolver(RecursiveResolver):
+    """A recursive resolver that also routes obfuscated ODNS queries.
+
+    To the operator this is a stock resolver: the ODNS query is just a
+    name in a zone it is not authoritative for, so it forwards to that
+    zone's authoritative server (the oblivious resolver).
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        entity: Entity,
+        registry: ZoneRegistry,
+        name: str = "recursive-resolver",
+    ) -> None:
+        super().__init__(network, entity, registry, name=name)
+        self.host.register(DNS_PROTOCOL + ":odns", self._handle_odns)
+
+    def _handle_odns(self, packet: Packet) -> _OdnsAnswer:
+        odns_query: _OdnsQuery = packet.payload
+        upstream = self.registry.authoritative_for(f"blob.{odns_query.suffix}")
+        return self.host.transact(upstream, odns_query, AUTH_PROTOCOL + ":odns")
+
+
+class OdnsClient:
+    """The stub side: obfuscate, send to the regular resolver."""
+
+    def __init__(
+        self,
+        host: SimHost,
+        resolver_address: Address,
+        oblivious: ObliviousResolver,
+        subject: Subject,
+    ) -> None:
+        self.host = host
+        self.resolver_address = resolver_address
+        self.oblivious = oblivious
+        self.subject = subject
+
+    def lookup(self, name: str, qtype: str = "A") -> DnsAnswer:
+        query = make_query(name, self.subject, qtype)
+        session_key_id = f"odns-session:{next(_session_counter)}"
+        self.host.entity.grant_key(session_key_id)
+        inner = _InnerQuery(query=query, session_key_id=session_key_id)
+        obfuscated = Sealed.wrap(
+            self.oblivious.key_id,
+            [inner],
+            subject=self.subject,
+            description="odns obfuscated query",
+        )
+        response: _OdnsAnswer = self.host.transact(
+            self.resolver_address,
+            _OdnsQuery(obfuscated=obfuscated),
+            DNS_PROTOCOL + ":odns",
+        )
+        (answer,) = self.host.entity.unseal(response.envelope)
+        return answer

@@ -1,0 +1,243 @@
+"""The T4 scenarios: plain DNS (baseline), ODNS, and ODoH.
+
+Each run resolves a handful of names and then fetches content from the
+web origin.  Following the paper's layering argument (section 2.1), the
+fetch rides a connection-level privacy layer (an anonymized network
+identity, as Private Relay or Tor would provide): the T4 table analyzes
+the *resolution* path, and its Origin column presumes the connection
+layer is not re-identifying the user.  The plain-DNS baseline shows the
+coupled alternative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.analysis import DecouplingAnalyzer
+from repro.core.entities import World
+from repro.core.labels import NONSENSITIVE_IDENTITY, SENSITIVE_IDENTITY
+from repro.core.values import LabeledValue, Sealed, Subject
+from repro.dns.resolver import RecursiveResolver, StubResolver
+from repro.dns.zones import AuthoritativeServer, Zone, ZoneRegistry
+from repro.http.messages import make_request
+from repro.http.origin import OriginDirectory, OriginServer, TLS_HTTP_PROTOCOL
+from repro.net.network import Network
+
+from .doh import DohClient, DohResolver
+from .odns import ObliviousResolver, OdnsAwareResolver, OdnsClient
+from .odoh import ObliviousProxy, ObliviousTarget, OdohClient
+
+__all__ = [
+    "OdnsRun",
+    "run_plain_dns",
+    "run_doh",
+    "run_odns",
+    "run_odoh",
+    "PAPER_TABLE_T4_ODNS",
+    "PAPER_TABLE_T4_ODOH",
+]
+
+#: The paper's section 3.2.2 table (ODNS naming), exactly as printed.
+PAPER_TABLE_T4_ODNS: Dict[str, str] = {
+    "Client": "(▲, ●)",
+    "Resolver": "(▲, ⊙)",
+    "Oblivious Resolver": "(△, ⊙/●)",
+    "Origin": "(△, ●)",
+}
+
+#: The same analysis under ODoH naming (proxy/target).
+PAPER_TABLE_T4_ODOH: Dict[str, str] = {
+    "Client": "(▲, ●)",
+    "Oblivious Proxy": "(▲, ⊙)",
+    "Oblivious Target": "(△, ⊙/●)",
+    "Origin": "(△, ●)",
+}
+
+_NAMES = ["www.example.com", "mail.example.com", "news.example.com"]
+
+
+@dataclass
+class OdnsRun:
+    """Everything produced by one DNS-privacy scenario run."""
+
+    world: World
+    network: Network
+    analyzer: DecouplingAnalyzer
+    variant: str
+    table_entities: List[str]
+    answers: List[str]
+    fetches: int
+    #: The protocol client (OdnsClient / OdohClient / StubResolver),
+    #: kept so benchmarks can issue further queries against the run.
+    client: Optional[object] = None
+
+    def table(self):
+        return self.analyzer.table(
+            entities=self.table_entities,
+            title=f"T4: {self.variant}",
+        )
+
+
+def _base_world(variant: str):
+    world = World()
+    network = Network()
+    registry = ZoneRegistry()
+    zone = Zone("example.com")
+    for name in _NAMES:
+        zone.add(name, "93.184.216.34")
+    auth_entity = world.entity("Authoritative (example.com)", "dns-infra")
+    AuthoritativeServer(network, auth_entity, zone, registry)
+    subject = Subject("alice")
+    client_entity = world.entity("Client", "client-device", trusted_by_user=True)
+    client_identity = LabeledValue(
+        payload="198.51.100.7",
+        label=SENSITIVE_IDENTITY,
+        subject=subject,
+        description="client ip",
+    )
+    query_host = network.add_host("client", client_entity, identity=client_identity)
+    client_entity.observe(client_identity, channel="self", session="self")
+    return world, network, registry, subject, client_entity, query_host, client_identity
+
+
+def _fetch_via_anonymized(world, network, subject, client_entity, names) -> int:
+    """Fetch each resolved name over an anonymized connection layer."""
+    origin_entity = world.entity("Origin", "origin-org")
+    directory = OriginDirectory()
+    origin = OriginServer(
+        network, origin_entity, "www.example.com", directory=directory
+    )
+    anonymized = LabeledValue(
+        payload="relay-egress-pool",
+        label=NONSENSITIVE_IDENTITY,
+        subject=subject,
+        description="anonymized network identity",
+        provenance=("address", "anonymize"),
+    )
+    fetch_host = network.add_host("client-anon", client_entity, identity=anonymized)
+    client_entity.grant_key(origin.tls_key_id)
+    fetches = 0
+    for name in names:
+        request = make_request("www.example.com", f"/{name}", subject)
+        client_entity.observe(request.content, channel="self", session="self")
+        sealed = Sealed.wrap(
+            origin.tls_key_id,
+            [request],
+            subject=subject,
+            description="tls request",
+        )
+        reply = fetch_host.transact(origin.address, sealed, TLS_HTTP_PROTOCOL)
+        if reply is not None:
+            fetches += 1
+    return fetches
+
+
+def run_plain_dns(queries: int = 3) -> OdnsRun:
+    """The coupled baseline: a stock recursive resolver sees all."""
+    world, network, registry, subject, client_entity, host, _ = _base_world("plain")
+    resolver_entity = world.entity("Resolver", "resolver-org")
+    resolver = RecursiveResolver(network, resolver_entity, registry)
+    stub = StubResolver(host, resolver.address)
+    answers = []
+    for name in _NAMES[:queries]:
+        answers.append(stub.lookup(name, subject).rdata or "NXDOMAIN")
+    fetches = _fetch_via_anonymized(world, network, subject, client_entity, _NAMES[:queries])
+    network.run()
+    return OdnsRun(
+        world=world,
+        network=network,
+        analyzer=DecouplingAnalyzer(world),
+        variant="plain DNS (baseline)",
+        table_entities=["Client", "Resolver", "Origin"],
+        answers=answers,
+        fetches=fetches,
+        client=stub,
+    )
+
+
+def run_doh(queries: int = 3, key_seed: Optional[bytes] = b"\x51" * 32) -> OdnsRun:
+    """DNS over HTTPS: encrypted to the resolver, still coupled there.
+
+    The rung between plain DNS and ODoH: a wire observer no longer sees
+    query names, but the resolver's knowledge is unchanged -- the
+    paper's motivation for *oblivious* designs.
+    """
+    from repro.net.network import WireObserver
+
+    world, network, registry, subject, client_entity, host, _ = _base_world("doh")
+    # The observer is the client's access network (coffee-shop WiFi,
+    # ISP): it taps the client's links, not the resolver's upstream
+    # (where recursion to authoritatives is plaintext regardless).
+    observer_entity = world.entity("Network Observer", "access-isp")
+    network.add_observer(
+        WireObserver(observer_entity, prefixes=(host.address.prefix,))
+    )
+    resolver_entity = world.entity("Resolver", "resolver-org")
+    resolver = DohResolver(network, resolver_entity, registry, key_seed=key_seed)
+    client = DohClient(host, resolver, subject)
+    answers = []
+    for name in _NAMES[:queries]:
+        answers.append(client.lookup(name).rdata or "NXDOMAIN")
+    fetches = _fetch_via_anonymized(world, network, subject, client_entity, _NAMES[:queries])
+    network.run()
+    return OdnsRun(
+        world=world,
+        network=network,
+        analyzer=DecouplingAnalyzer(world),
+        variant="DoH (encrypted, not oblivious)",
+        table_entities=["Client", "Network Observer", "Resolver", "Origin"],
+        answers=answers,
+        fetches=fetches,
+        client=client,
+    )
+
+
+def run_odns(queries: int = 3) -> OdnsRun:
+    """The original ODNS protocol run."""
+    world, network, registry, subject, client_entity, host, _ = _base_world("odns")
+    resolver_entity = world.entity("Resolver", "resolver-org")
+    oblivious_entity = world.entity("Oblivious Resolver", "oblivious-org")
+    resolver = OdnsAwareResolver(network, resolver_entity, registry)
+    oblivious = ObliviousResolver(network, oblivious_entity, registry)
+    client = OdnsClient(host, resolver.address, oblivious, subject)
+    answers = []
+    for name in _NAMES[:queries]:
+        answers.append(client.lookup(name).rdata or "NXDOMAIN")
+    fetches = _fetch_via_anonymized(world, network, subject, client_entity, _NAMES[:queries])
+    network.run()
+    return OdnsRun(
+        world=world,
+        network=network,
+        analyzer=DecouplingAnalyzer(world),
+        variant="ODNS",
+        table_entities=["Client", "Resolver", "Oblivious Resolver", "Origin"],
+        answers=answers,
+        fetches=fetches,
+        client=client,
+    )
+
+
+def run_odoh(queries: int = 3, key_seed: Optional[bytes] = b"\x42" * 32) -> OdnsRun:
+    """The ODoH protocol run (real HPKE on the wire)."""
+    world, network, registry, subject, client_entity, host, _ = _base_world("odoh")
+    proxy_entity = world.entity("Oblivious Proxy", "proxy-org")
+    target_entity = world.entity("Oblivious Target", "target-org")
+    target = ObliviousTarget(network, target_entity, registry, key_seed=key_seed)
+    proxy = ObliviousProxy(network, proxy_entity, target.address)
+    client = OdohClient(host, proxy, target, subject)
+    answers = []
+    for name in _NAMES[:queries]:
+        answers.append(client.lookup(name).rdata or "NXDOMAIN")
+    fetches = _fetch_via_anonymized(world, network, subject, client_entity, _NAMES[:queries])
+    network.run()
+    return OdnsRun(
+        world=world,
+        network=network,
+        analyzer=DecouplingAnalyzer(world),
+        variant="ODoH",
+        table_entities=["Client", "Oblivious Proxy", "Oblivious Target", "Origin"],
+        answers=answers,
+        fetches=fetches,
+        client=client,
+    )

@@ -1,0 +1,251 @@
+"""A message-level cellular network: UEs, base stations, and a core.
+
+Just enough of the cellular architecture to reproduce the paper's PGPP
+analysis (section 3.2.3): user equipment attaches through base stations
+to a next-generation core (NGC) that authenticates subscribers and
+tracks their mobility.  In the traditional design, the IMSI on the SIM
+is permanent and bound to the billing identity, so the core's mobility
+log *is* a location trace of a named person; PGPP's gateway
+(:mod:`repro.pgpp.gateway`) severs exactly that binding.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.core.entities import Entity
+from repro.core.labels import (
+    SENSITIVE_DATA,
+    SENSITIVE_HUMAN_IDENTITY,
+)
+from repro.core.values import LabeledValue, Subject
+from repro.net.addressing import Address
+from repro.net.network import Network, SimHost
+from repro.net.packets import Packet
+
+__all__ = [
+    "AttachRequest",
+    "AttachResult",
+    "BaseStation",
+    "CellularCore",
+    "UserEquipment",
+    "RRC_PROTOCOL",
+    "ATTACH_PROTOCOL",
+    "DATA_PROTOCOL",
+]
+
+RRC_PROTOCOL = "rrc"
+ATTACH_PROTOCOL = "ngc-attach"
+DATA_PROTOCOL = "ngc-data"
+
+_attach_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class AttachRequest:
+    """A UE attaching at a cell: network identity + presence."""
+
+    imsi: LabeledValue  # ▲_N (traditional) or △_N (PGPP)
+    location: LabeledValue  # the cell the UE is present at: ● data
+    credential: Any = None  # traditional: none; PGPP: an auth token
+
+
+@dataclass(frozen=True)
+class AttachResult:
+    accepted: bool
+    session: str = ""
+    reason: str = ""
+
+
+class BaseStation:
+    """One cell: relays attach requests to the core."""
+
+    def __init__(
+        self,
+        network: Network,
+        entity: Entity,
+        cell_id: str,
+        core_address: Address,
+    ) -> None:
+        self.cell_id = cell_id
+        self.core_address = core_address
+        self.host: SimHost = network.add_host(f"cell:{cell_id}", entity)
+        self.host.register(RRC_PROTOCOL, self._handle)
+        self.attaches_relayed = 0
+
+    @property
+    def address(self) -> Address:
+        return self.host.address
+
+    def _handle(self, packet: Packet) -> AttachResult:
+        request: AttachRequest = packet.payload
+        self.attaches_relayed += 1
+        return self.host.transact(
+            self.core_address, request, ATTACH_PROTOCOL, flow=packet.flow
+        )
+
+
+class CellularCore:
+    """The NGC: authentication, mobility state, and data relay.
+
+    ``subscriber_db`` maps IMSI -> billing identity; in the traditional
+    architecture the core consults it at attach (observing the human
+    identity), while a PGPP core has no such binding and instead
+    verifies the attach credential via a validator callback.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        entity: Entity,
+        name: str = "ngc",
+    ) -> None:
+        self.entity = entity
+        self.host: SimHost = network.add_host(name, entity)
+        self.host.register(ATTACH_PROTOCOL, self._handle_attach)
+        self.host.register(DATA_PROTOCOL, self._handle_data)
+        self.subscriber_db: Dict[str, LabeledValue] = {}
+        self.credential_validator = None  # set by the PGPP gateway
+        self.mobility_log: List[Tuple[float, str, str]] = []  # (t, imsi, cell)
+        self.attaches = 0
+        self.upstream_directory: Dict[str, Address] = {}
+        self._admitted: Set[str] = set()  # imsis with a live session
+
+    @property
+    def address(self) -> Address:
+        return self.host.address
+
+    def register_subscriber(self, imsi: str, billing: LabeledValue) -> None:
+        """Traditional provisioning: bind an IMSI to a billing identity."""
+        self.subscriber_db[imsi] = billing
+
+    def register_upstream(self, name: str, address: Address) -> None:
+        """Make an internet service reachable through the data plane."""
+        self.upstream_directory[name] = address
+
+    def _handle_attach(self, packet: Packet) -> AttachResult:
+        request: AttachRequest = packet.payload
+        imsi = str(request.imsi.payload)
+        now = self.host.network.simulator.now
+        if self.credential_validator is not None:
+            # PGPP mode: anonymous credential check, no subscriber DB.
+            # Tokens are single-use: the initial attach presents one;
+            # handovers ride the admitted session (credential None).
+            if request.credential is not None:
+                if not self.credential_validator(request.credential):
+                    return AttachResult(accepted=False, reason="bad credential")
+                self._admitted.add(imsi)
+            elif imsi not in self._admitted:
+                return AttachResult(accepted=False, reason="no session")
+        else:
+            # Traditional mode: authentication = subscriber DB lookup,
+            # which reveals the billing identity to the core.
+            billing = self.subscriber_db.get(imsi)
+            if billing is None:
+                return AttachResult(accepted=False, reason="unknown imsi")
+            self.entity.observe(
+                billing, time=now, channel="subscriber-db", session=packet.session
+            )
+        self.attaches += 1
+        self.mobility_log.append((now, imsi, str(request.location.payload)))
+        return AttachResult(accepted=True, session=f"attach-{next(_attach_ids)}")
+
+    def _handle_data(self, packet: Packet) -> Any:
+        """Relay a data-plane message to an upstream service."""
+        destination_name, inner = packet.payload
+        upstream = self.upstream_directory.get(destination_name)
+        if upstream is None:
+            raise LookupError(f"NGC has no route to {destination_name!r}")
+        return self.host.transact(upstream, inner, "ott", flow=packet.flow)
+
+
+class UserEquipment:
+    """A phone: an IMSI-bearing radio endpoint that moves across cells."""
+
+    def __init__(
+        self,
+        network: Network,
+        entity: Entity,
+        subject: Subject,
+        imsi_value: LabeledValue,
+        human_name: str,
+        true_network_identity: Optional[LabeledValue] = None,
+    ) -> None:
+        self.network = network
+        self.entity = entity
+        self.subject = subject
+        self.imsi_value = imsi_value
+        self.human_identity = LabeledValue(
+            payload=human_name,
+            label=SENSITIVE_HUMAN_IDENTITY,
+            subject=subject,
+            description="billing identity",
+        )
+        # What the *user* knows as her sensitive network identity: the
+        # IMSI itself in the traditional design; the underlying device
+        # identity in PGPP (where the broadcast IMSI is a pseudonym).
+        self.true_network_identity = (
+            true_network_identity if true_network_identity is not None else imsi_value
+        )
+        self.host: SimHost = network.add_host(
+            f"ue:{subject}", entity, identity=imsi_value
+        )
+        self.attached_cell: Optional[BaseStation] = None
+        self._epoch = 0
+
+    @property
+    def flow(self) -> str:
+        """The radio-session flow: linkable within an IMSI epoch only.
+
+        Rotating the IMSI starts a fresh session; the core can link
+        everything a UE does under one IMSI (that continuity is what
+        the identifier provides) but nothing across rotations.
+        """
+        return f"ue-flow:{self.subject}:{self._epoch}"
+
+    def set_imsi(self, imsi_value: LabeledValue) -> None:
+        """Rotate the network identity (PGPP epoch change)."""
+        self.imsi_value = imsi_value
+        self.host.identity = imsi_value
+        self._epoch += 1
+        self.attached_cell = None
+
+    def location_fix(self, cell_id: str) -> LabeledValue:
+        return LabeledValue(
+            payload=cell_id,
+            label=SENSITIVE_DATA,
+            subject=self.subject,
+            description="location fix",
+            provenance=("presence",),
+        )
+
+    def attach(self, cell: BaseStation, credential: Any = None) -> AttachResult:
+        """Attach (or hand over) at ``cell``."""
+        location = self.location_fix(cell.cell_id)
+        self.entity.observe(
+            [self.true_network_identity, self.human_identity, location],
+            channel="self",
+            session="self",
+        )
+        request = AttachRequest(
+            imsi=self.imsi_value, location=location, credential=credential
+        )
+        result: AttachResult = self.host.transact(
+            cell.address, request, RRC_PROTOCOL, flow=self.flow
+        )
+        if result.accepted:
+            self.attached_cell = cell
+        return result
+
+    def send_data(self, destination_name: str, inner: Any) -> Any:
+        """Send application data through the attached cell's core path."""
+        if self.attached_cell is None:
+            raise RuntimeError("UE is not attached")
+        # The data plane rides the same flow as the attach, as it does
+        # in a real session: the core can link them.
+        core = self.attached_cell.core_address
+        return self.host.transact(
+            core, (destination_name, inner), DATA_PROTOCOL, flow=self.flow
+        )

@@ -1,0 +1,186 @@
+"""The PGPP gateway: billing and authentication, out of the core.
+
+Paper section 3.2.3: PGPP "decouples billing and authentication from
+the cellular core, altering it to use an over-the-top oblivious
+authentication protocol to an external server, the PGPP-GW, that can be
+operated by a second organization".
+
+The gateway sells blind-signed attach tokens: purchase is authenticated
+(the gateway learns the billing identity, ▲_H) but the token it signs
+is blinded (⊙), so tokens presented at attach are unlinkable to any
+purchase.  The core validates tokens offline against the gateway's
+public key and never talks billing.
+"""
+
+from __future__ import annotations
+
+import random as _random
+import secrets
+from dataclasses import dataclass
+from typing import Any, Optional, Set
+
+from repro.core.entities import Entity
+from repro.core.labels import NONSENSITIVE_DATA
+from repro.core.values import LabeledValue, Sealed, Subject
+from repro.crypto.blind import BlindSigner, blind, unblind
+from repro.crypto.rsa import RsaPublicKey, generate_rsa_keypair
+from repro.net.addressing import Address
+from repro.net.network import Network, SimHost
+from repro.net.packets import Packet
+
+__all__ = ["AttachToken", "PgppGateway", "TokenPurchaser", "PURCHASE_PROTOCOL"]
+
+PURCHASE_PROTOCOL = "pgpp-purchase"
+
+
+@dataclass(frozen=True)
+class AttachToken:
+    """An unlinkable, single-use attach credential."""
+
+    serial: bytes
+    signature: int
+
+
+@dataclass(frozen=True)
+class _PurchaseRequest:
+    billing: LabeledValue  # ▲_H: who is paying
+    blinded: LabeledValue  # ⊙: the blinded token serial
+
+
+@dataclass(frozen=True)
+class _PurchaseResponse:
+    blinded_signature: int
+
+
+class PgppGateway:
+    """Sells blind-signed attach tokens; validates nothing else."""
+
+    def __init__(
+        self,
+        network: Network,
+        entity: Entity,
+        key_bits: int = 512,
+        rng: Optional[_random.Random] = None,
+        name: str = "pgpp-gw",
+    ) -> None:
+        self.entity = entity
+        self._signer = BlindSigner(generate_rsa_keypair(key_bits, rng=rng))
+        entity.grant_key(f"gw:{name}")
+        self.host: SimHost = network.add_host(name, entity)
+        self.host.register(PURCHASE_PROTOCOL, self._handle_purchase)
+        self.host.register("ott", self._handle_ott_purchase)
+        self.tokens_sold = 0
+        self.spent: Set[bytes] = set()
+
+    @property
+    def address(self) -> Address:
+        return self.host.address
+
+    @property
+    def public_key(self) -> RsaPublicKey:
+        return self._signer.public
+
+    def _serve_purchase(self, request: _PurchaseRequest) -> _PurchaseResponse:
+        blinded_signature = self._signer.sign(int(request.blinded.payload))
+        self.tokens_sold += 1
+        return _PurchaseResponse(blinded_signature=blinded_signature)
+
+    def _handle_purchase(self, packet: Packet) -> _PurchaseResponse:
+        return self._serve_purchase(packet.payload)
+
+    def _handle_ott_purchase(self, packet: Packet) -> Any:
+        """The same purchase arriving over the cellular data plane.
+
+        The payload is sealed to the gateway (the core relayed bytes it
+        cannot read); the response is sealed back the same way.
+        """
+        sealed: Sealed = packet.payload
+        (request, reply_key) = self.entity.unseal(sealed)
+        response = self._serve_purchase(request)
+        self.entity.grant_key(reply_key)
+        return Sealed.wrap(
+            reply_key,
+            [response],
+            subject=request.billing.subject,
+            description="pgpp purchase response",
+        )
+
+    def validate(self, credential: Any) -> bool:
+        """Offline token validation, usable by the core as a callback."""
+        if not isinstance(credential, AttachToken):
+            return False
+        if credential.serial in self.spent:
+            return False
+        if not self.public_key.verify(credential.serial, credential.signature):
+            return False
+        self.spent.add(credential.serial)
+        return True
+
+
+class TokenPurchaser:
+    """The UE-side purchase flow: blind, pay, unblind."""
+
+    def __init__(
+        self,
+        entity: Entity,
+        subject: Subject,
+        billing_identity: LabeledValue,
+        rng: Optional[_random.Random] = None,
+    ) -> None:
+        self.entity = entity
+        self.subject = subject
+        self.billing_identity = billing_identity
+        self.rng = rng
+        self._counter = 0
+
+    def _new_serial(self) -> bytes:
+        if self.rng is not None:
+            return bytes(self.rng.randrange(256) for _ in range(16))
+        return secrets.token_bytes(16)
+
+    def _build_request(self, gateway: PgppGateway):
+        serial = self._new_serial()
+        state = blind(gateway.public_key, serial, self.rng)
+        self.entity.observe(self.billing_identity, channel="self", session="self")
+        request = _PurchaseRequest(
+            billing=self.billing_identity,
+            blinded=LabeledValue(
+                payload=state.blinded_value,
+                label=NONSENSITIVE_DATA,
+                subject=self.subject,
+                description="blinded attach token",
+                provenance=("serial", "blind"),
+            ),
+        )
+        return serial, state, request
+
+    def purchase_direct(self, host: SimHost, gateway: PgppGateway) -> AttachToken:
+        """Buy a token over an out-of-band connection (e.g. WiFi)."""
+        serial, state, request = self._build_request(gateway)
+        response: _PurchaseResponse = host.transact(
+            gateway.address, request, PURCHASE_PROTOCOL
+        )
+        signature = unblind(gateway.public_key, state, response.blinded_signature)
+        return AttachToken(serial=serial, signature=signature)
+
+    def purchase_over_cellular(self, ue, gateway: PgppGateway) -> AttachToken:
+        """Buy a token over the cellular data plane (the core relays).
+
+        This is the deployment the paper's collusion caveat bites: the
+        core relays the (sealed) purchase inside the user's radio
+        session, so a colluding core + gateway can join their logs.
+        """
+        serial, state, request = self._build_request(gateway)
+        self._counter += 1
+        reply_key = f"pgpp-reply:{self.subject}:{self._counter}"
+        self.entity.grant_key(reply_key)
+        sealed = Sealed.wrap(
+            f"gw:{gateway.host.name}",
+            [request, reply_key],
+            subject=self.subject,
+            description="sealed token purchase",
+        )
+        response_sealed: Sealed = ue.send_data("pgpp-gw", sealed)
+        (response,) = self.entity.unseal(response_sealed)
+        signature = unblind(gateway.public_key, state, response.blinded_signature)
+        return AttachToken(serial=serial, signature=signature)

@@ -1,0 +1,278 @@
+"""The T5 scenarios: traditional cellular (baseline) versus PGPP.
+
+Both runs simulate a population of phones doing a seeded random walk
+across cells, attaching/handing over at each step.  The baseline binds
+permanent IMSIs to billing identities inside the core; the PGPP run
+moves billing to the gateway, attaches with blind-signed tokens, and
+rotates (shuffles) IMSIs every epoch.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.analysis import DecouplingAnalyzer
+from repro.core.entities import World
+from repro.core.labels import (
+    NONSENSITIVE_NETWORK_IDENTITY,
+    SENSITIVE_NETWORK_IDENTITY,
+)
+from repro.core.values import LabeledValue, Subject
+from repro.net.network import Network
+
+from .cellular import BaseStation, CellularCore, UserEquipment
+from .gateway import AttachToken, PgppGateway, TokenPurchaser
+from .mobility import make_mobility
+
+__all__ = [
+    "PgppRun",
+    "run_baseline_cellular",
+    "run_pgpp",
+    "PAPER_TABLE_T5",
+    "BASELINE_TABLE_T5",
+]
+
+#: The paper's section 3.2.3 table, exactly as printed.
+PAPER_TABLE_T5: Dict[str, str] = {
+    "User": "(▲_H, ▲_N, ●)",
+    "PGPP-GW": "(▲_H, △_N, ⊙)",
+    "NGC": "(△_H, △_N, ●)",
+}
+
+#: The traditional architecture the paper contrasts against.
+BASELINE_TABLE_T5: Dict[str, str] = {
+    "User": "(▲_H, ▲_N, ●)",
+    "NGC": "(▲_H, ▲_N, ●)",
+}
+
+
+@dataclass
+class PgppRun:
+    """Everything produced by one cellular scenario run."""
+
+    world: World
+    network: Network
+    core: CellularCore
+    ues: List[UserEquipment]
+    analyzer: DecouplingAnalyzer
+    variant: str
+    table_entities: List[str]
+    attaches: int
+    gateway: Optional[PgppGateway] = None
+    #: Ground truth for the tracking adversary: per user, the IMSI they
+    #: broadcast in each epoch (simulation-side omniscience).
+    imsi_history: Dict[Subject, List[str]] = None  # type: ignore[assignment]
+
+    def imsi_truth(self) -> Dict[str, List[str]]:
+        """First-epoch imsi -> true imsi chain, for tracking_accuracy."""
+        if not self.imsi_history:
+            return {}
+        return {chain[0]: list(chain) for chain in self.imsi_history.values()}
+
+    def table(self):
+        return self.analyzer.table(
+            entities=self.table_entities,
+            subject=self.ues[0].subject,
+            title=f"T5: {self.variant}",
+        )
+
+    def mobility_entries(self) -> int:
+        return len(self.core.mobility_log)
+
+
+def _build_cells(
+    world: World, network: Network, core: CellularCore, cells: int
+) -> List[BaseStation]:
+    stations = []
+    for index in range(cells):
+        entity = world.entity(f"Cell {index}", "operator")
+        stations.append(
+            BaseStation(network, entity, cell_id=f"cell-{index}", core_address=core.address)
+        )
+    return stations
+
+
+def _walk(
+    rng: _random.Random, cells: int, steps: int, start: Optional[int] = None
+) -> List[int]:
+    """A lazy random walk over the cell grid."""
+    position = rng.randrange(cells) if start is None else start
+    path = [position]
+    for _ in range(steps - 1):
+        position = max(0, min(cells - 1, position + rng.choice((-1, 0, 1))))
+        path.append(position)
+    return path
+
+
+def run_baseline_cellular(
+    users: int = 3,
+    cells: int = 4,
+    steps: int = 4,
+    seed: int = 20221114,
+) -> PgppRun:
+    """Traditional cellular: the core sees billing + IMSI + location."""
+    rng = _random.Random(seed)
+    world = World()
+    network = Network()
+    core_entity = world.entity("NGC", "operator")
+    core = CellularCore(network, core_entity)
+    stations = _build_cells(world, network, core, cells)
+
+    ues: List[UserEquipment] = []
+    attaches = 0
+    for index in range(users):
+        subject = Subject(f"user-{index}")
+        entity = world.entity(
+            "User" if index == 0 else f"User {index}",
+            f"phone-{index}",
+            trusted_by_user=True,
+        )
+        imsi = LabeledValue(
+            payload=f"imsi-90170-{1000 + index}",
+            label=SENSITIVE_NETWORK_IDENTITY,
+            subject=subject,
+            description="permanent IMSI",
+        )
+        ue = UserEquipment(network, entity, subject, imsi, f"citizen-{index}")
+        core.register_subscriber(str(imsi.payload), ue.human_identity)
+        ues.append(ue)
+        for cell_index in _walk(rng, cells, steps):
+            result = ue.attach(stations[cell_index])
+            attaches += int(result.accepted)
+    network.run()
+    return PgppRun(
+        world=world,
+        network=network,
+        core=core,
+        ues=ues,
+        analyzer=DecouplingAnalyzer(world),
+        variant="traditional cellular (baseline)",
+        table_entities=["User", "NGC"],
+        attaches=attaches,
+    )
+
+
+def run_pgpp(
+    users: int = 3,
+    cells: int = 4,
+    steps: int = 4,
+    epochs: int = 2,
+    seed: int = 20221114,
+    purchase_over_cellular: bool = False,
+    imsi_mode: str = "shuffled",
+    mobility: str = "walk",
+) -> PgppRun:
+    """PGPP: gateway billing, token attach, rotating IMSIs.
+
+    ``purchase_over_cellular=True`` routes token purchases through the
+    core's data plane (sealed, but relayed), which is what gives a
+    *colluding* core+gateway a linkage handle -- the non-collusion
+    assumption the paper discusses.  The default (out-of-band purchase)
+    keeps even collusion fruitless.
+    """
+    if imsi_mode not in ("shuffled", "identical", "static"):
+        raise ValueError("imsi_mode must be 'shuffled', 'identical', or 'static'")
+    rng = _random.Random(seed)
+    world = World()
+    network = Network()
+    core_entity = world.entity("NGC", "operator")
+    core = CellularCore(network, core_entity)
+    stations = _build_cells(world, network, core, cells)
+
+    gw_entity = world.entity("PGPP-GW", "pgpp-org")
+    gateway = PgppGateway(network, gw_entity, rng=rng)
+    core.credential_validator = gateway.validate
+    core.register_upstream("pgpp-gw", gateway.address)
+
+    subjects = [Subject(f"user-{i}") for i in range(users)]
+    ues: List[UserEquipment] = []
+    purchasers: List[TokenPurchaser] = []
+    oob_hosts = []
+    for index, subject in enumerate(subjects):
+        entity = world.entity(
+            "User" if index == 0 else f"User {index}",
+            f"phone-{index}",
+            trusted_by_user=True,
+        )
+        device_identity = LabeledValue(
+            payload=f"device-{subject}",
+            label=SENSITIVE_NETWORK_IDENTITY,
+            subject=subject,
+            description="device network identity",
+        )
+        pseudonym = _epoch_imsi(imsi_mode, 0, index, users, subject)
+        ue = UserEquipment(
+            network,
+            entity,
+            subject,
+            pseudonym,
+            f"citizen-{index}",
+            true_network_identity=device_identity,
+        )
+        ues.append(ue)
+        purchasers.append(
+            TokenPurchaser(entity, subject, ue.human_identity, rng=rng)
+        )
+        # Out-of-band purchase path (e.g. home WiFi).
+        oob_hosts.append(network.add_host(f"wifi:{subject}", entity))
+
+    attaches = 0
+    imsi_history: Dict[Subject, List[str]] = {
+        ue.subject: [str(ue.imsi_value.payload)] for ue in ues
+    }
+    for epoch in range(epochs):
+        order = list(range(users))
+        rng.shuffle(order)  # the epoch's IMSI shuffle
+        for index, ue in enumerate(ues):
+            # Buy the epoch's token first: over the (still attached)
+            # previous session when configured, else out of band.
+            if purchase_over_cellular and ue.attached_cell is not None:
+                token = purchasers[index].purchase_over_cellular(ue, gateway)
+            else:
+                token = purchasers[index].purchase_direct(oob_hosts[index], gateway)
+            if epoch > 0:
+                ue.set_imsi(
+                    _epoch_imsi(imsi_mode, epoch, order[index], users, ue.subject)
+                )
+                imsi_history[ue.subject].append(str(ue.imsi_value.payload))
+            first = True
+            for cell_index in make_mobility(mobility)(rng, cells, steps, index):
+                credential: Optional[AttachToken] = token if first else None
+                result = ue.attach(stations[cell_index], credential=credential)
+                attaches += int(result.accepted)
+                first = False
+    network.run()
+    return PgppRun(
+        world=world,
+        network=network,
+        core=core,
+        ues=ues,
+        analyzer=DecouplingAnalyzer(world),
+        variant="PGPP",
+        table_entities=["User", "PGPP-GW", "NGC"],
+        attaches=attaches,
+        gateway=gateway,
+        imsi_history=imsi_history,
+    )
+
+
+def _epoch_imsi(
+    mode: str, epoch: int, slot: int, users: int, subject: Subject
+) -> LabeledValue:
+    """A pseudonymous IMSI: shuffled slot, shared value, or -- the
+    rotation *ablation* -- a static pseudonym that never changes."""
+    if mode == "identical":
+        payload = f"pgpp-imsi-epoch-{epoch}"
+    elif mode == "static":
+        payload = f"pgpp-imsi-static-{subject}"
+    else:
+        payload = f"pgpp-imsi-epoch-{epoch}-slot-{slot}"
+    return LabeledValue(
+        payload=payload,
+        label=NONSENSITIVE_NETWORK_IDENTITY,
+        subject=subject,
+        description="rotating pgpp imsi",
+        provenance=("imsi", "rotate"),
+    )

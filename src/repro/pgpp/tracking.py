@@ -1,0 +1,156 @@
+"""The location-tracking adversary against the cellular core.
+
+PGPP's headline claim is *location anonymity*: with permanent IMSIs the
+core's mobility log is a per-person trajectory; with rotating/shuffled
+IMSIs, an analyst must re-link pseudonyms across epochs, and shuffling
+among a large enough population makes that linking unreliable.
+
+This module implements the analyst: a trajectory-continuity linker that
+matches each epoch's pseudonyms to the previous epoch's by spatial
+proximity of their last/first cells (greedy nearest-neighbour, the
+standard heuristic).  Ground truth comes from the scenario, so we can
+score the attack and compute the effective anonymity set -- the same
+style of evaluation the PGPP paper (USENIX Security '21) runs at scale.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["EpochTrack", "extract_epoch_tracks", "TrajectoryLinker", "tracking_accuracy"]
+
+
+@dataclass(frozen=True)
+class EpochTrack:
+    """One pseudonym's observed trajectory within one epoch."""
+
+    epoch: int
+    imsi: str
+    cells: Tuple[str, ...]
+    first_time: float
+    last_time: float
+
+    @property
+    def first_cell(self) -> str:
+        return self.cells[0]
+
+    @property
+    def last_cell(self) -> str:
+        return self.cells[-1]
+
+
+def _epoch_of(imsi: str) -> Optional[int]:
+    """Parse the epoch from a rotating IMSI, if it is one."""
+    # pgpp-imsi-epoch-<e>[-slot-<s>]
+    parts = imsi.split("-")
+    if len(parts) >= 4 and parts[0] == "pgpp" and parts[2] == "epoch":
+        try:
+            return int(parts[3])
+        except ValueError:
+            return None
+    return None
+
+
+def extract_epoch_tracks(
+    mobility_log: Sequence[Tuple[float, str, str]],
+) -> List[EpochTrack]:
+    """Group the core's mobility log into per-epoch pseudonym tracks."""
+    grouped: Dict[Tuple[int, str], List[Tuple[float, str]]] = defaultdict(list)
+    for time, imsi, cell in mobility_log:
+        epoch = _epoch_of(imsi)
+        if epoch is None:
+            epoch = 0  # permanent IMSIs: everything is one long epoch
+        grouped[(epoch, imsi)].append((time, cell))
+    tracks = []
+    for (epoch, imsi), events in grouped.items():
+        events.sort()
+        tracks.append(
+            EpochTrack(
+                epoch=epoch,
+                imsi=imsi,
+                cells=tuple(cell for _, cell in events),
+                first_time=events[0][0],
+                last_time=events[-1][0],
+            )
+        )
+    return sorted(tracks, key=lambda t: (t.epoch, t.first_time))
+
+
+def _cell_index(cell: str) -> int:
+    """Cells are laid out on a line: 'cell-<i>' -> i."""
+    try:
+        return int(cell.rsplit("-", 1)[1])
+    except (IndexError, ValueError):
+        return 0
+
+
+class TrajectoryLinker:
+    """Greedy nearest-neighbour linking of pseudonyms across epochs.
+
+    For each epoch boundary, match every new-epoch track to the unused
+    old-epoch track whose *last* cell is closest to the new track's
+    *first* cell (users rarely teleport between epochs).  The output is
+    a chain per initial pseudonym.
+    """
+
+    def link(self, tracks: Sequence[EpochTrack]) -> Dict[str, List[str]]:
+        """Returns chains: first-epoch imsi -> [imsi per epoch]."""
+        by_epoch: Dict[int, List[EpochTrack]] = defaultdict(list)
+        for track in tracks:
+            by_epoch[track.epoch].append(track)
+        epochs = sorted(by_epoch)
+        if not epochs:
+            return {}
+        chains: Dict[str, List[str]] = {
+            track.imsi: [track.imsi] for track in by_epoch[epochs[0]]
+        }
+        # chain head -> the track currently at the chain's tail
+        tails: Dict[str, EpochTrack] = {
+            track.imsi: track for track in by_epoch[epochs[0]]
+        }
+        for previous, current in zip(epochs, epochs[1:]):
+            candidates = list(by_epoch[current])
+            used = set()
+            # Greedily match best (distance) pairs first.
+            pairs = []
+            for head, tail in tails.items():
+                for candidate in candidates:
+                    distance = abs(
+                        _cell_index(tail.last_cell) - _cell_index(candidate.first_cell)
+                    )
+                    pairs.append((distance, head, candidate))
+            pairs.sort(key=lambda p: (p[0], p[1], p[2].imsi))
+            matched_heads = set()
+            for distance, head, candidate in pairs:
+                if head in matched_heads or candidate.imsi in used:
+                    continue
+                matched_heads.add(head)
+                used.add(candidate.imsi)
+                chains[head].append(candidate.imsi)
+                tails[head] = candidate
+        return chains
+
+
+def tracking_accuracy(
+    chains: Mapping[str, List[str]],
+    truth: Mapping[str, List[str]],
+) -> float:
+    """Fraction of cross-epoch links the analyst got right.
+
+    ``truth`` maps each user's first-epoch imsi to their true imsi
+    sequence (the scenario knows it).  A link (epoch e -> e+1) counts
+    as correct when the chained imsi matches the true one.
+    """
+    total = 0
+    correct = 0
+    for head, true_chain in truth.items():
+        guessed = chains.get(head, [head])
+        for index in range(1, len(true_chain)):
+            total += 1
+            if index < len(guessed) and guessed[index] == true_chain[index]:
+                correct += 1
+    if total == 0:
+        return 1.0
+    return correct / total

@@ -1,0 +1,132 @@
+"""The non-private baselines for aggregate statistics (section 3.2.5).
+
+*Naive*: clients send raw values to one collection server, which sees
+identity and data together.
+
+*OHTTP-proxied*: clients seal reports to the collector and send them
+through an oblivious relay.  The collector no longer sees who reported
+-- an improvement -- but still sees every *individual* value, which is
+the paper's argument for going all the way to Prio/PPM.
+"""
+
+from __future__ import annotations
+
+
+from typing import List
+
+from repro.core.entities import Entity
+from repro.core.labels import SENSITIVE_DATA, SENSITIVE_IDENTITY
+from repro.core.values import LabeledValue, Sealed, Subject
+from repro.net.addressing import Address
+from repro.net.network import Network, SimHost
+from repro.net.packets import Packet
+
+__all__ = ["NaiveCollector", "OhttpRelay", "ReportingClient", "REPORT_PROTOCOL", "OHTTP_PROTOCOL"]
+
+REPORT_PROTOCOL = "stats-report"
+OHTTP_PROTOCOL = "stats-ohttp"
+
+
+class NaiveCollector:
+    """A single server that both collects and aggregates."""
+
+    def __init__(self, network: Network, entity: Entity, name: str = "collector") -> None:
+        self.entity = entity
+        self.key_id = f"collector:{name}"
+        entity.grant_key(self.key_id)
+        self.host: SimHost = network.add_host(name, entity)
+        self.host.register(REPORT_PROTOCOL, self._handle_plain)
+        self.host.register(OHTTP_PROTOCOL + ":in", self._handle_sealed)
+        self.values: List[int] = []
+
+    @property
+    def address(self) -> Address:
+        return self.host.address
+
+    def _record(self, value: LabeledValue) -> str:
+        self.values.append(int(value.payload))
+        return "accepted"
+
+    def _handle_plain(self, packet: Packet) -> str:
+        return self._record(packet.payload)
+
+    def _handle_sealed(self, packet: Packet) -> str:
+        sealed: Sealed = packet.payload
+        (value,) = self.entity.unseal(sealed)
+        return self._record(value)
+
+    def total(self) -> int:
+        return sum(self.values)
+
+
+class OhttpRelay:
+    """Forwards sealed reports; sees who reports but never what."""
+
+    def __init__(
+        self, network: Network, entity: Entity, collector: NaiveCollector
+    ) -> None:
+        self.collector = collector
+        self.host: SimHost = network.add_host("ohttp-relay", entity)
+        self.host.register(OHTTP_PROTOCOL, self._handle)
+        self.relayed = 0
+
+    @property
+    def address(self) -> Address:
+        return self.host.address
+
+    def _handle(self, packet: Packet) -> str:
+        self.relayed += 1
+        return self.host.transact(
+            self.collector.address, packet.payload, OHTTP_PROTOCOL + ":in"
+        )
+
+
+class ReportingClient:
+    """A client for both baseline flows."""
+
+    def __init__(
+        self,
+        network: Network,
+        entity: Entity,
+        subject: Subject,
+        client_ip: str,
+    ) -> None:
+        self.entity = entity
+        self.subject = subject
+        self.identity = LabeledValue(
+            payload=client_ip,
+            label=SENSITIVE_IDENTITY,
+            subject=subject,
+            description="client ip",
+        )
+        self.host: SimHost = network.add_host(
+            f"stats-client:{subject}", entity, identity=self.identity
+        )
+
+    def _measurement(self, value: int) -> LabeledValue:
+        measurement = LabeledValue(
+            payload=value,
+            label=SENSITIVE_DATA,
+            subject=self.subject,
+            description="telemetry bit",
+        )
+        self.entity.observe(
+            [self.identity, measurement], channel="self", session="self"
+        )
+        return measurement
+
+    def submit_naive(self, value: int, collector: NaiveCollector) -> str:
+        """Send the raw value straight to the collection server."""
+        return self.host.transact(
+            collector.address, self._measurement(value), REPORT_PROTOCOL
+        )
+
+    def submit_via_ohttp(self, value: int, relay: OhttpRelay) -> str:
+        """Seal to the collector, send through the oblivious relay."""
+        sealed = Sealed.wrap(
+            relay.collector.key_id,
+            [self._measurement(value)],
+            subject=self.subject,
+            description="sealed telemetry report",
+        )
+        return self.host.transact(relay.address, sealed, OHTTP_PROTOCOL)

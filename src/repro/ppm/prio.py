@@ -1,0 +1,486 @@
+"""Prio-style private aggregate statistics (paper section 3.2.5).
+
+Clients hold a sensitive boolean (did the app crash? is the user in a
+cohort?).  Each client additively shares the bit across ``N``
+aggregators along with Beaver-triple material proving the bit is 0/1.
+Aggregators run the multiplication-check exchange (everything they
+exchange is uniformly random masking), then each sums its shares of all
+*valid* reports; the collector combines the per-aggregator sums into
+the public total and never sees an individual contribution.
+
+Privacy: any proper subset of aggregators holds only uniform field
+elements; the ledger marks each share with its
+:class:`~repro.core.values.ShareInfo` so the analyzer can show that
+*only* a coalition of all aggregators re-couples.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random as _random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.entities import Entity
+from repro.core.labels import (
+    NONSENSITIVE_DATA,
+    NONSENSITIVE_IDENTITY,
+    SENSITIVE_DATA,
+    SENSITIVE_IDENTITY,
+)
+from repro.core.values import Aggregate, LabeledValue, ShareInfo, Subject
+from repro.crypto.secretshare import (
+    FIELD_PRIME,
+    BooleanValidityProof,
+    HistogramProof,
+    make_histogram_proof,
+    make_boolean_proof,
+)
+from repro.net.addressing import Address
+from repro.net.network import Network, SimHost
+from repro.net.packets import Packet
+
+__all__ = [
+    "PrioAggregator",
+    "PrioCollector",
+    "PrioClient",
+    "UPLOAD_PROTOCOL",
+    "MPC_PROTOCOL",
+    "COLLECT_PROTOCOL",
+]
+
+UPLOAD_PROTOCOL = "ppm-upload"
+MPC_PROTOCOL = "ppm-mpc"
+COLLECT_PROTOCOL = "ppm-collect"
+
+_report_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class _ReportShare:
+    """What one aggregator receives from one client."""
+
+    report_id: LabeledValue  # pseudonymous handle shared by all shares
+    x_share: LabeledValue  # the input share (⊙, with ShareInfo)
+    proof: BooleanValidityProof
+
+
+@dataclass(frozen=True)
+class _MaskedOpening:
+    """Beaver-check traffic: uniformly random masked values."""
+
+    report: str
+    d_share: int
+    e_share: int
+
+
+@dataclass(frozen=True)
+class _ProductShare:
+    report: str
+    z_share: int
+
+
+@dataclass(frozen=True)
+class _SumContribution:
+    """An aggregator's share of the final sum (safe to publish)."""
+
+    aggregate: Aggregate
+    valid_reports: int
+
+
+@dataclass(frozen=True)
+class _HistogramShare:
+    """What one aggregator receives for one histogram report."""
+
+    report_id: LabeledValue
+    entry_shares: Tuple[LabeledValue, ...]  # one ⊙ share per bucket
+    proof: HistogramProof
+
+
+@dataclass(frozen=True)
+class _HistogramContribution:
+    """An aggregator's per-bucket sum shares (safe to publish)."""
+
+    aggregates: Tuple[Aggregate, ...]  # one per bucket
+    valid_reports: int
+
+
+class PrioAggregator:
+    """One of N mutually distrusting aggregation servers."""
+
+    def __init__(
+        self,
+        network: Network,
+        entity: Entity,
+        index: int,
+        total: int,
+        name: Optional[str] = None,
+    ) -> None:
+        self.entity = entity
+        self.index = index
+        self.total = total
+        self.host: SimHost = network.add_host(
+            name or f"aggregator-{index}", entity
+        )
+        self.host.register(UPLOAD_PROTOCOL, self._handle_upload)
+        self.host.register(UPLOAD_PROTOCOL + "-hist", self._handle_upload_hist)
+        self.host.register(MPC_PROTOCOL, self._handle_mpc)
+        self._reports: Dict[str, _ReportShare] = {}
+        self._hist_reports: Dict[str, _HistogramShare] = {}
+        self._validity: Dict[str, bool] = {}
+        self._hist_validity: Dict[str, bool] = {}
+        self.leader_address: Optional[Address] = None
+        # Leader-only state for the Beaver exchange.
+        self._openings: Dict[str, List[_MaskedOpening]] = {}
+        self._products: Dict[str, List[int]] = {}
+        self._hist_sums: Dict[str, List[int]] = {}
+
+    @property
+    def address(self) -> Address:
+        return self.host.address
+
+    def _handle_upload(self, packet: Packet) -> str:
+        share: _ReportShare = packet.payload
+        report = str(share.report_id.payload)
+        self._reports[report] = share
+        return "accepted"
+
+    def _handle_upload_hist(self, packet: Packet) -> str:
+        """A histogram report: register each entry as a virtual scalar
+        report so the Beaver machinery covers it unchanged."""
+        share: _HistogramShare = packet.payload
+        report = str(share.report_id.payload)
+        self._hist_reports[report] = share
+        for index, (entry_value, entry_proof) in enumerate(
+            zip(share.entry_shares, share.proof.entries)
+        ):
+            self._reports[f"{report}#e{index}"] = _ReportShare(
+                report_id=share.report_id.derived(
+                    f"{report}#e{index}", step="entry"
+                ),
+                x_share=entry_value,
+                proof=entry_proof,
+            )
+        return "accepted"
+
+    # ------------------------------------------------------------------
+    # Beaver multiplication check (leader-coordinated)
+    # ------------------------------------------------------------------
+
+    def open_masked(self, report: str) -> _MaskedOpening:
+        """This aggregator's (d, e) shares: uniform, safe to reveal."""
+        share = self._reports[report]
+        proof = share.proof
+        d_share = (proof.x_share - proof.triple.a) % FIELD_PRIME
+        e_share = (proof.x_minus_one_share - proof.triple.b) % FIELD_PRIME
+        return _MaskedOpening(report=report, d_share=d_share, e_share=e_share)
+
+    def product_share(self, report: str, d: int, e: int, is_first: bool) -> int:
+        """This aggregator's share of x(x-1), given the opened d and e."""
+        proof = self._reports[report].proof
+        z = (d * proof.triple.b + e * proof.triple.a + proof.triple.c) % FIELD_PRIME
+        if is_first:
+            z = (z + d * e) % FIELD_PRIME
+        return z
+
+    def _handle_mpc(self, packet: Packet) -> object:
+        """Leader side of the exchange (this aggregator is index 0)."""
+        kind, payload = packet.payload
+        if kind == "opening":
+            opening: _MaskedOpening = payload
+            self._openings.setdefault(opening.report, []).append(opening)
+            return ("ok", None)
+        if kind == "product":
+            product: _ProductShare = payload
+            self._products.setdefault(product.report, []).append(product.z_share)
+            return ("ok", None)
+        if kind == "histsum":
+            report, sum_share = payload
+            self._hist_sums.setdefault(report, []).append(sum_share)
+            return ("ok", None)
+        raise ValueError(f"unknown mpc message kind {kind!r}")
+
+    def run_validity_checks(self, peers: Sequence["PrioAggregator"]) -> None:
+        """Leader entry point: coordinate the check for every report.
+
+        ``peers`` are the *other* aggregators.  All traffic goes over
+        the simulated network; only masked/uniform values travel.
+        """
+        if self.index != 0:
+            raise RuntimeError("only the leader coordinates validity checks")
+        for report in sorted(self._reports):
+            mine = self.open_masked(report)
+            openings = [mine]
+            for peer in peers:
+                reply = peer.host.transact(
+                    self.address, ("opening", peer.open_masked(report)), MPC_PROTOCOL
+                )
+                del reply  # leader stores via its handler
+            openings.extend(self._openings.get(report, []))
+            d = sum(o.d_share for o in openings) % FIELD_PRIME
+            e = sum(o.e_share for o in openings) % FIELD_PRIME
+            z_total = self.product_share(report, d, e, is_first=True)
+            for peer in peers:
+                z_peer = peer.product_share(report, d, e, is_first=False)
+                peer.host.send(
+                    self.address, ("product", _ProductShare(report, z_peer)), MPC_PROTOCOL
+                )
+            self.host.network.run()
+            z_total = (
+                z_total + sum(self._products.get(report, []))
+            ) % FIELD_PRIME
+            valid = z_total == 0
+            self._validity[report] = valid
+            for peer in peers:
+                peer._validity[report] = valid
+
+    # ------------------------------------------------------------------
+    # Histogram validity (leader-coordinated)
+    # ------------------------------------------------------------------
+
+    def histogram_sum_share(self, report: str) -> int:
+        """This aggregator's share of sum(entries): publishable."""
+        return self._hist_reports[report].proof.entry_share_sum()
+
+    def run_histogram_checks(self, peers: Sequence["PrioAggregator"]) -> None:
+        """Leader entry point: per-entry Beaver checks + one-hot sums.
+
+        Assumes :meth:`run_validity_checks` already ran (it covers the
+        virtual per-entry reports); this adds the sum-to-one check via
+        published (masked-irrelevant: shares of a public constant)
+        sum shares.
+        """
+        if self.index != 0:
+            raise RuntimeError("only the leader coordinates validity checks")
+        for report in sorted(self._hist_reports):
+            share = self._hist_reports[report]
+            entries_ok = all(
+                self._validity.get(f"{report}#e{index}", False)
+                for index in range(len(share.entry_shares))
+            )
+            for peer in peers:
+                peer.host.send(
+                    self.address,
+                    ("histsum", (report, peer.histogram_sum_share(report))),
+                    MPC_PROTOCOL,
+                )
+            self.host.network.run()
+            total = (
+                self.histogram_sum_share(report)
+                + sum(self._hist_sums.get(report, []))
+            ) % FIELD_PRIME
+            valid = entries_ok and total == 1
+            self._hist_validity[report] = valid
+            for peer in peers:
+                peer._hist_validity[report] = valid
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+
+    def sum_contribution(self) -> _SumContribution:
+        """Sum this aggregator's shares over all valid scalar reports."""
+        total = 0
+        contributors: List[Subject] = []
+        for report, share in sorted(self._reports.items()):
+            if "#e" in report:
+                continue  # histogram entries aggregate separately
+            if not self._validity.get(report, False):
+                continue
+            total = (total + int(share.x_share.payload)) % FIELD_PRIME
+            contributors.append(share.x_share.subject)
+        return _SumContribution(
+            aggregate=Aggregate(
+                payload=total,
+                contributors=tuple(contributors),
+                description=f"sum share from aggregator {self.index}",
+            ),
+            valid_reports=len(contributors),
+        )
+
+    def histogram_contribution(self) -> _HistogramContribution:
+        """Per-bucket sums over all valid histogram reports."""
+        if not self._hist_reports:
+            return _HistogramContribution(aggregates=(), valid_reports=0)
+        buckets = len(next(iter(self._hist_reports.values())).entry_shares)
+        totals = [0] * buckets
+        contributors: List[Subject] = []
+        for report, share in sorted(self._hist_reports.items()):
+            if not self._hist_validity.get(report, False):
+                continue
+            for index, entry in enumerate(share.entry_shares):
+                totals[index] = (totals[index] + int(entry.payload)) % FIELD_PRIME
+            contributors.append(share.report_id.subject)
+        return _HistogramContribution(
+            aggregates=tuple(
+                Aggregate(
+                    payload=totals[index],
+                    contributors=tuple(contributors),
+                    description=f"bucket {index} share from aggregator {self.index}",
+                )
+                for index in range(buckets)
+            ),
+            valid_reports=len(contributors),
+        )
+
+
+class PrioCollector:
+    """Combines per-aggregator sums into the public total."""
+
+    def __init__(self, network: Network, entity: Entity) -> None:
+        self.entity = entity
+        self.host: SimHost = network.add_host("collector", entity)
+        self.host.register(COLLECT_PROTOCOL, self._handle)
+        self._contributions: List[_SumContribution] = []
+        self._hist_contributions: List[_HistogramContribution] = []
+
+    @property
+    def address(self) -> Address:
+        return self.host.address
+
+    def _handle(self, packet: Packet) -> str:
+        payload = packet.payload
+        if isinstance(payload, _HistogramContribution):
+            self._hist_contributions.append(payload)
+        else:
+            self._contributions.append(payload)
+        return "received"
+
+    def total(self) -> int:
+        return sum(
+            int(c.aggregate.payload) for c in self._contributions
+        ) % FIELD_PRIME
+
+    def histogram(self) -> List[int]:
+        """The combined per-bucket totals."""
+        if not self._hist_contributions:
+            return []
+        buckets = len(self._hist_contributions[0].aggregates)
+        return [
+            sum(
+                int(c.aggregates[index].payload)
+                for c in self._hist_contributions
+            )
+            % FIELD_PRIME
+            for index in range(buckets)
+        ]
+
+    @property
+    def reports_counted(self) -> int:
+        return min(
+            (c.valid_reports for c in self._contributions), default=0
+        )
+
+
+class PrioClient:
+    """A reporting client: shares its bit, uploads to each aggregator."""
+
+    def __init__(
+        self,
+        network: Network,
+        entity: Entity,
+        subject: Subject,
+        client_ip: str,
+        rng: Optional[_random.Random] = None,
+    ) -> None:
+        self.entity = entity
+        self.subject = subject
+        self.rng = rng
+        self.identity = LabeledValue(
+            payload=client_ip,
+            label=SENSITIVE_IDENTITY,
+            subject=subject,
+            description="client ip",
+        )
+        self.host: SimHost = network.add_host(
+            f"ppm-client:{subject}", entity, identity=self.identity
+        )
+
+    def submit(self, value: int, aggregators: Sequence[PrioAggregator]) -> str:
+        """Share ``value`` (0 or 1) across ``aggregators``."""
+        if value not in (0, 1):
+            raise ValueError("prio boolean reports must be 0 or 1")
+        n = len(aggregators)
+        measurement = LabeledValue(
+            payload=value,
+            label=SENSITIVE_DATA,
+            subject=self.subject,
+            description="telemetry bit",
+        )
+        self.entity.observe([self.identity, measurement], channel="self", session="self")
+        report = f"report-{next(_report_ids)}"
+        group = f"shares:{report}"
+        proofs = make_boolean_proof(value, n, rng=self.rng)
+        for index, (aggregator, proof) in enumerate(zip(aggregators, proofs)):
+            share_value = LabeledValue(
+                payload=proof.x_share,
+                label=NONSENSITIVE_DATA,
+                subject=self.subject,
+                description="input share",
+                provenance=("measurement", "share"),
+                share_info=ShareInfo(group=group, index=index, total=n),
+            )
+            report_id = LabeledValue(
+                payload=report,
+                label=NONSENSITIVE_IDENTITY,
+                subject=self.subject,
+                description="report id",
+                provenance=("report-id",),
+            )
+            self.host.transact(
+                aggregator.address,
+                _ReportShare(report_id=report_id, x_share=share_value, proof=proof),
+                UPLOAD_PROTOCOL,
+            )
+        return report
+
+    def submit_histogram(
+        self, bucket: int, buckets: int, aggregators: Sequence[PrioAggregator]
+    ) -> str:
+        """Share a one-hot histogram report (bucket membership).
+
+        The client's bucket is sensitive data; each aggregator receives
+        a vector of uniform shares plus validity material.
+        """
+        n = len(aggregators)
+        measurement = LabeledValue(
+            payload=bucket,
+            label=SENSITIVE_DATA,
+            subject=self.subject,
+            description="histogram bucket",
+        )
+        self.entity.observe(
+            [self.identity, measurement], channel="self", session="self"
+        )
+        report = f"report-{next(_report_ids)}"
+        group = f"shares:{report}"
+        proofs = make_histogram_proof(bucket, buckets, n, rng=self.rng)
+        for index, (aggregator, proof) in enumerate(zip(aggregators, proofs)):
+            entry_shares = tuple(
+                LabeledValue(
+                    payload=entry.x_share,
+                    label=NONSENSITIVE_DATA,
+                    subject=self.subject,
+                    description=f"histogram entry share {j}",
+                    provenance=("measurement", "share"),
+                    share_info=ShareInfo(
+                        group=f"{group}#e{j}", index=index, total=n
+                    ),
+                )
+                for j, entry in enumerate(proof.entries)
+            )
+            report_id = LabeledValue(
+                payload=report,
+                label=NONSENSITIVE_IDENTITY,
+                subject=self.subject,
+                description="report id",
+                provenance=("report-id",),
+            )
+            self.host.transact(
+                aggregator.address,
+                _HistogramShare(
+                    report_id=report_id, entry_shares=entry_shares, proof=proof
+                ),
+                UPLOAD_PROTOCOL + "-hist",
+            )
+        return report

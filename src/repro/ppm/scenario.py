@@ -1,0 +1,253 @@
+"""The T7 scenarios: naive, OHTTP-proxied, and Prio aggregation."""
+
+from __future__ import annotations
+
+import random as _random
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.analysis import DecouplingAnalyzer
+from repro.core.entities import World
+from repro.core.values import Subject
+from repro.net.network import Network
+
+from .naive import NaiveCollector, OhttpRelay, ReportingClient
+from .prio import PrioAggregator, PrioClient, PrioCollector, COLLECT_PROTOCOL
+
+__all__ = [
+    "PpmRun",
+    "run_naive_aggregation",
+    "run_ohttp_aggregation",
+    "run_prio",
+    "run_prio_histogram",
+    "PAPER_TABLE_T7",
+]
+
+#: The paper's section 3.2.5 table, exactly as printed.
+PAPER_TABLE_T7: Dict[str, str] = {
+    "Client": "(▲, ●)",
+    "Aggregator": "(▲, ⊙)",
+    "Collector": "(△, ⊙)",
+}
+
+
+@dataclass
+class PpmRun:
+    """Everything produced by one aggregate-statistics run."""
+
+    world: World
+    network: Network
+    analyzer: DecouplingAnalyzer
+    variant: str
+    table_entities: List[str]
+    reported_total: int
+    true_total: int
+    clients: int
+    #: Histogram runs: per-bucket (reported, true) series.
+    reported_histogram: List[int] = None  # type: ignore[assignment]
+    true_histogram: List[int] = None  # type: ignore[assignment]
+
+    def table(self):
+        return self.analyzer.table(
+            entities=self.table_entities,
+            subject=Subject("client-0"),
+            title=f"T7: {self.variant}",
+        )
+
+    def collector_sees_individual_values(self) -> bool:
+        """Did any collector entity observe a per-client sensitive value?"""
+        for obs in self.world.ledger.by_entity("Collector"):
+            if obs.label.is_data and obs.label.is_sensitive:
+                return True
+        return False
+
+
+def _client_bits(clients: int, seed: int) -> List[int]:
+    rng = _random.Random(seed)
+    return [rng.randrange(2) for _ in range(clients)]
+
+
+def run_naive_aggregation(clients: int = 5, seed: int = 20221114) -> PpmRun:
+    """Baseline: one trusted server sees everything."""
+    world = World()
+    network = Network()
+    collector_entity = world.entity("Collector", "collector-org")
+    collector = NaiveCollector(network, collector_entity)
+    bits = _client_bits(clients, seed)
+    for index, bit in enumerate(bits):
+        entity = world.entity(
+            "Client" if index == 0 else f"Client {index}",
+            f"client-device-{index}",
+            trusted_by_user=True,
+        )
+        client = ReportingClient(
+            network, entity, Subject(f"client-{index}"), f"192.0.2.{index + 1}"
+        )
+        client.submit_naive(bit, collector)
+    network.run()
+    return PpmRun(
+        world=world,
+        network=network,
+        analyzer=DecouplingAnalyzer(world),
+        variant="naive single server",
+        table_entities=["Client", "Collector"],
+        reported_total=collector.total(),
+        true_total=sum(bits),
+        clients=clients,
+    )
+
+
+def run_ohttp_aggregation(clients: int = 5, seed: int = 20221114) -> PpmRun:
+    """Intermediate: OHTTP hides identity, not individual values."""
+    world = World()
+    network = Network()
+    collector_entity = world.entity("Collector", "collector-org")
+    relay_entity = world.entity("Relay", "relay-org")
+    collector = NaiveCollector(network, collector_entity)
+    relay = OhttpRelay(network, relay_entity, collector)
+    bits = _client_bits(clients, seed)
+    for index, bit in enumerate(bits):
+        entity = world.entity(
+            "Client" if index == 0 else f"Client {index}",
+            f"client-device-{index}",
+            trusted_by_user=True,
+        )
+        client = ReportingClient(
+            network, entity, Subject(f"client-{index}"), f"192.0.2.{index + 1}"
+        )
+        client.submit_via_ohttp(bit, relay)
+    network.run()
+    return PpmRun(
+        world=world,
+        network=network,
+        analyzer=DecouplingAnalyzer(world),
+        variant="OHTTP-proxied single server",
+        table_entities=["Client", "Relay", "Collector"],
+        reported_total=collector.total(),
+        true_total=sum(bits),
+        clients=clients,
+    )
+
+
+def run_prio_histogram(
+    clients: int = 6,
+    aggregators: int = 2,
+    buckets: int = 4,
+    seed: int = 20221114,
+) -> PpmRun:
+    """The full PPM/Prio protocol over one-hot histogram reports."""
+    if aggregators < 2:
+        raise ValueError("prio needs at least two aggregators")
+    rng = _random.Random(seed)
+    world = World()
+    network = Network()
+
+    aggregator_objs: List[PrioAggregator] = []
+    for index in range(aggregators):
+        entity = world.entity(
+            "Aggregator" if index == 0 else f"Aggregator {index + 1}",
+            f"aggregator-org-{index + 1}",
+        )
+        aggregator_objs.append(
+            PrioAggregator(network, entity, index=index, total=aggregators)
+        )
+    collector_entity = world.entity("Collector", "collector-org")
+    collector = PrioCollector(network, collector_entity)
+
+    true_histogram = [0] * buckets
+    for index in range(clients):
+        entity = world.entity(
+            "Client" if index == 0 else f"Client {index}",
+            f"client-device-{index}",
+            trusted_by_user=True,
+        )
+        client = PrioClient(
+            network, entity, Subject(f"client-{index}"),
+            f"192.0.2.{index + 1}", rng=rng,
+        )
+        bucket = rng.randrange(buckets)
+        true_histogram[bucket] += 1
+        client.submit_histogram(bucket, buckets, aggregator_objs)
+
+    leader, *peers = aggregator_objs
+    leader.run_validity_checks(peers)
+    leader.run_histogram_checks(peers)
+    for aggregator in aggregator_objs:
+        aggregator.host.transact(
+            collector.address, aggregator.histogram_contribution(), COLLECT_PROTOCOL
+        )
+    network.run()
+
+    reported = collector.histogram()
+    return PpmRun(
+        world=world,
+        network=network,
+        analyzer=DecouplingAnalyzer(world),
+        variant=f"Prio histogram ({buckets} buckets, {aggregators} aggregators)",
+        table_entities=["Client", "Aggregator", "Collector"],
+        reported_total=sum(reported),
+        true_total=clients,
+        clients=clients,
+        reported_histogram=reported,
+        true_histogram=true_histogram,
+    )
+
+
+def run_prio(
+    clients: int = 5,
+    aggregators: int = 2,
+    seed: int = 20221114,
+) -> PpmRun:
+    """The full PPM/Prio protocol with ``aggregators`` servers."""
+    if aggregators < 2:
+        raise ValueError("prio needs at least two aggregators")
+    rng = _random.Random(seed)
+    world = World()
+    network = Network()
+
+    aggregator_objs: List[PrioAggregator] = []
+    for index in range(aggregators):
+        entity = world.entity(
+            "Aggregator" if index == 0 else f"Aggregator {index + 1}",
+            f"aggregator-org-{index + 1}",
+        )
+        aggregator_objs.append(
+            PrioAggregator(network, entity, index=index, total=aggregators)
+        )
+    collector_entity = world.entity("Collector", "collector-org")
+    collector = PrioCollector(network, collector_entity)
+
+    bits = _client_bits(clients, seed)
+    for index, bit in enumerate(bits):
+        entity = world.entity(
+            "Client" if index == 0 else f"Client {index}",
+            f"client-device-{index}",
+            trusted_by_user=True,
+        )
+        client = PrioClient(
+            network,
+            entity,
+            Subject(f"client-{index}"),
+            f"192.0.2.{index + 1}",
+            rng=rng,
+        )
+        client.submit(bit, aggregator_objs)
+
+    leader, *peers = aggregator_objs
+    leader.run_validity_checks(peers)
+    for aggregator in aggregator_objs:
+        aggregator.host.transact(
+            collector.address, aggregator.sum_contribution(), COLLECT_PROTOCOL
+        )
+    network.run()
+
+    return PpmRun(
+        world=world,
+        network=network,
+        analyzer=DecouplingAnalyzer(world),
+        variant=f"Prio ({aggregators} aggregators)",
+        table_entities=["Client", "Aggregator", "Collector"],
+        reported_total=collector.total(),
+        true_total=sum(bits),
+        clients=clients,
+    )

@@ -1,0 +1,268 @@
+"""Privacy Pass actors: attested issuance, anonymous redemption.
+
+Paper section 3.2.1: the client proves legitimacy to a trusted
+*issuer* and receives unlinkable tokens; the *origin* accepts a token
+as proof-of-legitimacy without learning who the client is.  Tokens
+"transfer trust" from issuer to origin while decoupling authentication
+(at the issuer, identity-bearing) from authorization (at the origin,
+anonymous).
+
+The token is a VOPRF output: ``token = (nonce, F_k(nonce))``.  The
+issuer evaluates the PRF on a *blinded* nonce (learning nothing) with a
+DLEQ proof (so it cannot segregate users across keys); at redemption
+the origin asks the issuer to check ``F_k(nonce)``, which is unlinkable
+to any issuance transcript.
+"""
+
+from __future__ import annotations
+
+import random as _random
+import secrets
+from dataclasses import dataclass
+from typing import List, Optional, Set
+
+from repro.core.entities import Entity
+from repro.core.labels import (
+    NONSENSITIVE_DATA,
+    NONSENSITIVE_IDENTITY,
+    SENSITIVE_DATA,
+    SENSITIVE_IDENTITY,
+)
+from repro.core.values import LabeledValue, Subject
+from repro.crypto.group import SchnorrGroup, default_group
+from repro.crypto.voprf import (
+    DleqProof,
+    VoprfServer,
+    voprf_blind,
+    voprf_finalize,
+)
+from repro.net.addressing import Address
+from repro.net.network import Network, SimHost
+from repro.net.packets import Packet
+
+__all__ = [
+    "Token",
+    "Issuer",
+    "PrivacyPassClient",
+    "ProtectedOrigin",
+    "ISSUE_PROTOCOL",
+    "REDEEM_PROTOCOL",
+    "VERIFY_PROTOCOL",
+]
+
+ISSUE_PROTOCOL = "pp-issue"
+REDEEM_PROTOCOL = "pp-redeem"
+VERIFY_PROTOCOL = "pp-verify"
+
+
+@dataclass(frozen=True)
+class Token:
+    """An unlinkable proof-of-legitimacy."""
+
+    nonce: bytes
+    prf_output: bytes
+
+    @property
+    def nonce_hex(self) -> str:
+        return self.nonce.hex()
+
+
+@dataclass(frozen=True)
+class _IssueRequest:
+    account: LabeledValue  # sensitive attestation identity
+    blinded_element: LabeledValue  # non-sensitive blinded nonce
+
+
+@dataclass(frozen=True)
+class _IssueResponse:
+    evaluated: int
+    proof: DleqProof
+
+
+@dataclass(frozen=True)
+class _Redemption:
+    token_nonce: LabeledValue  # pseudonymous identity at the origin
+    prf_output: bytes
+    request: LabeledValue  # the sensitive request content
+
+
+@dataclass(frozen=True)
+class _VerifyRequest:
+    token_nonce: LabeledValue
+    prf_output: bytes
+
+
+@dataclass(frozen=True)
+class _Outcome:
+    accepted: bool
+    reason: str = ""
+
+
+class Issuer:
+    """Attests clients and blind-evaluates the token PRF."""
+
+    def __init__(
+        self,
+        network: Network,
+        entity: Entity,
+        group: Optional[SchnorrGroup] = None,
+        rng: Optional[_random.Random] = None,
+    ) -> None:
+        self.group = group if group is not None else default_group()
+        self.server = VoprfServer(self.group, rng=rng)
+        self.host: SimHost = network.add_host("issuer", entity)
+        self.host.register(ISSUE_PROTOCOL, self._handle_issue)
+        self.host.register(VERIFY_PROTOCOL, self._handle_verify)
+        self.issued = 0
+        self.spent_nonces: Set[bytes] = set()
+
+    @property
+    def address(self) -> Address:
+        return self.host.address
+
+    @property
+    def public_key(self) -> int:
+        return self.server.public_key
+
+    def _handle_issue(self, packet: Packet) -> _IssueResponse:
+        request: _IssueRequest = packet.payload
+        evaluated, proof = self.server.evaluate(int(request.blinded_element.payload))
+        self.issued += 1
+        return _IssueResponse(evaluated=evaluated, proof=proof)
+
+    def _handle_verify(self, packet: Packet) -> _Outcome:
+        request: _VerifyRequest = packet.payload
+        nonce = bytes.fromhex(str(request.token_nonce.payload))
+        if nonce in self.spent_nonces:
+            return _Outcome(accepted=False, reason="double spend")
+        expected = self.server.evaluate_unblinded(nonce)
+        if expected != request.prf_output:
+            return _Outcome(accepted=False, reason="invalid token")
+        self.spent_nonces.add(nonce)
+        return _Outcome(accepted=True)
+
+
+class PrivacyPassClient:
+    """A user: attested at the issuer, anonymous at the origin."""
+
+    def __init__(
+        self,
+        network: Network,
+        entity: Entity,
+        subject: Subject,
+        account_name: str,
+        group: Optional[SchnorrGroup] = None,
+        rng: Optional[_random.Random] = None,
+    ) -> None:
+        self.entity = entity
+        self.subject = subject
+        self.group = group if group is not None else default_group()
+        self.rng = rng
+        self.account_identity = LabeledValue(
+            payload=account_name,
+            label=SENSITIVE_IDENTITY,
+            subject=subject,
+            description="attestation account",
+        )
+        # Issuance is attested (identity-bearing); redemption happens
+        # through an anonymizing channel, per the paper's framing of
+        # Privacy Pass clients as users of systems like Tor.
+        self.attested_host: SimHost = network.add_host(
+            f"pp-client:{subject}", entity, identity=self.account_identity
+        )
+        anonymized = LabeledValue(
+            payload="anonymized-exit",
+            label=NONSENSITIVE_IDENTITY,
+            subject=subject,
+            description="anonymized network identity",
+            provenance=("address", "anonymize"),
+        )
+        self.anonymous_host: SimHost = network.add_host(
+            f"pp-anon:{subject}", entity, identity=anonymized
+        )
+        self.tokens: List[Token] = []
+
+    def request_token(self, issuer: Issuer) -> Token:
+        """One attested issuance: blind, evaluate, verify DLEQ, unblind."""
+        nonce = (
+            bytes(self.rng.randrange(256) for _ in range(16))
+            if self.rng is not None
+            else secrets.token_bytes(16)
+        )
+        state = voprf_blind(nonce, self.group, self.rng)
+        self.entity.observe(self.account_identity, channel="self")
+        request = _IssueRequest(
+            account=self.account_identity,
+            blinded_element=LabeledValue(
+                payload=state.blinded_element,
+                label=NONSENSITIVE_DATA,
+                subject=self.subject,
+                description="blinded token element",
+                provenance=("nonce", "blind"),
+            ),
+        )
+        response: _IssueResponse = self.attested_host.transact(
+            issuer.address, request, ISSUE_PROTOCOL
+        )
+        output = voprf_finalize(
+            state, response.evaluated, response.proof, issuer.public_key, self.group
+        )
+        token = Token(nonce=nonce, prf_output=output)
+        self.tokens.append(token)
+        return token
+
+    def redeem(
+        self, origin: "ProtectedOrigin", token: Token, request_text: str
+    ) -> _Outcome:
+        """Spend a token at the origin, anonymously."""
+        request = LabeledValue(
+            payload=request_text,
+            label=SENSITIVE_DATA,
+            subject=self.subject,
+            description="origin request",
+        )
+        self.entity.observe(request, channel="self")
+        redemption = _Redemption(
+            token_nonce=LabeledValue(
+                payload=token.nonce_hex,
+                label=NONSENSITIVE_IDENTITY,
+                subject=self.subject,
+                description="token nonce",
+                provenance=("nonce", "unblind"),
+            ),
+            prf_output=token.prf_output,
+            request=request,
+        )
+        return self.anonymous_host.transact(
+            origin.address, redemption, REDEEM_PROTOCOL
+        )
+
+
+class ProtectedOrigin:
+    """An origin that gates service on a valid token."""
+
+    def __init__(self, network: Network, entity: Entity, issuer: Issuer) -> None:
+        self.entity = entity
+        self.issuer = issuer
+        self.host: SimHost = network.add_host("protected-origin", entity)
+        self.host.register(REDEEM_PROTOCOL, self._handle_redemption)
+        self.served = 0
+        self.challenged = 0
+
+    @property
+    def address(self) -> Address:
+        return self.host.address
+
+    def _handle_redemption(self, packet: Packet) -> _Outcome:
+        redemption: _Redemption = packet.payload
+        self.challenged += 1
+        verify = _VerifyRequest(
+            token_nonce=redemption.token_nonce,
+            prf_output=redemption.prf_output,
+        )
+        outcome: _Outcome = self.host.transact(
+            self.issuer.address, verify, VERIFY_PROTOCOL
+        )
+        if outcome.accepted:
+            self.served += 1
+        return outcome

@@ -1,0 +1,272 @@
+"""Single sign-on: the paper's section 2.2 centralization concern.
+
+"The actors involved are simultaneously decentralized ... and
+centralized (such as OAuth and SSO) with a view into the uses of a
+huge range of services."
+
+An :class:`IdentityProvider` authenticates a user once and then issues
+assertions for every service they visit -- so it accumulates a log of
+*which user used which service when*: a sensitive identity coupled with
+partially sensitive usage data.  The module offers three assertion
+modes the benchmarks compare:
+
+* ``global``   -- one account identifier shared with every service
+  (classic OAuth "sub"): every service knows who you are, and any two
+  services can join their logs trivially;
+* ``pairwise`` -- per-service pseudonyms (SAML pairwise ids, passkeys):
+  services can no longer join logs, but the IdP still sees everything;
+* ``anonymous`` -- blind-signed single-use tickets (Privacy Pass
+  style): the IdP attests without learning the destination, the
+  service admits without learning the account.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional, Set
+
+from repro.core.entities import Entity
+from repro.core.labels import (
+    NONSENSITIVE_DATA,
+    NONSENSITIVE_IDENTITY,
+    PARTIAL_SENSITIVE_DATA,
+    SENSITIVE_DATA,
+    SENSITIVE_IDENTITY,
+)
+from repro.core.values import LabeledValue, Subject
+from repro.crypto.blind import BlindSigner, blind, unblind
+from repro.crypto.hashutil import sha256
+from repro.crypto.rsa import generate_rsa_keypair
+from repro.net.addressing import Address
+from repro.net.network import Network, SimHost
+from repro.net.packets import Packet
+
+__all__ = ["IdentityProvider", "ServiceProvider", "SsoUser", "AUTHN_PROTOCOL", "LOGIN_PROTOCOL"]
+
+AUTHN_PROTOCOL = "sso-authn"
+LOGIN_PROTOCOL = "sso-login"
+
+_ticket_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class _AuthnRequest:
+    account: LabeledValue  # ▲ the user's IdP account
+    destination: Optional[LabeledValue]  # ⊙/● which service (None if blinded)
+    blinded_ticket: Optional[LabeledValue] = None  # anonymous mode
+
+
+@dataclass(frozen=True)
+class _Assertion:
+    subject_identifier: LabeledValue  # ▲ global / △ pairwise / △ ticket
+    signature_or_proof: object
+
+
+@dataclass(frozen=True)
+class _LoginRequest:
+    assertion: _Assertion
+    activity: LabeledValue  # ● what the user does at the service
+
+
+class IdentityProvider:
+    """The centralized authenticator, in one of three assertion modes."""
+
+    def __init__(
+        self,
+        network: Network,
+        entity: Entity,
+        mode: str = "global",
+        rng=None,
+    ) -> None:
+        if mode not in ("global", "pairwise", "anonymous"):
+            raise ValueError("mode must be global, pairwise, or anonymous")
+        self.mode = mode
+        self.entity = entity
+        self._signer = BlindSigner(generate_rsa_keypair(512, rng=rng))
+        self.host: SimHost = network.add_host("idp", entity)
+        self.host.register(AUTHN_PROTOCOL, self._handle)
+        self.assertions_issued = 0
+        self.spent_tickets: Set[bytes] = set()
+
+    @property
+    def address(self) -> Address:
+        return self.host.address
+
+    @property
+    def public_key(self):
+        return self._signer.public
+
+    def _handle(self, packet: Packet) -> _Assertion:
+        request: _AuthnRequest = packet.payload
+        self.assertions_issued += 1
+        account = str(request.account.payload)
+        subject = request.account.subject
+        if self.mode == "anonymous":
+            signature = self._signer.sign(int(request.blinded_ticket.payload))
+            return _Assertion(
+                subject_identifier=LabeledValue(
+                    payload="(blinded)",
+                    label=NONSENSITIVE_DATA,
+                    subject=subject,
+                    description="blinded ticket signature carrier",
+                ),
+                signature_or_proof=signature,
+            )
+        destination = str(request.destination.payload)
+        if self.mode == "pairwise":
+            pairwise = sha256(
+                b"pairwise", account.encode(), destination.encode()
+            ).hex()[:16]
+            identifier = LabeledValue(
+                payload=pairwise,
+                label=NONSENSITIVE_IDENTITY,
+                subject=subject,
+                description="pairwise subject id",
+                provenance=("account", "pairwise-hash"),
+            )
+        else:  # global
+            identifier = LabeledValue(
+                payload=account,
+                label=SENSITIVE_IDENTITY,
+                subject=subject,
+                description="global subject id",
+            )
+        token = sha256(b"assertion", str(identifier.payload).encode(), destination.encode())
+        return _Assertion(subject_identifier=identifier, signature_or_proof=token)
+
+    def verify_ticket(self, serial: bytes, signature: int) -> bool:
+        """Anonymous-mode redemption check (single use)."""
+        if serial in self.spent_tickets:
+            return False
+        if not self.public_key.verify(serial, signature):
+            return False
+        self.spent_tickets.add(serial)
+        return True
+
+
+class ServiceProvider:
+    """A relying service: admits users bearing a valid assertion."""
+
+    def __init__(
+        self,
+        network: Network,
+        entity: Entity,
+        name: str,
+        idp: IdentityProvider,
+    ) -> None:
+        self.name = name
+        self.idp = idp
+        self.host: SimHost = network.add_host(f"sp:{name}", entity)
+        self.host.register(LOGIN_PROTOCOL, self._handle)
+        self.logins = 0
+
+    @property
+    def address(self) -> Address:
+        return self.host.address
+
+    def _handle(self, packet: Packet) -> str:
+        request: _LoginRequest = packet.payload
+        assertion = request.assertion
+        if self.idp.mode == "anonymous":
+            serial_hex, signature = assertion.signature_or_proof
+            if not self.idp.verify_ticket(bytes.fromhex(serial_hex), signature):
+                return "rejected"
+        self.logins += 1
+        return "welcome"
+
+
+class SsoUser:
+    """A user logging into services through the IdP."""
+
+    def __init__(
+        self,
+        network: Network,
+        entity: Entity,
+        subject: Subject,
+        account_name: str,
+        rng=None,
+    ) -> None:
+        self.entity = entity
+        self.subject = subject
+        self.rng = rng
+        self.account = LabeledValue(
+            payload=account_name,
+            label=SENSITIVE_IDENTITY,
+            subject=subject,
+            description="idp account",
+        )
+        # Authentication at the IdP is identified by nature; logins at
+        # services ride an anonymized connection layer (the comparison
+        # isolates the *assertion* design -- compose with an MPR for
+        # the network layer, as the integration tests do elsewhere).
+        self.host: SimHost = network.add_host(
+            f"sso-user:{subject}", entity, identity=self.account
+        )
+        anonymized = LabeledValue(
+            payload="shared-egress-pool",
+            label=NONSENSITIVE_IDENTITY,
+            subject=subject,
+            description="anonymized network identity",
+            provenance=("address", "anonymize"),
+        )
+        self.service_host: SimHost = network.add_host(
+            f"sso-browser:{subject}", entity, identity=anonymized
+        )
+
+    def login(self, idp: IdentityProvider, service: ServiceProvider, activity: str) -> str:
+        """Authenticate at the IdP, then present the assertion."""
+        self.entity.observe(self.account, channel="self", session="self")
+        activity_value = LabeledValue(
+            payload=activity,
+            label=SENSITIVE_DATA,
+            subject=self.subject,
+            description="service activity",
+        )
+        self.entity.observe(activity_value, channel="self", session="self")
+
+        if idp.mode == "anonymous":
+            import secrets as _secrets
+
+            serial = (
+                bytes(self.rng.randrange(256) for _ in range(16))
+                if self.rng is not None
+                else _secrets.token_bytes(16)
+            )
+            state = blind(idp.public_key, serial, self.rng)
+            request = _AuthnRequest(
+                account=self.account,
+                destination=None,
+                blinded_ticket=LabeledValue(
+                    payload=state.blinded_value,
+                    label=NONSENSITIVE_DATA,
+                    subject=self.subject,
+                    description="blinded login ticket",
+                    provenance=("ticket", "blind"),
+                ),
+            )
+            reply: _Assertion = self.host.transact(idp.address, request, AUTHN_PROTOCOL)
+            signature = unblind(idp.public_key, state, int(reply.signature_or_proof))
+            assertion = _Assertion(
+                subject_identifier=LabeledValue(
+                    payload=serial.hex(),
+                    label=NONSENSITIVE_IDENTITY,
+                    subject=self.subject,
+                    description="anonymous login ticket",
+                    provenance=("ticket", "unblind"),
+                ),
+                signature_or_proof=(serial.hex(), signature),
+            )
+        else:
+            destination = LabeledValue(
+                payload=service.name,
+                label=PARTIAL_SENSITIVE_DATA,
+                subject=self.subject,
+                description="login destination",
+                provenance=("destination",),
+            )
+            request = _AuthnRequest(account=self.account, destination=destination)
+            assertion = self.host.transact(idp.address, request, AUTHN_PROTOCOL)
+
+        login = _LoginRequest(assertion=assertion, activity=activity_value)
+        return self.service_host.transact(service.address, login, LOGIN_PROTOCOL)

@@ -1,0 +1,195 @@
+"""CACTI: CAPTCHA avoidance via client-side TEE integration (§4.3).
+
+The paper cites CACTI as "a system similar to Privacy Pass that uses
+TEEs for the purposes of keeping private state": instead of an online
+issuer, a TEE *on the client's own device* maintains a monotonic rate
+counter and produces vendor-attested *rate proofs* ("this device has
+made fewer than k gated requests this window").  The origin verifies
+the proof offline against the vendor's key and serves the request
+without ever learning who the client is -- and without any issuer
+learning anything at all.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.entities import Entity, World
+from repro.core.labels import (
+    NONSENSITIVE_IDENTITY,
+    SENSITIVE_DATA,
+)
+from repro.core.values import LabeledValue, Subject
+from repro.crypto.hashutil import sha256
+from repro.crypto.rsa import RsaPublicKey
+from repro.net.addressing import Address
+from repro.net.network import Network, SimHost
+from repro.net.packets import Packet
+
+from .enclave import AttestationAuthority, TeeEnclave
+
+__all__ = ["RateProof", "CactiTee", "CactiOrigin", "CACTI_PROTOCOL"]
+
+CACTI_PROTOCOL = "cacti-request"
+
+_proof_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class RateProof:
+    """An attested statement: counter below the limit this window."""
+
+    proof_id: str
+    window: int
+    counter_below: int
+    measurement: bytes
+    quote_signature: int
+    proof_signature: int  # freshness binding: signs (proof_id, window)
+
+
+class CactiTee:
+    """The client-side enclave: private counter, attested rate proofs."""
+
+    CODE = "cacti-rate-counter-v1"
+
+    def __init__(
+        self,
+        world: World,
+        authority: AttestationAuthority,
+        subject: Subject,
+        rate_limit: int = 5,
+    ) -> None:
+        self.authority = authority
+        self.subject = subject
+        self.rate_limit = rate_limit
+        self.enclave = TeeEnclave(
+            world, authority, name=f"Client TEE ({subject})", code=self.CODE
+        )
+        self._counter = 0
+        self._window = 0
+
+    def new_window(self) -> None:
+        self._window += 1
+        self._counter = 0
+
+    def rate_proof(self) -> Optional[RateProof]:
+        """Increment the private counter; prove we are under the limit.
+
+        Returns ``None`` once the window's budget is exhausted -- the
+        enclave refuses to over-attest, which is the whole point of
+        keeping the counter in hardware-protected state.
+        """
+        if self._counter >= self.rate_limit:
+            return None
+        self._counter += 1
+        # The enclave observes its own private state (it is the only
+        # entity that ever does): the counter is the user's data.
+        self.enclave.entity.observe(
+            LabeledValue(
+                payload=self._counter,
+                label=SENSITIVE_DATA,
+                subject=self.subject,
+                description="rate counter",
+            ),
+            channel="enclave-state",
+            session=f"window-{self._window}",
+        )
+        proof_id = f"rate-proof-{next(_proof_ids)}"
+        binding = sha256(
+            proof_id.encode(), self._window.to_bytes(4, "big"), self.enclave.measurement
+        )
+        # The vendor-certified enclave key signs the freshness binding;
+        # modeled with the authority key for brevity (one signature
+        # chain instead of two).
+        signature = self.authority._key.sign(binding)
+        return RateProof(
+            proof_id=proof_id,
+            window=self._window,
+            counter_below=self.rate_limit,
+            measurement=self.enclave.measurement,
+            quote_signature=self.enclave.quote.signature,
+            proof_signature=signature,
+        )
+
+
+@dataclass(frozen=True)
+class _CactiRequest:
+    proof: RateProof
+    proof_handle: LabeledValue  # △: an unlinkable proof id
+    request: LabeledValue  # ●: what the client actually wants
+
+
+class CactiOrigin:
+    """An origin gating service on attested rate proofs."""
+
+    def __init__(
+        self,
+        network: Network,
+        entity: Entity,
+        vendor_key: RsaPublicKey,
+        expected_measurement: bytes,
+    ) -> None:
+        self.vendor_key = vendor_key
+        self.expected_measurement = expected_measurement
+        self.host: SimHost = network.add_host("cacti-origin", entity)
+        self.host.register(CACTI_PROTOCOL, self._handle)
+        self.served = 0
+        self.rejected = 0
+        self._seen_proofs: set = set()
+
+    @property
+    def address(self) -> Address:
+        return self.host.address
+
+    def _handle(self, packet: Packet) -> str:
+        request: _CactiRequest = packet.payload
+        proof = request.proof
+        binding = sha256(
+            proof.proof_id.encode(),
+            proof.window.to_bytes(4, "big"),
+            proof.measurement,
+        )
+        valid = (
+            proof.measurement == self.expected_measurement
+            and self.vendor_key.verify(binding, proof.proof_signature)
+            and proof.proof_id not in self._seen_proofs
+        )
+        if not valid:
+            self.rejected += 1
+            return "rejected"
+        self._seen_proofs.add(proof.proof_id)
+        self.served += 1
+        return "served"
+
+
+def request_via_cacti(
+    host: SimHost,
+    tee: CactiTee,
+    origin: CactiOrigin,
+    request_text: str,
+) -> str:
+    """One gated request: enclave proof + anonymous delivery."""
+    proof = tee.rate_proof()
+    if proof is None:
+        return "rate limited by enclave"
+    request = LabeledValue(
+        payload=request_text,
+        label=SENSITIVE_DATA,
+        subject=tee.subject,
+        description="gated request",
+    )
+    host.entity.observe(request, channel="self", session="self")
+    handle = LabeledValue(
+        payload=proof.proof_id,
+        label=NONSENSITIVE_IDENTITY,
+        subject=tee.subject,
+        description="rate proof id",
+        provenance=("counter", "attest"),
+    )
+    return host.transact(
+        origin.address,
+        _CactiRequest(proof=proof, proof_handle=handle, request=request),
+        CACTI_PROTOCOL,
+    )

@@ -1,0 +1,126 @@
+"""Trusted Execution Environments (paper section 4.3).
+
+A TEE lets processing happen "securely and privately ... on hardware
+[the user does] not own or directly control": the host operator sees
+only encrypted memory, while the hardware vendor attests to exactly
+which code runs inside.  We model:
+
+* an :class:`AttestationAuthority` (the hardware vendor): an RSA key
+  that signs ``(enclave name, code measurement)`` quotes;
+* a :class:`TeeEnclave`: an entity in its own *attested* organization,
+  co-located with a host network host.  The host organization never
+  holds the enclave's keys, so everything the enclave processes is ⊙
+  to its operator;
+* the provision-after-verify pattern: clients check the quote against
+  the vendor key and an expected measurement before granting the
+  enclave any session key.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.entities import Entity, World
+from repro.crypto.hashutil import sha256
+from repro.crypto.rsa import RsaPrivateKey, RsaPublicKey, generate_rsa_keypair
+
+__all__ = ["AttestationQuote", "AttestationAuthority", "TeeEnclave"]
+
+
+@dataclass(frozen=True)
+class AttestationQuote:
+    """A vendor-signed claim: enclave ``name`` runs code ``measurement``."""
+
+    enclave_name: str
+    measurement: bytes
+    signature: int
+
+    def payload(self) -> bytes:
+        return self.enclave_name.encode("utf-8") + b"\x00" + self.measurement
+
+
+class AttestationAuthority:
+    """The hardware vendor's quoting key."""
+
+    def __init__(
+        self, name: str = "tee-vendor", key_bits: int = 512,
+        rng: Optional[_random.Random] = None,
+    ) -> None:
+        self.name = name
+        self._key: RsaPrivateKey = generate_rsa_keypair(key_bits, rng=rng)
+
+    @property
+    def public_key(self) -> RsaPublicKey:
+        return self._key.public
+
+    def quote(self, enclave_name: str, measurement: bytes) -> AttestationQuote:
+        """Sign an enclave's identity + code measurement."""
+        quote = AttestationQuote(
+            enclave_name=enclave_name, measurement=measurement, signature=0
+        )
+        signature = self._key.sign(quote.payload())
+        return AttestationQuote(
+            enclave_name=enclave_name, measurement=measurement, signature=signature
+        )
+
+    @staticmethod
+    def verify(
+        vendor_key: RsaPublicKey,
+        quote: AttestationQuote,
+        expected_measurement: bytes,
+    ) -> bool:
+        """Client-side: right code, genuinely quoted by the vendor."""
+        if quote.measurement != expected_measurement:
+            return False
+        return vendor_key.verify(quote.payload(), quote.signature)
+
+
+class TeeEnclave:
+    """An attested entity living inside some operator's machine.
+
+    The enclave's organization is ``tee:<vendor>/<name>`` with
+    ``attested=True``; the *operator's* entity never receives the
+    enclave keyring, so the information flow enforces the memory
+    encryption the hardware provides.
+    """
+
+    def __init__(
+        self,
+        world: World,
+        authority: AttestationAuthority,
+        name: str,
+        code: str,
+    ) -> None:
+        self.name = name
+        self.code = code
+        self.measurement = sha256(b"enclave-code:", code.encode("utf-8"))
+        self.entity: Entity = world.entity(
+            name,
+            f"tee:{authority.name}/{name}",
+            attested=True,
+        )
+        self._quote = authority.quote(name, self.measurement)
+
+    @property
+    def quote(self) -> AttestationQuote:
+        return self._quote
+
+    def provision_key(
+        self,
+        key_id: str,
+        vendor_key: RsaPublicKey,
+        expected_measurement: bytes,
+    ) -> bool:
+        """The client's provision-after-verify step.
+
+        Grants the enclave ``key_id`` only if its quote checks out
+        against the vendor key and the expected code measurement.
+        """
+        if not AttestationAuthority.verify(
+            vendor_key, self._quote, expected_measurement
+        ):
+            return False
+        self.entity.grant_key(key_id)
+        return True

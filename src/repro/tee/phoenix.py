@@ -1,0 +1,155 @@
+"""Phoenix: keyless CDNs with enclaves (paper section 4.3).
+
+The paper cites Phoenix as using TEEs "to implement CDN-like services
+(e.g., caching, web application firewalls) without the CDN seeing any
+sensitive data".  We model a CDN point-of-presence whose TLS
+termination and cache live inside an enclave: the *operator* entity
+hosts the box (and sees client addresses plus encrypted traffic) while
+the *enclave* entity holds the session keys.  Clients provision the
+session key only after verifying the enclave's attestation quote.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from typing import Dict, Optional
+
+from repro.core.entities import Entity, World
+from repro.core.values import LabeledValue, Sealed, Subject
+from repro.crypto.rsa import RsaPublicKey
+from repro.http.messages import HttpRequest, HttpResponse
+from repro.net.addressing import Address
+from repro.net.network import Network, SimHost
+from repro.net.packets import Packet
+
+from .enclave import AttestationAuthority, TeeEnclave
+
+__all__ = ["PhoenixPop", "PhoenixClient", "PHOENIX_PROTOCOL"]
+
+PHOENIX_PROTOCOL = "phoenix-https"
+
+_session_ids = itertools.count(1)
+
+
+class PhoenixPop:
+    """A CDN point of presence: operator host + in-enclave service."""
+
+    CODE = "phoenix-cdn-cache-v1"
+
+    def __init__(
+        self,
+        world: World,
+        network: Network,
+        operator_entity: Entity,
+        authority: AttestationAuthority,
+        name: str = "phoenix-pop",
+    ) -> None:
+        self.operator_entity = operator_entity
+        self.enclave = TeeEnclave(world, authority, name="CDN Enclave", code=self.CODE)
+        self.host: SimHost = network.add_host(name, operator_entity)
+        self.host.register(PHOENIX_PROTOCOL, self._handle)
+        self.cache: Dict[str, str] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    @property
+    def address(self) -> Address:
+        return self.host.address
+
+    def _handle(self, packet: Packet) -> Sealed:
+        """The operator's host receives ciphertext; the enclave serves.
+
+        The packet was already observed by the *operator* entity (which
+        lacks the session key and so recorded only the exterior).  We
+        additionally let the *enclave* observe it -- the enclave is
+        where decryption actually happens -- and produce the response
+        inside the enclave's key domain.
+        """
+        sealed: Sealed = packet.payload
+        now = self.host.network.simulator.now
+        if packet.sender_identity is not None:
+            # The enclave terminates the connection: like any TLS
+            # server it sees the client's address.
+            self.enclave.entity.observe(
+                packet.sender_identity,
+                time=now,
+                channel="network-header",
+                session=packet.session,
+            )
+        self.enclave.entity.observe(
+            sealed, time=now, channel=PHOENIX_PROTOCOL, session=packet.session
+        )
+        (request,) = self.enclave.entity.unseal(sealed)
+        if not isinstance(request, HttpRequest):
+            raise TypeError("phoenix enclave expected an HTTP request")
+        key = f"{request.host}{request.path_and_body}"
+        if key in self.cache:
+            self.cache_hits += 1
+            body_text = self.cache[key]
+        else:
+            self.cache_misses += 1
+            body_text = f"origin content for {key}"
+            self.cache[key] = body_text
+        response = HttpResponse(
+            status=200,
+            body=LabeledValue(
+                payload=body_text,
+                label=request.content.label.downgraded(),
+                subject=request.content.subject,
+                description="cdn response body",
+            ),
+        )
+        return Sealed.wrap(
+            sealed.key_id,
+            [response],
+            subject=request.content.subject,
+            description="phoenix response",
+        )
+
+
+class PhoenixClient:
+    """A client that trusts the enclave only after attestation."""
+
+    def __init__(
+        self,
+        host: SimHost,
+        pop: PhoenixPop,
+        vendor_key: RsaPublicKey,
+        subject: Subject,
+    ) -> None:
+        self.host = host
+        self.pop = pop
+        self.vendor_key = vendor_key
+        self.subject = subject
+        self.session_key_id: Optional[str] = None
+
+    def establish_session(self) -> bool:
+        """Verify the quote, then provision a fresh session key."""
+        key_id = f"phoenix-session:{next(_session_ids)}"
+        ok = self.pop.enclave.provision_key(
+            key_id,
+            self.vendor_key,
+            expected_measurement=self.pop.enclave.measurement,
+        )
+        if not ok:
+            return False
+        self.host.entity.grant_key(key_id)
+        self.session_key_id = key_id
+        return True
+
+    def fetch(self, request: HttpRequest) -> HttpResponse:
+        if self.session_key_id is None and not self.establish_session():
+            raise RuntimeError("attestation failed; refusing to send")
+        self.host.entity.observe(request.content, channel="self", session="self")
+        sealed = Sealed.wrap(
+            self.session_key_id,
+            [request],
+            subject=self.subject,
+            description="phoenix request",
+        )
+        reply: Sealed = self.host.transact(
+            self.pop.address, sealed, PHOENIX_PROTOCOL
+        )
+        (response,) = self.host.entity.unseal(reply)
+        return response

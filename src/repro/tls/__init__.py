@@ -1,0 +1,21 @@
+"""A toy TLS layer with SNI and Encrypted ClientHello.
+
+Substrate for the section 3.3 cautionary analysis: ECH hides the SNI
+from the network but not from the terminating server.
+"""
+
+from .handshake import (
+    APP_PROTOCOL,
+    HELLO_PROTOCOL,
+    TlsClientHello,
+    TlsClientSession,
+    TlsServer,
+)
+
+__all__ = [
+    "TlsClientHello",
+    "TlsClientSession",
+    "TlsServer",
+    "HELLO_PROTOCOL",
+    "APP_PROTOCOL",
+]

@@ -1,0 +1,168 @@
+"""A toy TLS layer: handshake with SNI, sessions, and ECH.
+
+Just enough TLS to reproduce the paper's section 3.3 point about
+Encrypted ClientHello: ECH hides the SNI from the *network observer*
+but "does not alter what information the TLS server sees" -- the
+handshake still terminates at a server that learns both who connected
+and everything they asked for.
+
+The handshake is modeled at the information level (a session key id
+shared between client and server entities); the package's real HPKE is
+what production ECH uses, and the ODoH/OHTTP models here exercise that
+code path already.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.entities import Entity
+from repro.core.values import LabeledValue, Sealed, Subject
+from repro.http.messages import HttpRequest, HttpResponse, fqdn_value
+from repro.net.addressing import Address
+from repro.net.network import Network, SimHost
+from repro.net.packets import Packet
+
+__all__ = ["TlsClientHello", "TlsServer", "TlsClientSession", "HELLO_PROTOCOL", "APP_PROTOCOL"]
+
+HELLO_PROTOCOL = "tls-hello"
+APP_PROTOCOL = "tls-app"
+
+_session_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class TlsClientHello:
+    """A ClientHello: the SNI travels in the clear or under ECH.
+
+    Exactly one of ``sni`` (plaintext, a labeled partially sensitive
+    value any wire observer reads) or ``ech`` (the same value sealed to
+    the server's ECH key) is set.
+    """
+
+    session_hint: int
+    sni: Optional[LabeledValue] = None
+    ech: Optional[Sealed] = None
+
+    def __post_init__(self) -> None:
+        if (self.sni is None) == (self.ech is None):
+            raise ValueError("exactly one of sni / ech must be present")
+
+
+@dataclass(frozen=True)
+class _HelloDone:
+    """Server's handshake completion, naming the session key."""
+
+    session_key_id: str
+
+
+class TlsServer:
+    """A TLS-terminating origin: handshake, then application data."""
+
+    def __init__(
+        self,
+        network: Network,
+        entity: Entity,
+        hostname: str,
+        app: Optional[Callable[[HttpRequest], str]] = None,
+        ech_key_id: Optional[str] = None,
+    ) -> None:
+        self.hostname = hostname
+        self.entity = entity
+        self.app = app if app is not None else (lambda req: f"content for {req.path_and_body}")
+        self.ech_key_id = ech_key_id if ech_key_id is not None else f"ech:{hostname}"
+        entity.grant_key(self.ech_key_id)
+        self.host: SimHost = network.add_host(f"tls:{hostname}", entity)
+        self.host.register(HELLO_PROTOCOL, self._handle_hello)
+        self.host.register(APP_PROTOCOL, self._handle_app)
+        self.handshakes = 0
+        self.requests_served = 0
+
+    @property
+    def address(self) -> Address:
+        return self.host.address
+
+    def _handle_hello(self, packet: Packet) -> _HelloDone:
+        hello: TlsClientHello = packet.payload
+        if hello.ech is not None:
+            # Decrypting the ECH extension is an observation: the
+            # server (as client-facing server) learns the inner SNI.
+            self.entity.observe(
+                hello.ech, time=self.host.network.simulator.now, channel="ech"
+            )
+        self.handshakes += 1
+        key_id = f"tls-session:{self.hostname}:{next(_session_ids)}"
+        self.entity.grant_key(key_id)
+        return _HelloDone(session_key_id=key_id)
+
+    def _handle_app(self, packet: Packet) -> Sealed:
+        sealed: Sealed = packet.payload
+        (request,) = self.entity.unseal(sealed)
+        self.requests_served += 1
+        response = HttpResponse(
+            status=200,
+            body=LabeledValue(
+                payload=self.app(request),
+                label=request.content.label.downgraded(),
+                subject=request.content.subject,
+                description="tls response body",
+            ),
+        )
+        return Sealed.wrap(
+            sealed.key_id,
+            [response],
+            subject=request.content.subject,
+            description="tls app response",
+        )
+
+
+class TlsClientSession:
+    """Client side: handshake (optionally with ECH), then requests."""
+
+    def __init__(
+        self,
+        host: SimHost,
+        server: TlsServer,
+        subject: Subject,
+        use_ech: bool = False,
+    ) -> None:
+        self.host = host
+        self.server = server
+        self.subject = subject
+        self.use_ech = use_ech
+        self.session_key_id: Optional[str] = None
+
+    def handshake(self) -> None:
+        """Run the hello exchange and install the session key."""
+        sni = fqdn_value(self.server.hostname, self.subject)
+        if self.use_ech:
+            hello = TlsClientHello(
+                session_hint=next(_session_ids),
+                ech=Sealed.wrap(
+                    self.server.ech_key_id,
+                    [sni],
+                    subject=self.subject,
+                    description="encrypted client hello",
+                ),
+            )
+        else:
+            hello = TlsClientHello(session_hint=next(_session_ids), sni=sni)
+        done = self.host.transact(self.server.address, hello, HELLO_PROTOCOL)
+        self.session_key_id = done.session_key_id
+        self.host.entity.grant_key(self.session_key_id)
+
+    def request(self, request: HttpRequest) -> HttpResponse:
+        """Send one request over the established session."""
+        if self.session_key_id is None:
+            self.handshake()
+        sealed = Sealed.wrap(
+            self.session_key_id,
+            [request],
+            subject=self.subject,
+            description="tls app data",
+        )
+        reply: Sealed = self.host.transact(self.server.address, sealed, APP_PROTOCOL)
+        (response,) = self.host.entity.unseal(reply)
+        return response

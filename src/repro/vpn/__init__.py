@@ -1,0 +1,15 @@
+"""Cautionary tales: centralized VPNs and ECH (paper section 3.3)."""
+
+from .scenario import EchRun, PAPER_TABLE_T8, VpnRun, run_ech, run_vpn
+from .vpn import VPN_PROTOCOL, VpnClient, VpnServer
+
+__all__ = [
+    "VpnServer",
+    "VpnClient",
+    "VPN_PROTOCOL",
+    "VpnRun",
+    "EchRun",
+    "run_vpn",
+    "run_ech",
+    "PAPER_TABLE_T8",
+]

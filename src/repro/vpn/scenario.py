@@ -1,0 +1,128 @@
+"""The T8 scenarios: VPN and ECH cautionary tales (section 3.3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.analysis import DecouplingAnalyzer
+from repro.core.entities import World
+from repro.core.labels import SENSITIVE_IDENTITY
+from repro.core.values import LabeledValue, Subject
+from repro.http.messages import make_request
+from repro.http.origin import OriginDirectory, OriginServer
+from repro.net.network import Network, WireObserver
+from repro.tls.handshake import TlsClientSession, TlsServer
+
+from .vpn import VpnClient, VpnServer
+
+__all__ = [
+    "VpnRun",
+    "EchRun",
+    "run_vpn",
+    "run_ech",
+    "PAPER_TABLE_T8",
+]
+
+#: The paper's section 3.3 table, exactly as printed.
+PAPER_TABLE_T8: Dict[str, str] = {
+    "Client": "(▲, ●)",
+    "VPN Server": "(▲, ●)",
+    "Origin": "(△, ●)",
+}
+
+
+@dataclass
+class VpnRun:
+    world: World
+    network: Network
+    analyzer: DecouplingAnalyzer
+    requests: int
+
+    def table(self):
+        return self.analyzer.table(
+            entities=["Client", "VPN Server", "Origin"],
+            title="T8: centralized VPN",
+        )
+
+
+def run_vpn(requests: int = 3) -> VpnRun:
+    """All traffic through one trusted provider: the anti-pattern."""
+    world = World()
+    network = Network()
+    client_entity = world.entity("Client", "client-device", trusted_by_user=True)
+    vpn_entity = world.entity("VPN Server", "vpn-provider")
+    origin_entity = world.entity("Origin", "origin-org")
+
+    directory = OriginDirectory()
+    OriginServer(network, origin_entity, "www.example.com", directory=directory)
+    server = VpnServer(network, vpn_entity, directory)
+    client = VpnClient(network, client_entity, Subject("alice"), server)
+
+    for index in range(requests):
+        client.fetch("www.example.com", f"/private/{index}")
+    network.run()
+    return VpnRun(
+        world=world,
+        network=network,
+        analyzer=DecouplingAnalyzer(world),
+        requests=requests,
+    )
+
+
+@dataclass
+class EchRun:
+    world: World
+    network: Network
+    analyzer: DecouplingAnalyzer
+    use_ech: bool
+
+    def table(self):
+        return self.analyzer.table(
+            entities=["Client", "Network Observer", "TLS Server"],
+            title=f"T8b: TLS {'with' if self.use_ech else 'without'} ECH",
+        )
+
+    def observer_saw_sni(self) -> bool:
+        return any(
+            obs.description == "target fqdn" and obs.label.is_sensitive
+            for obs in self.world.ledger.by_entity("Network Observer")
+        )
+
+
+def run_ech(use_ech: bool, requests: int = 2) -> EchRun:
+    """TLS with/without ECH under a passive network observer.
+
+    ECH hides the SNI from the observer but -- the paper's point --
+    "does not alter what information the TLS server sees": the server
+    column is (▲, ●) either way.
+    """
+    world = World()
+    network = Network()
+    client_entity = world.entity("Client", "client-device", trusted_by_user=True)
+    observer_entity = world.entity("Network Observer", "transit-isp")
+    server_entity = world.entity("TLS Server", "server-org")
+
+    network.add_observer(WireObserver(observer_entity))
+    server = TlsServer(network, server_entity, "secret-site.example")
+    subject = Subject("alice")
+    identity = LabeledValue(
+        payload="198.51.100.23",
+        label=SENSITIVE_IDENTITY,
+        subject=subject,
+        description="client ip",
+    )
+    host = network.add_host("tls-client", client_entity, identity=identity)
+    client_entity.observe(identity, channel="self", session="self")
+    session = TlsClientSession(host, server, subject, use_ech=use_ech)
+    for index in range(requests):
+        request = make_request("secret-site.example", f"/page/{index}", subject)
+        client_entity.observe(request.content, channel="self", session="self")
+        session.request(request)
+    network.run()
+    return EchRun(
+        world=world,
+        network=network,
+        analyzer=DecouplingAnalyzer(world),
+        use_ech=use_ech,
+    )

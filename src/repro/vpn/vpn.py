@@ -1,0 +1,111 @@
+"""The centralized VPN: the paper's cautionary tale (section 3.3).
+
+A VPN shifts trust rather than decoupling it: the tunnel hides traffic
+from the local network, but the VPN server terminates the tunnel and
+sees the user's identity *and* everything they do -- "a single locus of
+observation", exactly the (▲, ●) cell the Decoupling Principle forbids.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+
+from repro.core.entities import Entity
+from repro.core.labels import SENSITIVE_IDENTITY
+from repro.core.values import LabeledValue, Sealed, Subject
+from repro.http.messages import HttpRequest, HttpResponse, make_request
+from repro.http.origin import HTTP_PROTOCOL, OriginDirectory
+from repro.net.addressing import Address
+from repro.net.network import Network, SimHost
+from repro.net.packets import Packet
+
+__all__ = ["VpnServer", "VpnClient", "VPN_PROTOCOL"]
+
+VPN_PROTOCOL = "vpn-tunnel"
+
+_tunnel_ids = itertools.count(1)
+
+
+class VpnServer:
+    """Terminates client tunnels and proxies requests in the clear."""
+
+    def __init__(
+        self,
+        network: Network,
+        entity: Entity,
+        directory: OriginDirectory,
+        name: str = "vpn-server",
+    ) -> None:
+        self.entity = entity
+        self.directory = directory
+        self.host: SimHost = network.add_host(name, entity)
+        self.host.register(VPN_PROTOCOL, self._handle)
+        self.requests_proxied = 0
+
+    @property
+    def address(self) -> Address:
+        return self.host.address
+
+    def _handle(self, packet: Packet) -> Sealed:
+        sealed: Sealed = packet.payload
+        (request,) = self.entity.unseal(sealed)
+        if not isinstance(request, HttpRequest):
+            raise TypeError("vpn tunnel did not contain an HTTP request")
+        self.requests_proxied += 1
+        upstream = self.directory.address_of(request.host)
+        response: HttpResponse = self.host.transact(
+            upstream, request, HTTP_PROTOCOL
+        )
+        return Sealed.wrap(
+            sealed.key_id,
+            [response],
+            subject=request.content.subject,
+            description="vpn tunnel response",
+        )
+
+
+class VpnClient:
+    """A user tunneling all traffic through one provider."""
+
+    def __init__(
+        self,
+        network: Network,
+        entity: Entity,
+        subject: Subject,
+        server: VpnServer,
+        client_ip: str = "203.0.113.50",
+    ) -> None:
+        self.entity = entity
+        self.subject = subject
+        self.server = server
+        self.tunnel_key_id = f"vpn-tunnel-key:{next(_tunnel_ids)}"
+        entity.grant_key(self.tunnel_key_id)
+        server.entity.grant_key(self.tunnel_key_id)  # shared tunnel key
+        self.identity = LabeledValue(
+            payload=client_ip,
+            label=SENSITIVE_IDENTITY,
+            subject=subject,
+            description="client ip",
+        )
+        self.host: SimHost = network.add_host(
+            f"vpn-client:{subject}", entity, identity=self.identity
+        )
+
+    def fetch(self, hostname: str, path: str) -> HttpResponse:
+        """One request through the tunnel."""
+        request = make_request(hostname, path, self.subject)
+        self.entity.observe(
+            [self.identity, request.content], channel="self", session="self"
+        )
+        sealed = Sealed.wrap(
+            self.tunnel_key_id,
+            [request],
+            subject=self.subject,
+            description="vpn tunneled request",
+        )
+        reply: Sealed = self.host.transact(
+            self.server.address, sealed, VPN_PROTOCOL
+        )
+        (response,) = self.entity.unseal(reply)
+        return response

@@ -1,0 +1,12 @@
+"""Shared pytest configuration: fast, deterministic hypothesis runs."""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    derandomize=True,
+)
+settings.load_profile("repro")

@@ -1,0 +1,128 @@
+"""System tests for Tor-style onion circuits."""
+
+import pytest
+
+from repro.core.analysis import DecouplingAnalyzer
+from repro.core.entities import World
+from repro.core.labels import SENSITIVE_DATA, SENSITIVE_IDENTITY
+from repro.core.values import LabeledValue, Subject
+from repro.http.messages import make_request
+from repro.http.origin import OriginDirectory, OriginServer
+from repro.mixnet.circuits import CircuitClient, OnionRouter
+from repro.net.network import Network
+
+ALICE = Subject("alice")
+
+
+def _build(hops=3):
+    world, network = World(), Network()
+    user = world.entity("User", "device", trusted_by_user=True)
+    directory = OriginDirectory()
+    origin = OriginServer(
+        network, world.entity("Origin", "origin-org"), "site.example",
+        directory=directory,
+    )
+    routers = []
+    for index in range(1, hops + 1):
+        entity = world.entity(f"OR {index}", f"or-org-{index}")
+        routers.append(
+            OnionRouter(
+                network,
+                entity,
+                f"or-{index}",
+                f"or-key-{index}",
+                directory=directory if index == hops else None,
+            )
+        )
+    identity = LabeledValue("198.51.100.77", SENSITIVE_IDENTITY, ALICE, "client ip")
+    host = network.add_host("client", user, identity=identity)
+    user.observe(identity, channel="self", session="self")
+    client = CircuitClient(host, routers, ALICE)
+    return world, network, client, routers, origin
+
+
+class TestCircuitLifecycle:
+    def test_fetch_builds_circuit_lazily(self):
+        world, network, client, routers, origin = _build()
+        assert not client.established
+        response = client.fetch(make_request("site.example", "/a", ALICE))
+        assert response.ok and client.established
+
+    def test_circuit_is_reused_across_streams(self):
+        world, network, client, routers, origin = _build()
+        client.build_circuit()
+        for index in range(4):
+            client.fetch(make_request("site.example", f"/s{index}", ALICE))
+        # 4 data cells per router, one setup each: state is per circuit.
+        assert all(r.cells_relayed == 4 for r in routers)
+        assert origin.requests_served == 4
+
+    def test_circuit_ids_differ_per_hop(self):
+        world, network, client, routers, origin = _build()
+        client.build_circuit()
+        assert len(set(client._hop_ids)) == 3
+
+    def test_unknown_circuit_rejected(self):
+        from repro.mixnet.circuits import CIRCUIT_PROTOCOL, _DataCell
+
+        world, network, client, routers, origin = _build()
+        client.host.send(
+            routers[0].address, _DataCell(circuit_id=999999, payload=None),
+            CIRCUIT_PROTOCOL,
+        )
+        with pytest.raises(KeyError):
+            network.run()
+
+
+class TestCircuitDecoupling:
+    def test_knowledge_table_matches_onion_routing(self):
+        world, network, client, routers, origin = _build()
+        client.fetch(make_request("site.example", "/a", ALICE))
+        analyzer = DecouplingAnalyzer(world)
+        table = analyzer.table(entities=["User", "OR 1", "OR 2", "OR 3", "Origin"])
+        assert table.as_mapping() == {
+            "User": "(▲, ●)",
+            "OR 1": "(▲, ⊙)",
+            "OR 2": "(△, ⊙)",
+            "OR 3": "(△, ●)",  # plain-HTTP exit sees the request
+            "Origin": "(△, ●)",
+        }
+        assert analyzer.verdict().decoupled
+
+    def test_guard_never_sees_plaintext(self):
+        world, network, client, routers, origin = _build()
+        client.fetch(make_request("site.example", "/secret", ALICE))
+        assert SENSITIVE_DATA not in world.ledger.labels_of("OR 1")
+        assert SENSITIVE_DATA not in world.ledger.labels_of("OR 2")
+
+    def test_collusion_needs_the_full_path(self):
+        world, network, client, routers, origin = _build()
+        client.fetch(make_request("site.example", "/a", ALICE))
+        analyzer = DecouplingAnalyzer(world)
+        (coalition,) = analyzer.minimal_recoupling_coalitions()
+        assert coalition == frozenset({"or-org-1", "or-org-2", "or-org-3"})
+
+    def test_more_hops_raise_collusion_resistance(self):
+        resistances = []
+        for hops in (2, 3, 4):
+            world, network, client, routers, origin = _build(hops)
+            client.fetch(make_request("site.example", "/a", ALICE))
+            resistances.append(
+                DecouplingAnalyzer(world).collusion_resistance()
+            )
+        assert resistances == [2, 3, 4]
+
+    def test_setup_is_paid_once(self):
+        """Circuit reuse amortizes the setup round trips (section 4.2:
+        'albeit at greater performance cost' is about the data path)."""
+        world, network, client, routers, origin = _build()
+        t0 = network.simulator.now
+        client.build_circuit()
+        setup_cost = network.simulator.now - t0
+        t1 = network.simulator.now
+        client.fetch(make_request("site.example", "/a", ALICE))
+        fetch_cost = network.simulator.now - t1
+        assert setup_cost > 0
+        t2 = network.simulator.now
+        client.fetch(make_request("site.example", "/b", ALICE))
+        assert network.simulator.now - t2 == pytest.approx(fetch_cost)

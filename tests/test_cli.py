@@ -1,0 +1,64 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+def _run(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestList:
+    def test_lists_all_demos(self):
+        code, output = _run(["list"])
+        assert code == 0
+        for name in ("mixnet", "odoh", "pgpp", "prio", "vpn", "phoenix"):
+            assert name in output
+
+
+class TestDemo:
+    def test_demo_prints_table_and_verdict(self):
+        code, output = _run(["demo", "digital-cash"])
+        assert code == 0
+        assert "(▲, ●)" in output
+        assert "DECOUPLED" in output
+        assert "breach of" in output
+
+    def test_unknown_demo_fails_gracefully(self):
+        code, output = _run(["demo", "nonexistent"])
+        assert code == 2
+        assert "unknown demo" in output
+
+    def test_vpn_demo_shows_the_violation(self):
+        code, output = _run(["demo", "vpn"])
+        assert code == 0
+        assert "NOT DECOUPLED" in output
+        assert "EXPOSED" in output
+
+
+class TestFigures:
+    def test_figures_render_flow_steps(self):
+        code, output = _run(["figures"])
+        assert code == 0
+        assert "Figure 1" in output and "Figure 2" in output
+        assert "Mix 1" in output and "Issuer" in output
+
+
+class TestTables:
+    def test_all_tables_match(self):
+        code, output = _run(["tables"])
+        assert code == 0
+        assert output.count("MATCH") >= 11
+        assert "MISMATCH" not in output
+
+
+class TestNoCommand:
+    def test_help_on_no_command(self):
+        code, output = _run([])
+        assert code == 2
+        assert "usage" in output.lower()

@@ -1,0 +1,98 @@
+"""Unit tests for the sensitivity-label lattice."""
+
+import pytest
+
+from repro.core.labels import (
+    Facet,
+    Kind,
+    Label,
+    NONSENSITIVE_DATA,
+    NONSENSITIVE_HUMAN_IDENTITY,
+    NONSENSITIVE_IDENTITY,
+    NONSENSITIVE_NETWORK_IDENTITY,
+    PARTIAL_SENSITIVE_DATA,
+    SENSITIVE_DATA,
+    SENSITIVE_HUMAN_IDENTITY,
+    SENSITIVE_IDENTITY,
+    SENSITIVE_NETWORK_IDENTITY,
+    Sensitivity,
+)
+
+
+class TestGlyphs:
+    def test_paper_notation_for_the_four_base_marks(self):
+        assert SENSITIVE_IDENTITY.glyph == "▲"
+        assert NONSENSITIVE_IDENTITY.glyph == "△"
+        assert SENSITIVE_DATA.glyph == "●"
+        assert NONSENSITIVE_DATA.glyph == "⊙"
+
+    def test_partial_data_renders_as_the_paper_pair(self):
+        assert PARTIAL_SENSITIVE_DATA.glyph == "⊙/●"
+
+    def test_faceted_identity_glyphs(self):
+        assert SENSITIVE_HUMAN_IDENTITY.glyph == "▲_H"
+        assert NONSENSITIVE_HUMAN_IDENTITY.glyph == "△_H"
+        assert SENSITIVE_NETWORK_IDENTITY.glyph == "▲_N"
+        assert NONSENSITIVE_NETWORK_IDENTITY.glyph == "△_N"
+
+    def test_str_is_glyph(self):
+        assert str(SENSITIVE_DATA) == "●"
+
+
+class TestValidation:
+    def test_data_labels_cannot_carry_facets(self):
+        with pytest.raises(ValueError):
+            Label(Kind.DATA, Sensitivity.SENSITIVE, Facet.HUMAN)
+
+    def test_partial_requires_sensitive_data(self):
+        with pytest.raises(ValueError):
+            Label(Kind.DATA, Sensitivity.NONSENSITIVE, partial=True)
+        with pytest.raises(ValueError):
+            Label(Kind.IDENTITY, Sensitivity.SENSITIVE, partial=True)
+
+
+class TestOrderAndTransforms:
+    def test_rank_order(self):
+        assert NONSENSITIVE_DATA.rank == 0
+        assert PARTIAL_SENSITIVE_DATA.rank == 1
+        assert SENSITIVE_DATA.rank == 2
+
+    def test_dominates_within_kind_and_facet(self):
+        assert SENSITIVE_DATA.dominates(PARTIAL_SENSITIVE_DATA)
+        assert PARTIAL_SENSITIVE_DATA.dominates(NONSENSITIVE_DATA)
+        assert not NONSENSITIVE_DATA.dominates(SENSITIVE_DATA)
+        assert SENSITIVE_IDENTITY.dominates(NONSENSITIVE_IDENTITY)
+
+    def test_dominates_is_false_across_kinds(self):
+        assert not SENSITIVE_DATA.dominates(SENSITIVE_IDENTITY)
+        assert not SENSITIVE_IDENTITY.dominates(SENSITIVE_DATA)
+
+    def test_dominates_is_false_across_facets(self):
+        assert not SENSITIVE_HUMAN_IDENTITY.dominates(SENSITIVE_NETWORK_IDENTITY)
+
+    def test_downgrade_strips_sensitivity_and_partial(self):
+        assert SENSITIVE_DATA.downgraded() == NONSENSITIVE_DATA
+        assert PARTIAL_SENSITIVE_DATA.downgraded() == NONSENSITIVE_DATA
+        assert SENSITIVE_HUMAN_IDENTITY.downgraded() == NONSENSITIVE_HUMAN_IDENTITY
+
+    def test_upgrade_and_partially(self):
+        assert NONSENSITIVE_DATA.upgraded() == SENSITIVE_DATA
+        assert NONSENSITIVE_DATA.partially() == PARTIAL_SENSITIVE_DATA
+
+    def test_downgrade_then_upgrade_round_trips_full_sensitivity(self):
+        assert SENSITIVE_DATA.downgraded().upgraded() == SENSITIVE_DATA
+
+    def test_labels_are_hashable_and_comparable(self):
+        assert len({SENSITIVE_DATA, SENSITIVE_DATA, NONSENSITIVE_DATA}) == 2
+
+
+class TestPredicates:
+    def test_kind_predicates(self):
+        assert SENSITIVE_IDENTITY.is_identity
+        assert not SENSITIVE_IDENTITY.is_data
+        assert SENSITIVE_DATA.is_data
+
+    def test_sensitivity_predicates(self):
+        assert SENSITIVE_DATA.is_sensitive
+        assert PARTIAL_SENSITIVE_DATA.is_sensitive
+        assert not NONSENSITIVE_DATA.is_sensitive

@@ -1,0 +1,112 @@
+"""Round-trip tests for ledger serialization."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.labels import (
+    Facet,
+    Kind,
+    Label,
+    PARTIAL_SENSITIVE_DATA,
+    SENSITIVE_DATA,
+    SENSITIVE_HUMAN_IDENTITY,
+    SENSITIVE_IDENTITY,
+    Sensitivity,
+)
+from repro.core.ledger import Ledger
+from repro.core.serialize import (
+    label_from_dict,
+    label_to_dict,
+    ledger_from_jsonl,
+    ledger_to_dicts,
+    ledger_to_jsonl,
+    observation_from_dict,
+    observation_to_dict,
+)
+from repro.core.values import LabeledValue, ShareInfo, Subject
+
+ALICE = Subject("alice")
+
+_label_strategy = st.builds(
+    Label,
+    kind=st.sampled_from(list(Kind)),
+    sensitivity=st.sampled_from(list(Sensitivity)),
+    facet=st.just(Facet.GENERIC),
+    partial=st.just(False),
+)
+
+
+class TestLabelRoundtrip:
+    @given(_label_strategy)
+    def test_generic_labels_roundtrip(self, label):
+        assert label_from_dict(label_to_dict(label)) == label
+
+    def test_special_labels_roundtrip(self):
+        for label in (
+            PARTIAL_SENSITIVE_DATA,
+            SENSITIVE_HUMAN_IDENTITY,
+            SENSITIVE_IDENTITY,
+        ):
+            assert label_from_dict(label_to_dict(label)) == label
+
+
+class TestObservationRoundtrip:
+    def _ledger(self):
+        ledger = Ledger()
+        ledger.record(
+            "Mix 1",
+            "mix-org",
+            LabeledValue("payload", SENSITIVE_DATA, ALICE, "query",
+                         provenance=("a", "b")),
+            time=1.25,
+            channel="wire",
+            session="pkt:7",
+        )
+        ledger.record(
+            "Agg",
+            "agg-org",
+            LabeledValue(
+                17,
+                SENSITIVE_DATA.downgraded(),
+                ALICE,
+                "share",
+                share_info=ShareInfo(group="g", index=1, total=3),
+            ),
+        )
+        return ledger
+
+    def test_dict_roundtrip_preserves_everything(self):
+        ledger = self._ledger()
+        rows = ledger_to_dicts(ledger)
+        for original, row in zip(ledger, rows):
+            assert observation_from_dict(row) == original
+
+    def test_jsonl_roundtrip(self):
+        ledger = self._ledger()
+        restored = ledger_from_jsonl(ledger_to_jsonl(ledger))
+        assert list(restored) == list(ledger)
+
+    def test_jsonl_is_one_line_per_observation(self):
+        text = ledger_to_jsonl(self._ledger())
+        assert len(text.splitlines()) == 2
+
+    def test_restored_ledger_supports_analysis_queries(self):
+        restored = ledger_from_jsonl(ledger_to_jsonl(self._ledger()))
+        assert restored.labels_of("Mix 1") == {SENSITIVE_DATA}
+        assert restored.subjects() == (ALICE,)
+
+    def test_empty_ledger(self):
+        assert list(ledger_from_jsonl(ledger_to_jsonl(Ledger()))) == []
+
+
+class TestAnalyzerOnRestoredLedger:
+    def test_verdict_survives_serialization(self):
+        """A run's ledger, serialized and restored, yields the same verdict."""
+        from repro.blindsig import run_digital_cash
+        from repro.core.analysis import DecouplingAnalyzer
+
+        run = run_digital_cash(coins=1)
+        original = run.analyzer.verdict().decoupled
+        restored_ledger = ledger_from_jsonl(ledger_to_jsonl(run.world.ledger))
+        run.world.ledger._observations = list(restored_ledger)
+        assert DecouplingAnalyzer(run.world).verdict().decoupled == original

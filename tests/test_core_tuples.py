@@ -1,0 +1,109 @@
+"""Unit tests for knowledge cells/tables and the rendering rules."""
+
+from repro.core.labels import (
+    Facet,
+    NONSENSITIVE_DATA,
+    NONSENSITIVE_HUMAN_IDENTITY,
+    NONSENSITIVE_IDENTITY,
+    PARTIAL_SENSITIVE_DATA,
+    SENSITIVE_DATA,
+    SENSITIVE_HUMAN_IDENTITY,
+    SENSITIVE_IDENTITY,
+    SENSITIVE_NETWORK_IDENTITY,
+)
+from repro.core.ledger import Ledger
+from repro.core.tuples import KnowledgeTable, cell_from_labels, facets_in_ledger
+from repro.core.values import LabeledValue, Subject
+
+ALICE = Subject("alice")
+
+
+class TestCellRules:
+    def test_empty_labels_render_anonymous_opaque(self):
+        cell = cell_from_labels([])
+        assert cell.render() == "(△, ⊙)"
+
+    def test_identity_mark_is_max_sensitivity(self):
+        cell = cell_from_labels([NONSENSITIVE_IDENTITY, SENSITIVE_IDENTITY])
+        assert cell.render() == "(▲, ⊙)"
+
+    def test_data_mark_is_max_rank(self):
+        assert cell_from_labels([NONSENSITIVE_DATA]).render() == "(△, ⊙)"
+        assert cell_from_labels([PARTIAL_SENSITIVE_DATA, NONSENSITIVE_DATA]).render() == "(△, ⊙/●)"
+        assert (
+            cell_from_labels(
+                [PARTIAL_SENSITIVE_DATA, SENSITIVE_DATA, NONSENSITIVE_DATA]
+            ).render()
+            == "(△, ●)"
+        )
+
+    def test_paper_style_full_cell(self):
+        cell = cell_from_labels([SENSITIVE_IDENTITY, SENSITIVE_DATA])
+        assert cell.render() == "(▲, ●)"
+        assert cell.is_coupled
+
+    def test_partial_data_with_identity_is_still_coupled(self):
+        cell = cell_from_labels([SENSITIVE_IDENTITY, PARTIAL_SENSITIVE_DATA])
+        assert cell.is_coupled
+
+    def test_anonymous_with_data_is_not_coupled(self):
+        cell = cell_from_labels([NONSENSITIVE_IDENTITY, SENSITIVE_DATA])
+        assert not cell.is_coupled
+
+    def test_faceted_cell_renders_in_paper_order(self):
+        cell = cell_from_labels(
+            [SENSITIVE_HUMAN_IDENTITY, SENSITIVE_DATA],
+            facets=(Facet.HUMAN, Facet.NETWORK),
+        )
+        assert cell.render() == "(▲_H, △_N, ●)"
+
+    def test_faceted_cell_with_network_knowledge(self):
+        cell = cell_from_labels(
+            [SENSITIVE_NETWORK_IDENTITY, NONSENSITIVE_DATA],
+            facets=(Facet.HUMAN, Facet.NETWORK),
+        )
+        assert cell.render() == "(△_H, ▲_N, ⊙)"
+
+
+class TestKnowledgeTable:
+    def _table(self):
+        rows = {
+            "Sender": cell_from_labels([SENSITIVE_IDENTITY, SENSITIVE_DATA]),
+            "Mix 1": cell_from_labels([SENSITIVE_IDENTITY, NONSENSITIVE_DATA]),
+        }
+        return KnowledgeTable(rows=rows, facets=(Facet.GENERIC,), title="demo")
+
+    def test_as_mapping(self):
+        assert self._table().as_mapping() == {
+            "Sender": "(▲, ●)",
+            "Mix 1": "(▲, ⊙)",
+        }
+
+    def test_render_contains_all_cells_and_title(self):
+        text = self._table().render()
+        assert "demo" in text and "(▲, ●)" in text and "Mix 1" in text
+
+    def test_entities_order(self):
+        assert self._table().entities() == ("Sender", "Mix 1")
+
+
+class TestFacetsInLedger:
+    def test_generic_only(self):
+        ledger = Ledger()
+        ledger.record(
+            "E", "org", LabeledValue("x", SENSITIVE_IDENTITY, ALICE, "id")
+        )
+        assert facets_in_ledger(ledger) == (Facet.GENERIC,)
+
+    def test_faceted_run_drops_generic_shape(self):
+        ledger = Ledger()
+        ledger.record(
+            "E", "org", LabeledValue("x", SENSITIVE_HUMAN_IDENTITY, ALICE, "id")
+        )
+        ledger.record(
+            "E", "org", LabeledValue("y", SENSITIVE_NETWORK_IDENTITY, ALICE, "id")
+        )
+        assert facets_in_ledger(ledger) == (Facet.HUMAN, Facet.NETWORK)
+
+    def test_empty_ledger_defaults_to_generic(self):
+        assert facets_in_ledger(Ledger()) == (Facet.GENERIC,)

@@ -1,0 +1,100 @@
+"""Unit and property tests for the number-theory primitives."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.numtheory import (
+    crt_pair,
+    egcd,
+    is_probable_prime,
+    modinv,
+    random_below,
+    random_prime,
+    random_safe_prime,
+    random_unit,
+)
+
+
+class TestPrimality:
+    def test_known_primes(self):
+        for p in (2, 3, 5, 7, 97, 7919, 2**127 - 1):
+            assert is_probable_prime(p)
+
+    def test_known_composites(self):
+        for n in (0, 1, 4, 561, 1105, 6601, 2**128):  # includes Carmichaels
+            assert not is_probable_prime(n)
+
+    def test_negative_numbers_are_not_prime(self):
+        assert not is_probable_prime(-7)
+
+    @given(st.integers(min_value=2, max_value=10_000))
+    def test_agrees_with_trial_division(self, n):
+        by_trial = all(n % d for d in range(2, int(n**0.5) + 1)) and n >= 2
+        assert is_probable_prime(n) == by_trial
+
+
+class TestGeneration:
+    def test_random_prime_has_exact_bit_length(self):
+        rng = random.Random(1)
+        for bits in (16, 32, 64):
+            p = random_prime(bits, rng)
+            assert p.bit_length() == bits and is_probable_prime(p)
+
+    def test_random_safe_prime_structure(self):
+        rng = random.Random(2)
+        p = random_safe_prime(32, rng)
+        assert is_probable_prime(p) and is_probable_prime((p - 1) // 2)
+
+    def test_seeded_generation_is_deterministic(self):
+        assert random_prime(32, random.Random(7)) == random_prime(32, random.Random(7))
+
+
+class TestModularArithmetic:
+    @given(st.integers(min_value=1, max_value=10**9), st.integers(min_value=1, max_value=10**9))
+    def test_egcd_bezout_identity(self, a, b):
+        g, x, y = egcd(a, b)
+        assert a * x + b * y == g
+        assert a % g == 0 and b % g == 0
+
+    @given(st.integers(min_value=2, max_value=10**6))
+    def test_modinv_inverts_coprime_values(self, m):
+        for a in (1, m - 1, 7):
+            if egcd(a, m)[0] == 1:
+                assert (a * modinv(a, m)) % m == 1
+
+    def test_modinv_rejects_non_coprime(self):
+        with pytest.raises(ValueError):
+            modinv(6, 9)
+
+    @given(
+        st.integers(min_value=0, max_value=10**4),
+        st.integers(min_value=0, max_value=10**4),
+    )
+    def test_crt_pair(self, r1, r2):
+        m1, m2 = 10007, 10009  # distinct primes
+        x = crt_pair(r1 % m1, m1, r2 % m2, m2)
+        assert x % m1 == r1 % m1 and x % m2 == r2 % m2
+
+    def test_crt_rejects_common_factor(self):
+        with pytest.raises(ValueError):
+            crt_pair(1, 6, 2, 9)
+
+
+class TestRandomHelpers:
+    def test_random_below_range(self):
+        rng = random.Random(3)
+        for _ in range(100):
+            assert 0 <= random_below(17, rng) < 17
+
+    def test_random_below_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            random_below(0)
+
+    def test_random_unit_is_coprime(self):
+        rng = random.Random(4)
+        modulus = 2 * 3 * 5 * 7
+        for _ in range(50):
+            unit = random_unit(modulus, rng)
+            assert egcd(unit, modulus)[0] == 1

@@ -1,0 +1,132 @@
+"""Unit and property tests for secret sharing and padding."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.padding import (
+    CELL_SIZE,
+    bucket_pad_length,
+    pad_to_cell,
+    padded_length,
+    unpad_from_cell,
+)
+from repro.crypto.secretshare import (
+    FIELD_PRIME,
+    check_boolean_shares,
+    make_boolean_proof,
+    reconstruct_additive,
+    shamir_reconstruct,
+    shamir_share,
+    share_additive,
+)
+
+
+class TestAdditiveSharing:
+    @given(
+        st.integers(min_value=0, max_value=FIELD_PRIME - 1),
+        st.integers(min_value=1, max_value=8),
+    )
+    def test_roundtrip(self, value, parties):
+        rng = random.Random(value % 1000)
+        shares = share_additive(value, parties, rng=rng)
+        assert len(shares) == parties
+        assert reconstruct_additive(shares) == value
+
+    def test_proper_subsets_do_not_determine_the_value(self):
+        """The same share prefix is consistent with any value."""
+        rng = random.Random(1)
+        shares_a = share_additive(0, 3, rng=random.Random(2))
+        # forge: same first two shares, different value
+        forged_last = (1 - sum(shares_a[:2])) % FIELD_PRIME
+        assert reconstruct_additive(shares_a[:2] + [forged_last]) == 1
+
+    def test_rejects_zero_parties(self):
+        with pytest.raises(ValueError):
+            share_additive(5, 0)
+
+    def test_sharing_is_homomorphic(self):
+        rng = random.Random(3)
+        a = share_additive(10, 3, rng=rng)
+        b = share_additive(32, 3, rng=rng)
+        summed = [(x + y) % FIELD_PRIME for x, y in zip(a, b)]
+        assert reconstruct_additive(summed) == 42
+
+
+class TestShamir:
+    @given(
+        st.integers(min_value=0, max_value=FIELD_PRIME - 1),
+        st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=15)
+    def test_threshold_roundtrip(self, value, threshold):
+        parties = threshold + 2
+        shares = shamir_share(value, parties, threshold, rng=random.Random(4))
+        assert shamir_reconstruct(shares[:threshold]) == value
+        assert shamir_reconstruct(shares) == value
+
+    def test_any_subset_of_threshold_size_works(self):
+        shares = shamir_share(777, 5, 3, rng=random.Random(5))
+        assert shamir_reconstruct([shares[0], shares[2], shares[4]]) == 777
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            shamir_share(1, 2, 3)
+        with pytest.raises(ValueError):
+            shamir_reconstruct([])
+        with pytest.raises(ValueError):
+            shamir_reconstruct([(1, 2), (1, 3)])
+
+
+class TestBooleanValidity:
+    @given(st.integers(min_value=0, max_value=1), st.integers(min_value=2, max_value=5))
+    @settings(max_examples=15)
+    def test_honest_bits_pass(self, bit, parties):
+        proofs = make_boolean_proof(bit, parties, rng=random.Random(6))
+        assert check_boolean_shares(proofs)
+
+    @given(st.integers(min_value=2, max_value=50), st.integers(min_value=2, max_value=4))
+    @settings(max_examples=15)
+    def test_out_of_range_values_fail(self, value, parties):
+        proofs = make_boolean_proof(value, parties, rng=random.Random(7))
+        assert not check_boolean_shares(proofs)
+
+    def test_shares_reconstruct_the_bit(self):
+        proofs = make_boolean_proof(1, 3, rng=random.Random(8))
+        assert reconstruct_additive([p.x_share for p in proofs]) == 1
+
+    def test_empty_proofs_rejected(self):
+        with pytest.raises(ValueError):
+            check_boolean_shares([])
+
+
+class TestPadding:
+    @given(st.binary(max_size=2000))
+    def test_roundtrip(self, payload):
+        assert unpad_from_cell(pad_to_cell(payload)) == payload
+
+    @given(st.binary(max_size=2000))
+    def test_padded_size_is_whole_cells(self, payload):
+        padded = pad_to_cell(payload)
+        assert len(padded) % CELL_SIZE == 0
+        assert len(padded) == padded_length(len(payload))
+
+    def test_small_payloads_are_indistinguishable_by_size(self):
+        assert len(pad_to_cell(b"a")) == len(pad_to_cell(b"a" * 100))
+
+    def test_corrupt_length_prefix_detected(self):
+        padded = bytearray(pad_to_cell(b"abc"))
+        padded[0] = 0xFF
+        with pytest.raises(ValueError):
+            unpad_from_cell(bytes(padded))
+
+    def test_short_input_rejected(self):
+        with pytest.raises(ValueError):
+            unpad_from_cell(b"\x00")
+
+    def test_bucket_padding_picks_smallest_fit(self):
+        assert bucket_pad_length(100, [64, 256, 1024]) == 256
+        assert bucket_pad_length(64, [64, 256]) == 64
+        with pytest.raises(ValueError):
+            bucket_pad_length(5000, [64, 256])

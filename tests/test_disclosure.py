@@ -1,0 +1,83 @@
+"""Tests for the statistical disclosure (intersection) attack."""
+
+from collections import Counter
+
+import pytest
+
+from repro.adversary import (
+    RoundObservation,
+    StatisticalDisclosureAttack,
+    generate_sda_rounds,
+)
+
+
+def _round(active, counts):
+    return RoundObservation(
+        active_senders=frozenset(active),
+        recipient_counts=tuple(sorted(counts.items())),
+    )
+
+
+class TestAttackMechanics:
+    def test_needs_both_signal_and_background_rounds(self):
+        attack = StatisticalDisclosureAttack()
+        only_active = [_round({"alice"}, {"r1": 1})]
+        assert attack.estimate(only_active, "alice") is None
+        only_background = [_round({"bob"}, {"r1": 1})]
+        assert attack.estimate(only_background, "alice") is None
+
+    def test_clean_signal_is_recovered(self):
+        attack = StatisticalDisclosureAttack()
+        rounds = [
+            _round({"alice", "c1"}, {"target": 1, "other": 1}),
+            _round({"alice", "c2"}, {"target": 1, "other": 1}),
+            _round({"c1"}, {"other": 1}),
+            _round({"c2"}, {"other": 1}),
+        ]
+        assert attack.estimate(rounds, "alice") == "target"
+
+    def test_round_counts_helper(self):
+        observation = _round({"a"}, {"r1": 2, "r2": 1})
+        assert observation.counts() == Counter({"r1": 2, "r2": 1})
+
+
+class TestEndToEnd:
+    def test_rounds_come_from_real_mixing(self):
+        observations, target, truth = generate_sda_rounds(rounds=6, seed=1)
+        assert observations
+        for observation in observations:
+            total = sum(observation.counts().values())
+            assert total == len(observation.active_senders)
+
+    def test_enough_rounds_disclose_the_correspondent(self):
+        hits = 0
+        for seed in range(8):
+            observations, target, truth = generate_sda_rounds(rounds=24, seed=seed)
+            guess = StatisticalDisclosureAttack().estimate(observations, target)
+            hits += int(guess == truth)
+        assert hits >= 7  # near-certain disclosure
+
+    def test_few_rounds_are_unreliable(self):
+        hits = 0
+        trials = 10
+        for seed in range(trials):
+            observations, target, truth = generate_sda_rounds(
+                rounds=3, covers=9, recipients=6, seed=seed
+            )
+            guess = StatisticalDisclosureAttack().estimate(observations, target)
+            hits += int(guess == truth)
+        assert hits < trials  # not yet certain
+
+    def test_accuracy_grows_with_observation_time(self):
+        def accuracy(rounds):
+            hits = 0
+            for seed in range(8):
+                observations, target, truth = generate_sda_rounds(
+                    rounds=rounds, covers=9, recipients=6, seed=seed
+                )
+                guess = StatisticalDisclosureAttack().estimate(observations, target)
+                hits += int(guess == truth)
+            return hits / 8
+
+        assert accuracy(4) <= accuracy(32)
+        assert accuracy(32) >= 0.75

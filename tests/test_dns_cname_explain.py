@@ -1,0 +1,121 @@
+"""Tests for CNAME chasing, negative caching, and analyzer narration."""
+
+import pytest
+
+from repro.core.analysis import DecouplingAnalyzer
+from repro.core.entities import World
+from repro.core.labels import SENSITIVE_IDENTITY
+from repro.core.values import LabeledValue, Subject
+from repro.dns.resolver import RecursiveResolver, StubResolver
+from repro.dns.zones import AuthoritativeServer, Zone, ZoneRegistry
+from repro.net.network import Network
+
+ALICE = Subject("alice")
+
+
+def _setup():
+    world, network = World(), Network()
+    registry = ZoneRegistry()
+    zone = Zone("example.com")
+    zone.add("web.example.com", "203.0.113.5")
+    zone.add_cname("www.example.com", "web.example.com")
+    zone.add_cname("alias.example.com", "www.example.com")  # two-step chain
+    zone.add_cname("loop-a.example.com", "loop-b.example.com")
+    zone.add_cname("loop-b.example.com", "loop-a.example.com")
+    auth = AuthoritativeServer(network, world.entity("Auth", "dns-infra"), zone, registry)
+    resolver = RecursiveResolver(network, world.entity("Resolver", "r-org"), registry)
+    host = network.add_host(
+        "client",
+        world.entity("Client", "device", trusted_by_user=True),
+        identity=LabeledValue("ip", SENSITIVE_IDENTITY, ALICE, "client ip"),
+    )
+    return world, network, auth, resolver, StubResolver(host, resolver.address)
+
+
+class TestCname:
+    def test_single_step_chain(self):
+        world, network, auth, resolver, stub = _setup()
+        answer = stub.lookup("www.example.com", ALICE)
+        assert answer.rdata == "203.0.113.5"
+        assert answer.qname == "www.example.com"  # original question kept
+
+    def test_two_step_chain(self):
+        world, network, auth, resolver, stub = _setup()
+        answer = stub.lookup("alias.example.com", ALICE)
+        assert answer.rdata == "203.0.113.5"
+
+    def test_cname_query_returns_the_alias_target(self):
+        world, network, auth, resolver, stub = _setup()
+        answer = stub.lookup("www.example.com", ALICE, qtype="CNAME")
+        assert answer.rdata == "web.example.com"
+
+    def test_cname_loops_are_bounded(self):
+        world, network, auth, resolver, stub = _setup()
+        with pytest.raises(RuntimeError):
+            stub.lookup("loop-a.example.com", ALICE)
+
+    def test_chain_is_cached_per_link(self):
+        world, network, auth, resolver, stub = _setup()
+        stub.lookup("www.example.com", ALICE)
+        served_before = auth.queries_served
+        stub.lookup("www.example.com", ALICE)
+        assert auth.queries_served == served_before  # fully from cache
+
+
+class TestNegativeCaching:
+    def test_nxdomain_has_short_ttl(self):
+        zone = Zone("example.com", default_ttl=300, negative_ttl=30)
+        answer = zone.lookup("missing.example.com")
+        assert answer.is_nxdomain and answer.ttl == 30
+
+    def test_negative_answers_expire_sooner(self):
+        world, network, auth, resolver, stub = _setup()
+        resolver_zone_ttl = 60.0  # Zone default negative_ttl
+        stub.lookup("missing.example.com", ALICE)
+        served = auth.queries_served
+        network.simulator.advance(resolver_zone_ttl / 2)
+        stub.lookup("missing.example.com", ALICE)
+        assert auth.queries_served == served  # still cached
+        network.simulator.advance(resolver_zone_ttl)
+        stub.lookup("missing.example.com", ALICE)
+        assert auth.queries_served == served + 1  # expired
+
+
+class TestExplain:
+    def test_explain_names_what_was_seen(self):
+        world, network, auth, resolver, stub = _setup()
+        stub.lookup("www.example.com", ALICE)
+        text = DecouplingAnalyzer(world).explain("Resolver")
+        assert "What Resolver learned" in text
+        assert "alice" in text
+        assert "client ip" in text
+        assert "dns qname" in text
+        assert "can attribute sensitive data" in text
+
+    def test_explain_for_silent_entity(self):
+        world = World()
+        world.entity("Ghost", "g-org")
+        assert "observed nothing" in DecouplingAnalyzer(world).explain("Ghost")
+
+    def test_explain_deduplicates_repeats(self):
+        world, network, auth, resolver, stub = _setup()
+        for index in range(20):
+            stub.lookup(f"n{index}.example.com", ALICE)
+        text = DecouplingAnalyzer(world).explain("Resolver")
+        # 20 queries, one information class: a single narrated line.
+        assert text.count("dns qname") == 1
+
+    def test_explain_caps_distinct_items(self):
+        from repro.core.labels import SENSITIVE_DATA
+        from repro.core.values import LabeledValue
+
+        world = World()
+        entity = world.entity("Hoarder", "h-org")
+        for index in range(10):
+            entity.observe(
+                LabeledValue(f"v{index}", SENSITIVE_DATA, ALICE, f"fact {index}"),
+                session=f"s{index}",
+            )
+        text = DecouplingAnalyzer(world).explain("Hoarder", max_items=3)
+        assert "..." in text
+        assert text.count("fact") == 3

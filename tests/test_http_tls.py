@@ -1,0 +1,172 @@
+"""Unit tests for the HTTP and TLS substrates."""
+
+import pytest
+
+from repro.core.entities import World
+from repro.core.labels import (
+    NONSENSITIVE_DATA,
+    PARTIAL_SENSITIVE_DATA,
+    SENSITIVE_DATA,
+    SENSITIVE_IDENTITY,
+)
+from repro.core.values import LabeledValue, Sealed, Subject
+from repro.http.messages import fqdn_value, make_request
+from repro.http.origin import (
+    HTTP_PROTOCOL,
+    OriginDirectory,
+    OriginServer,
+    TLS_HTTP_PROTOCOL,
+)
+from repro.http.proxy import CONNECT_PROTOCOL, ConnectProxy, ConnectRequest
+from repro.net.network import Network
+from repro.tls.handshake import TlsClientHello, TlsClientSession, TlsServer
+
+ALICE = Subject("alice")
+
+
+def _client(world, network):
+    entity = world.entity("Client", "device", trusted_by_user=True)
+    identity = LabeledValue("198.51.100.1", SENSITIVE_IDENTITY, ALICE, "ip")
+    return network.add_host("client", entity, identity=identity)
+
+
+class TestHttpMessages:
+    def test_request_labels(self):
+        request = make_request("example.com", "/p", ALICE, body="data")
+        assert request.fqdn.label == PARTIAL_SENSITIVE_DATA
+        assert request.content.label == SENSITIVE_DATA
+        assert request.host == "example.com"
+        assert "GET /p data" == request.path_and_body
+
+    def test_fqdn_value(self):
+        value = fqdn_value("example.com", ALICE)
+        assert value.subject == ALICE and value.label.partial
+
+
+class TestOrigin:
+    def test_plain_request_response(self):
+        world, network = World(), Network()
+        client = _client(world, network)
+        origin = OriginServer(
+            network, world.entity("Origin", "origin-org"), "example.com"
+        )
+        response = client.transact(
+            origin.address, make_request("example.com", "/x", ALICE), HTTP_PROTOCOL
+        )
+        assert response.ok and "example.com" in str(response.body.payload)
+        assert origin.requests_served == 1
+
+    def test_tls_request_is_sealed_both_ways(self):
+        world, network = World(), Network()
+        client = _client(world, network)
+        origin = OriginServer(
+            network, world.entity("Origin", "origin-org"), "example.com"
+        )
+        client.entity.grant_key(origin.tls_key_id)
+        sealed = Sealed.wrap(
+            origin.tls_key_id, [make_request("example.com", "/x", ALICE)], subject=ALICE
+        )
+        reply = client.transact(origin.address, sealed, TLS_HTTP_PROTOCOL)
+        (response,) = client.entity.unseal(reply)
+        assert response.ok
+
+    def test_directory_lookup(self):
+        world, network = World(), Network()
+        directory = OriginDirectory()
+        origin = OriginServer(
+            network, world.entity("Origin", "o"), "example.com", directory=directory
+        )
+        assert directory.address_of("EXAMPLE.com") == origin.address
+        with pytest.raises(LookupError):
+            directory.address_of("missing.test")
+
+
+class TestConnectProxy:
+    def test_single_hop_tunnel(self):
+        world, network = World(), Network()
+        client = _client(world, network)
+        directory = OriginDirectory()
+        origin = OriginServer(
+            network, world.entity("Origin", "o"), "example.com", directory=directory
+        )
+        proxy = ConnectProxy(
+            network, world.entity("Proxy", "p"), "proxy", "tun-1", directory
+        )
+        client.entity.grant_key("tun-1")
+        client.entity.grant_key(origin.tls_key_id)
+        request = make_request("example.com", "/x", ALICE)
+        inner = Sealed.wrap(origin.tls_key_id, [request], subject=ALICE)
+        hop = ConnectRequest(
+            target="example.com",
+            inner=inner,
+            inner_protocol=TLS_HTTP_PROTOCOL,
+            target_fqdn=fqdn_value("example.com", ALICE),
+        )
+        tunneled = Sealed.wrap("tun-1", [hop], subject=ALICE)
+        reply = client.transact(proxy.address, tunneled, CONNECT_PROTOCOL)
+        (tls_reply,) = client.entity.unseal(reply)
+        (response,) = client.entity.unseal(tls_reply)
+        assert response.ok
+        assert proxy.connections_relayed == 1
+        # The proxy saw the FQDN (partial) but never the request (full).
+        proxy_labels = world.ledger.labels_of("Proxy")
+        assert PARTIAL_SENSITIVE_DATA in proxy_labels
+        assert SENSITIVE_DATA not in proxy_labels
+
+    def test_proxy_without_directory_cannot_resolve_names(self):
+        world, network = World(), Network()
+        client = _client(world, network)
+        proxy = ConnectProxy(network, world.entity("Proxy", "p"), "proxy", "tun-1")
+        client.entity.grant_key("tun-1")
+        hop = ConnectRequest(target="nowhere.test", inner=b"x", inner_protocol="p")
+        client.send(proxy.address, Sealed.wrap("tun-1", [hop], subject=ALICE), CONNECT_PROTOCOL)
+        with pytest.raises(LookupError):
+            network.run()
+
+    def test_non_connect_payload_rejected(self):
+        world, network = World(), Network()
+        client = _client(world, network)
+        proxy = ConnectProxy(network, world.entity("Proxy", "p"), "proxy", "tun-1")
+        client.entity.grant_key("tun-1")
+        client.send(proxy.address, Sealed.wrap("tun-1", ["junk"], subject=ALICE), CONNECT_PROTOCOL)
+        with pytest.raises(TypeError):
+            network.run()
+
+
+class TestTls:
+    def _run(self, use_ech):
+        world, network = World(), Network()
+        client = _client(world, network)
+        server = TlsServer(network, world.entity("Server", "s"), "site.example")
+        session = TlsClientSession(client, server, ALICE, use_ech=use_ech)
+        response = session.request(make_request("site.example", "/x", ALICE))
+        return world, server, response
+
+    def test_handshake_and_request(self):
+        world, server, response = self._run(use_ech=False)
+        assert response.ok and server.requests_served == 1
+
+    def test_server_sees_request_either_way(self):
+        for use_ech in (False, True):
+            world, server, _ = self._run(use_ech)
+            assert SENSITIVE_DATA in world.ledger.labels_of("Server")
+
+    def test_hello_requires_exactly_one_sni_form(self):
+        with pytest.raises(ValueError):
+            TlsClientHello(session_hint=1)
+        with pytest.raises(ValueError):
+            TlsClientHello(
+                session_hint=1,
+                sni=fqdn_value("a.example", ALICE),
+                ech=Sealed.wrap("k", [fqdn_value("a.example", ALICE)]),
+            )
+
+    def test_sessions_use_distinct_keys(self):
+        world, network = World(), Network()
+        client = _client(world, network)
+        server = TlsServer(network, world.entity("Server", "s"), "site.example")
+        one = TlsClientSession(client, server, ALICE)
+        two = TlsClientSession(client, server, ALICE)
+        one.handshake()
+        two.handshake()
+        assert one.session_key_id != two.session_key_id

@@ -1,0 +1,141 @@
+"""Integration: multiple decoupled systems composed in one world.
+
+The paper's section 2.1 argues privacy must be layered.  These tests
+compose ODoH resolution, MPR fetching, Privacy Pass gating, and Prio
+telemetry *in a single world* with one shared ledger, then run the
+decoupling analysis over the union -- the strongest end-to-end check
+the framework offers: no entity anywhere in the composed stack couples.
+"""
+
+import random
+
+import pytest
+
+from repro.core.analysis import DecouplingAnalyzer
+from repro.core.entities import World
+from repro.core.labels import SENSITIVE_DATA, SENSITIVE_IDENTITY
+from repro.core.values import LabeledValue, Subject
+from repro.dns.zones import AuthoritativeServer, Zone, ZoneRegistry
+from repro.http.origin import OriginDirectory, OriginServer
+from repro.mpr.relay import MprClient, build_relay_chain
+from repro.net.network import Network
+from repro.odns.odoh import ObliviousProxy, ObliviousTarget, OdohClient
+from repro.ppm.prio import PrioAggregator, PrioClient, PrioCollector, COLLECT_PROTOCOL
+
+ALICE = Subject("alice")
+
+
+@pytest.fixture(scope="module")
+def composed_world():
+    """ODoH + MPR + Prio, one user, one ledger."""
+    world = World()
+    network = Network()
+
+    # --- user -------------------------------------------------------
+    user = world.entity("User", "user-device", trusted_by_user=True)
+    identity = LabeledValue("198.51.100.99", SENSITIVE_IDENTITY, ALICE, "client ip")
+    user.observe(identity, channel="self", session="self")
+    dns_host = network.add_host("user-dns", user, identity=identity)
+
+    # --- ODoH layer ---------------------------------------------------
+    registry = ZoneRegistry()
+    zone = Zone("example.com")
+    zone.add("www.example.com", "93.184.216.34")
+    AuthoritativeServer(network, world.entity("Auth", "dns-infra"), zone, registry)
+    target = ObliviousTarget(
+        network, world.entity("ODoH Target", "odoh-target-org"), registry,
+        key_seed=b"\x33" * 32,
+    )
+    proxy = ObliviousProxy(
+        network, world.entity("ODoH Proxy", "odoh-proxy-org"), target.address
+    )
+    odoh = OdohClient(dns_host, proxy, target, ALICE)
+
+    # --- MPR layer ----------------------------------------------------
+    directory = OriginDirectory()
+    origin = OriginServer(
+        network, world.entity("Origin", "origin-org"), "www.example.com",
+        directory=directory,
+    )
+    relay_entities = [
+        world.entity("Relay 1", "relay-org-1"),
+        world.entity("Relay 2", "relay-org-2"),
+    ]
+    chain = build_relay_chain(network, relay_entities, directory)
+    mpr_host = network.add_host("user-mpr", user, identity=identity)
+    mpr = MprClient(host=mpr_host, relays=chain, subject=ALICE)
+
+    # --- Prio telemetry ------------------------------------------------
+    aggregators = [
+        PrioAggregator(
+            network,
+            world.entity(f"Aggregator {i + 1}", f"agg-org-{i + 1}"),
+            index=i,
+            total=2,
+        )
+        for i in range(2)
+    ]
+    collector = PrioCollector(network, world.entity("Collector", "collector-org"))
+    prio_host_client = PrioClient(network, user, ALICE, "198.51.100.99",
+                                  rng=random.Random(1))
+
+    # --- run the day ----------------------------------------------------
+    answer = odoh.lookup("www.example.com")
+    response = mpr.fetch(origin, "/private-page")
+    prio_host_client.submit(1, aggregators)
+    leader, peer = aggregators
+    leader.run_validity_checks([peer])
+    for aggregator in aggregators:
+        aggregator.host.transact(
+            collector.address, aggregator.sum_contribution(), COLLECT_PROTOCOL
+        )
+    network.run()
+    return world, answer, response, collector
+
+
+class TestComposedStack:
+    def test_every_layer_functioned(self, composed_world):
+        world, answer, response, collector = composed_world
+        assert answer.rdata == "93.184.216.34"
+        assert response.ok
+        assert collector.total() == 1
+
+    def test_the_union_is_decoupled(self, composed_world):
+        world, *_ = composed_world
+        assert DecouplingAnalyzer(world).verdict().decoupled
+
+    def test_no_single_org_couples_even_across_layers(self, composed_world):
+        """Cross-layer leakage check: e.g. the ODoH proxy must not be
+        able to join its knowledge with the MPR relay's through any
+        shared values."""
+        world, *_ = composed_world
+        analyzer = DecouplingAnalyzer(world)
+        for org in analyzer.non_user_organizations():
+            assert not analyzer.coalition_couples([org]), org
+
+    def test_cross_layer_coalitions_do_not_couple(self, composed_world):
+        """Pairs drawn from *different* layers never re-couple: the
+        paper's layering argument, verified over the shared ledger."""
+        world, *_ = composed_world
+        analyzer = DecouplingAnalyzer(world)
+        cross_pairs = [
+            ("odoh-proxy-org", "relay-org-2"),
+            ("odoh-target-org", "relay-org-1"),
+            ("agg-org-1", "odoh-target-org"),
+            ("collector-org", "relay-org-1"),
+        ]
+        for a, b in cross_pairs:
+            assert not analyzer.coalition_couples([a, b]), (a, b)
+
+    def test_same_layer_coalitions_still_do(self, composed_world):
+        world, *_ = composed_world
+        analyzer = DecouplingAnalyzer(world)
+        assert analyzer.coalition_couples(["odoh-proxy-org", "odoh-target-org"])
+        assert analyzer.coalition_couples(["relay-org-1", "relay-org-2"])
+        assert analyzer.coalition_couples(["agg-org-1", "agg-org-2"])
+
+    def test_every_infrastructure_org_is_breach_proof(self, composed_world):
+        world, *_ = composed_world
+        analyzer = DecouplingAnalyzer(world)
+        for report in analyzer.breach_reports():
+            assert report.breach_proof, report.organization

@@ -1,0 +1,126 @@
+"""System tests for untraceable return addresses (Chaum 1981)."""
+
+import random
+
+import pytest
+
+from repro.core.analysis import DecouplingAnalyzer
+from repro.core.entities import World
+from repro.core.labels import SENSITIVE_DATA, SENSITIVE_IDENTITY
+from repro.core.values import LabeledValue, Subject
+from repro.mixnet import (
+    MIX_PROTOCOL,
+    MixNode,
+    MixReceiver,
+    ReplyPacket,
+    build_onion,
+    build_return_address,
+    make_message,
+    make_reply_body,
+)
+
+
+def _reply_world(mixes=2, batch_size=1):
+    """Alice messages Bob through mixes; Bob replies via a return address."""
+    world = World()
+    from repro.net.network import Network
+
+    network = Network()
+    alice = Subject("alice")
+    bob = Subject("bob")
+
+    alice_entity = world.entity("Sender", "alice-device", trusted_by_user=True)
+    bob_entity = world.entity("Receiver", "bob-org")
+    nodes = [
+        MixNode(
+            network,
+            world.entity(f"Mix {i}", f"mix-org-{i}"),
+            name=f"mix-{i}",
+            key_id=f"mk-{i}",
+            batch_size=batch_size,
+            rng=random.Random(i),
+        )
+        for i in range(1, mixes + 1)
+    ]
+    # Alice's inbox for replies: a MixReceiver on her side.
+    alice_inbox = MixReceiver(network, alice_entity, name="alice-inbox", key_id="alice-reply")
+    bob_inbox = MixReceiver(network, bob_entity, name="bob-inbox", key_id="bob-recv")
+
+    alice_identity = LabeledValue("ip-alice", SENSITIVE_IDENTITY, alice, "sender ip")
+    alice_host = network.add_host("alice", alice_entity, identity=alice_identity)
+
+    return world, network, alice, bob, nodes, alice_inbox, bob_inbox, alice_host
+
+
+class TestReplyDelivery:
+    def test_reply_reaches_the_sender(self):
+        world, network, alice, bob, nodes, alice_inbox, bob_inbox, alice_host = (
+            _reply_world()
+        )
+        # Forward: alice -> bob with a return address enclosed.
+        route = [(n.key_id, n.address) for n in nodes]
+        reverse = [(n.key_id, n.address) for n in reversed(nodes)]
+        return_address = build_return_address(reverse, alice_inbox.address, alice)
+        message = make_message("hello bob", alice)
+        onion = build_onion(route, bob_inbox.key_id, bob_inbox.address, [message, return_address])
+        alice_host.send(nodes[0].address, onion, MIX_PROTOCOL)
+        network.run()
+        assert len(bob_inbox.received) == 1
+
+        # Reverse: bob attaches a body to the return address.
+        body = make_reply_body("hello back, whoever you are", "alice-reply", bob)
+        reply = ReplyPacket(return_onion=return_address, body=body)
+        bob_host = bob_inbox.host
+        bob_host.send(nodes[-1].address, reply, MIX_PROTOCOL)
+        network.run()
+        assert len(alice_inbox.received) == 1
+        assert alice_inbox.received[0].payload == "hello back, whoever you are"
+
+    def test_receiver_never_learns_the_sender_identity(self):
+        world, network, alice, bob, nodes, alice_inbox, bob_inbox, alice_host = (
+            _reply_world()
+        )
+        route = [(n.key_id, n.address) for n in nodes]
+        reverse = [(n.key_id, n.address) for n in reversed(nodes)]
+        return_address = build_return_address(reverse, alice_inbox.address, alice)
+        onion = build_onion(
+            route, bob_inbox.key_id, bob_inbox.address,
+            [make_message("hi", alice), return_address],
+        )
+        alice_host.send(nodes[0].address, onion, MIX_PROTOCOL)
+        network.run()
+        body = make_reply_body("re: hi", "alice-reply", bob)
+        bob_inbox.host.send(
+            nodes[-1].address,
+            ReplyPacket(return_onion=return_address, body=body),
+            MIX_PROTOCOL,
+        )
+        network.run()
+
+        receiver_labels = world.ledger.labels_of("Receiver", alice)
+        assert SENSITIVE_IDENTITY not in receiver_labels
+        analyzer = DecouplingAnalyzer(world)
+        assert analyzer.verdict().decoupled
+
+    def test_mixes_never_see_the_reply_plaintext(self):
+        world, network, alice, bob, nodes, alice_inbox, bob_inbox, alice_host = (
+            _reply_world()
+        )
+        reverse = [(n.key_id, n.address) for n in reversed(nodes)]
+        return_address = build_return_address(reverse, alice_inbox.address, alice)
+        body = make_reply_body("secret reply", "alice-reply", bob)
+        bob_inbox.host.send(
+            nodes[-1].address,
+            ReplyPacket(return_onion=return_address, body=body),
+            MIX_PROTOCOL,
+        )
+        network.run()
+        for index in range(1, len(nodes) + 1):
+            labels = world.ledger.labels_of(f"Mix {index}", bob)
+            assert SENSITIVE_DATA not in labels
+
+
+class TestValidation:
+    def test_empty_reverse_route_rejected(self):
+        with pytest.raises(ValueError):
+            build_return_address([], None, Subject("a"))

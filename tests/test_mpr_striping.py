@@ -1,0 +1,85 @@
+"""Tests for dynamic provider striping (paper section 5.1)."""
+
+import pytest
+
+from repro.core.analysis import DecouplingAnalyzer
+from repro.core.entities import World
+from repro.core.labels import SENSITIVE_IDENTITY
+from repro.core.values import LabeledValue, Subject
+from repro.http.origin import OriginDirectory, OriginServer
+from repro.mpr.relay import MprClient, build_relay_chain
+from repro.mpr.striping import ProviderStriper
+from repro.net.network import Network
+
+ALICE = Subject("alice")
+
+
+def _build(providers=2):
+    world, network = World(), Network()
+    user = world.entity("User", "user-device", trusted_by_user=True)
+    directory = OriginDirectory()
+    origin = OriginServer(
+        network, world.entity("Origin", "origin-org"), "www.example.com",
+        directory=directory,
+    )
+    identity = LabeledValue("203.0.113.9", SENSITIVE_IDENTITY, ALICE, "client ip")
+    host = network.add_host("striping-client", user, identity=identity)
+    user.observe(identity, channel="self", session="self")
+
+    clients = []
+    for provider in range(providers):
+        entities = [
+            world.entity(
+                f"P{provider} Relay {hop}", f"provider-{provider}-org-{hop}"
+            )
+            for hop in (1, 2)
+        ]
+        chain = build_relay_chain(network, entities, directory)
+        clients.append(MprClient(host=host, relays=chain, subject=ALICE))
+    return world, network, origin, ProviderStriper(clients=clients)
+
+
+class TestStriping:
+    def test_round_robin_is_even(self):
+        world, network, origin, striper = _build(providers=2)
+        for index in range(8):
+            response = striper.fetch(origin, f"/page/{index}")
+            assert response.ok
+        assert striper.max_provider_share() == pytest.approx(0.5)
+        assert striper.flow_entropy_bits() == pytest.approx(1.0)
+
+    def test_more_providers_lower_the_share(self):
+        shares = []
+        for providers in (1, 2, 4):
+            world, network, origin, striper = _build(providers=providers)
+            for index in range(8):
+                striper.fetch(origin, f"/page/{index}")
+            shares.append(striper.max_provider_share())
+        assert shares[0] > shares[1] > shares[2]
+
+    def test_each_provider_only_sees_its_own_fraction(self):
+        world, network, origin, striper = _build(providers=2)
+        for index in range(6):
+            striper.fetch(origin, f"/page/{index}")
+        # The ingress relay of provider 0 observed only its 3 flows.
+        p0_ingress = [
+            o
+            for o in world.ledger.by_entity("P0 Relay 1")
+            if o.channel == "network-header"
+        ]
+        assert len(p0_ingress) == 3
+
+    def test_still_decoupled_per_provider(self):
+        world, network, origin, striper = _build(providers=2)
+        for index in range(4):
+            striper.fetch(origin, f"/page/{index}")
+        analyzer = DecouplingAnalyzer(world)
+        assert analyzer.verdict().decoupled
+        # Re-coupling still takes both hops of a single provider.
+        coalitions = analyzer.minimal_recoupling_coalitions(max_size=2)
+        assert frozenset({"provider-0-org-1", "provider-0-org-2"}) in coalitions
+        assert frozenset({"provider-1-org-1", "provider-1-org-2"}) in coalitions
+
+    def test_requires_a_provider(self):
+        with pytest.raises(ValueError):
+            ProviderStriper(clients=[])

@@ -1,0 +1,214 @@
+"""Unit tests for the discrete-event simulator and network fabric."""
+
+import pytest
+
+from repro.core.entities import World
+from repro.core.labels import NONSENSITIVE_DATA, SENSITIVE_DATA, SENSITIVE_IDENTITY
+from repro.core.values import LabeledValue, Sealed, Subject
+from repro.net.addressing import Address, AddressAllocator
+from repro.net.network import Network, WireObserver
+from repro.net.packets import estimate_size
+from repro.net.sim import Simulator
+
+ALICE = Subject("alice")
+
+
+class TestSimulator:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(0.3, lambda: order.append("c"))
+        sim.schedule(0.1, lambda: order.append("a"))
+        sim.schedule(0.2, lambda: order.append("b"))
+        sim.run_until_idle()
+        assert order == ["a", "b", "c"]
+        assert sim.now == pytest.approx(0.3)
+
+    def test_ties_break_in_schedule_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(0.1, lambda: order.append(1))
+        sim.schedule(0.1, lambda: order.append(2))
+        sim.run_until_idle()
+        assert order == [1, 2]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-1, lambda: None)
+
+    def test_run_until_predicate(self):
+        sim = Simulator()
+        hits = []
+        for index in range(5):
+            sim.schedule(index * 0.1, lambda i=index: hits.append(i))
+        sim.run_until(lambda: len(hits) >= 2)
+        assert hits == [0, 1]
+        assert sim.pending == 3
+
+    def test_run_until_raises_if_queue_drains(self):
+        sim = Simulator()
+        with pytest.raises(RuntimeError):
+            sim.run_until(lambda: False)
+
+    def test_reentrant_run_until(self):
+        sim = Simulator()
+        results = []
+
+        def outer():
+            sim.schedule(0.1, lambda: results.append("inner"))
+            sim.run_until(lambda: bool(results))
+            results.append("outer-done")
+
+        sim.schedule(0.0, outer)
+        sim.run_until_idle()
+        assert results == ["inner", "outer-done"]
+
+    def test_advance(self):
+        sim = Simulator()
+        sim.advance(2.5)
+        assert sim.now == 2.5
+        with pytest.raises(ValueError):
+            sim.advance(-1)
+
+    def test_event_storm_guard(self):
+        sim = Simulator()
+
+        def rearm():
+            sim.schedule(0.001, rearm)
+
+        sim.schedule(0, rearm)
+        with pytest.raises(RuntimeError):
+            sim.run_until_idle(max_events=100)
+
+
+class TestAddressing:
+    def test_prefixes_and_allocation_are_deterministic(self):
+        allocator = AddressAllocator()
+        p1 = allocator.network_prefix()
+        p2 = allocator.network_prefix()
+        assert p1 != p2
+        a = allocator.allocate(p1)
+        b = allocator.allocate(p1)
+        assert a != b and a.prefix == b.prefix == p1
+
+    def test_prefix_exhaustion(self):
+        allocator = AddressAllocator()
+        prefix = allocator.network_prefix()
+        for _ in range(254):
+            allocator.allocate(prefix)
+        with pytest.raises(ValueError):
+            allocator.allocate(prefix)
+
+    def test_address_ordering_and_str(self):
+        assert str(Address("10.0.0.1")) == "10.0.0.1"
+        assert Address("10.0.0.1").prefix == "10.0.0"
+
+
+class TestEstimateSize:
+    def test_primitive_sizes(self):
+        assert estimate_size(b"abcd") == 4
+        assert estimate_size("abc") == 3
+        assert estimate_size(None) == 0
+        assert estimate_size(True) == 1
+        assert estimate_size(3.5) == 8
+
+    def test_sealed_adds_overhead(self):
+        value = LabeledValue("12345", SENSITIVE_DATA, ALICE, "v")
+        assert estimate_size(Sealed.wrap("k", [value])) > estimate_size(value)
+
+    def test_containers_sum(self):
+        assert estimate_size(["ab", "cd"]) == 4
+
+
+class TestNetwork:
+    def _make(self):
+        world = World()
+        network = Network()
+        user_entity = world.entity("User", "device", trusted_by_user=True)
+        server_entity = world.entity("Server", "server-org")
+        identity = LabeledValue("198.51.100.1", SENSITIVE_IDENTITY, ALICE, "ip")
+        user = network.add_host("user", user_entity, identity=identity)
+        server = network.add_host("server", server_entity)
+        return world, network, user, server
+
+    def test_transact_roundtrip_and_latency(self):
+        world, network, user, server = self._make()
+        server.register("echo", lambda pkt: pkt.payload)
+        reply = user.transact(server.address, "ping", "echo")
+        assert reply == "ping"
+        assert network.simulator.now == pytest.approx(2 * network.default_latency)
+
+    def test_latency_override(self):
+        world, network, user, server = self._make()
+        server.register("echo", lambda pkt: "pong")
+        network.set_latency(user.address, server.address, 0.1)
+        user.transact(server.address, "ping", "echo")
+        assert network.simulator.now == pytest.approx(0.2)
+
+    def test_receiver_observes_sender_identity_and_payload(self):
+        world, network, user, server = self._make()
+        server.register("take", lambda pkt: None)
+        value = LabeledValue("q", SENSITIVE_DATA, ALICE, "query")
+        user.send(server.address, value, "take")
+        network.run()
+        labels = world.ledger.labels_of("Server")
+        assert SENSITIVE_IDENTITY in labels and SENSITIVE_DATA in labels
+
+    def test_missing_handler_raises(self):
+        world, network, user, server = self._make()
+        user.send(server.address, "x", "nope")
+        with pytest.raises(KeyError):
+            network.run()
+
+    def test_duplicate_handler_rejected(self):
+        _, _, user, server = self._make()
+        server.register("p", lambda pkt: None)
+        with pytest.raises(ValueError):
+            server.register("p", lambda pkt: None)
+
+    def test_unknown_destination(self):
+        world, network, user, _ = self._make()
+        user.send(Address("10.99.99.99"), "x", "p")
+        with pytest.raises(KeyError):
+            network.run()
+
+    def test_wire_observer_sees_exterior_only(self):
+        world, network, user, server = self._make()
+        tap_entity = world.entity("Tap", "transit")
+        network.add_observer(WireObserver(tap_entity))
+        server.entity.grant_key("k")
+        server.register("sealed", lambda pkt: None)
+        value = LabeledValue("secret", SENSITIVE_DATA, ALICE, "v")
+        user.send(server.address, Sealed.wrap("k", [value]), "sealed")
+        network.run()
+        tap_labels = world.ledger.labels_of("Tap")
+        assert SENSITIVE_DATA not in tap_labels
+        assert NONSENSITIVE_DATA in tap_labels
+        assert SENSITIVE_IDENTITY in tap_labels  # source address metadata
+
+    def test_scoped_observer_filters_by_prefix(self):
+        world, network, user, server = self._make()
+        tap_entity = world.entity("Tap", "transit")
+        observer = WireObserver(tap_entity, prefixes=("192.168.99",))
+        network.add_observer(observer)
+        server.register("p", lambda pkt: None)
+        user.send(server.address, "x", "p")
+        network.run()
+        assert len(observer.trace) == 0
+
+    def test_trace_and_counters(self):
+        world, network, user, server = self._make()
+        server.register("echo", lambda pkt: "pong")
+        user.transact(server.address, "ping", "echo")
+        assert network.messages_delivered == 2
+        assert len(network.trace) == 2
+        assert network.bytes_delivered > 0
+
+    def test_flow_tag_groups_sessions(self):
+        world, network, user, server = self._make()
+        server.register("p", lambda pkt: None)
+        user.send(server.address, LabeledValue("a", SENSITIVE_DATA, ALICE, "a"), "p", flow="f1")
+        user.send(server.address, LabeledValue("b", SENSITIVE_DATA, ALICE, "b"), "p", flow="f1")
+        network.run()
+        sessions = {obs.session for obs in world.ledger.by_entity("Server")}
+        assert sessions == {"f1"}

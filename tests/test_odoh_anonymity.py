@@ -1,0 +1,86 @@
+"""Multi-client ODoH: the target's anonymity set.
+
+The oblivious target sees queries "decoupled" from identity: with k
+clients behind one proxy, every query could belong to any of them.
+These tests measure that set from the target's own ledger.
+"""
+
+import pytest
+
+from repro.core.analysis import DecouplingAnalyzer
+from repro.core.entities import World
+from repro.core.labels import SENSITIVE_IDENTITY
+from repro.core.metrics import anonymity_set_size
+from repro.core.values import LabeledValue, Subject
+from repro.dns.zones import AuthoritativeServer, Zone, ZoneRegistry
+from repro.net.network import Network
+from repro.odns.odoh import ObliviousProxy, ObliviousTarget, OdohClient
+
+
+def _build(clients=4):
+    world = World()
+    network = Network()
+    registry = ZoneRegistry()
+    zone = Zone("example.com")
+    for index in range(8):
+        zone.add(f"site-{index}.example.com", "203.0.113.1")
+    AuthoritativeServer(network, world.entity("Auth", "dns-infra"), zone, registry)
+    target = ObliviousTarget(
+        network, world.entity("Target", "target-org"), registry, key_seed=b"\x11" * 32
+    )
+    proxy = ObliviousProxy(network, world.entity("Proxy", "proxy-org"), target.address)
+    odoh_clients = []
+    for index in range(clients):
+        subject = Subject(f"user-{index}")
+        entity = world.entity(f"Client {index}", f"device-{index}", trusted_by_user=True)
+        identity = LabeledValue(
+            f"198.51.100.{index + 1}", SENSITIVE_IDENTITY, subject, "client ip"
+        )
+        host = network.add_host(f"client-{index}", entity, identity=identity)
+        odoh_clients.append(OdohClient(host, proxy, target, subject))
+    return world, network, odoh_clients
+
+
+class TestTargetAnonymitySet:
+    def test_target_sees_k_indistinguishable_clients(self):
+        world, network, clients = _build(clients=4)
+        for index, client in enumerate(clients):
+            client.lookup(f"site-{index}.example.com")
+        network.run()
+        target_observations = world.ledger.by_entity("Target")
+        # The target saw queries of all four subjects...
+        subjects = {o.subject for o in target_observations if o.label.is_data}
+        assert anonymity_set_size(subjects) == 4
+        # ...but never a sensitive identity for any of them.
+        assert all(
+            not (o.label.is_identity and o.label.is_sensitive)
+            for o in target_observations
+        )
+
+    def test_proxy_sees_identities_but_cannot_attribute_queries(self):
+        world, network, clients = _build(clients=3)
+        for index, client in enumerate(clients):
+            client.lookup(f"site-{index}.example.com")
+        network.run()
+        analyzer = DecouplingAnalyzer(world)
+        assert analyzer.verdict().decoupled
+        proxy_ids = {
+            o.subject
+            for o in world.ledger.by_entity("Proxy")
+            if o.label.is_identity and o.label.is_sensitive
+        }
+        assert len(proxy_ids) == 3
+
+    def test_per_user_coupling_requires_the_pair_for_each_user(self):
+        world, network, clients = _build(clients=2)
+        for index, client in enumerate(clients):
+            client.lookup(f"site-{index}.example.com")
+        network.run()
+        analyzer = DecouplingAnalyzer(world)
+        for index in range(2):
+            subject = Subject(f"user-{index}")
+            assert not analyzer.coalition_couples(["proxy-org"], subject)
+            assert not analyzer.coalition_couples(["target-org"], subject)
+            assert analyzer.coalition_couples(
+                ["proxy-org", "target-org"], subject
+            )

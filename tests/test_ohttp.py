@@ -1,0 +1,123 @@
+"""System tests for Oblivious HTTP with real HPKE on the wire."""
+
+import pytest
+
+from repro.core.analysis import DecouplingAnalyzer
+from repro.core.entities import World
+from repro.core.labels import (
+    NONSENSITIVE_IDENTITY,
+    SENSITIVE_DATA,
+    SENSITIVE_IDENTITY,
+)
+from repro.core.values import LabeledValue, Subject
+from repro.http.ohttp import OhttpClient, OhttpGateway, OhttpRelay
+from repro.net.network import Network
+
+ALICE = Subject("alice")
+
+
+def _setup():
+    world = World()
+    network = Network()
+    client_entity = world.entity("Client", "client-device", trusted_by_user=True)
+    relay_entity = world.entity("Relay", "relay-org")
+    gateway_entity = world.entity("Gateway", "gateway-org")
+    gateway = OhttpGateway(
+        network,
+        gateway_entity,
+        app=lambda req: b"response to: " + req,
+        key_seed=b"\x21" * 32,
+    )
+    relay = OhttpRelay(network, relay_entity, gateway.address)
+    identity = LabeledValue("198.51.100.12", SENSITIVE_IDENTITY, ALICE, "client ip")
+    host = network.add_host("ohttp-client", client_entity, identity=identity)
+    client_entity.observe(identity, channel="self", session="self")
+    client = OhttpClient(host, relay, gateway, ALICE)
+    return world, network, client, relay, gateway
+
+
+def _request(text="GET /private"):
+    return LabeledValue(text, SENSITIVE_DATA, ALICE, "ohttp request")
+
+
+class TestRoundtrip:
+    def test_response_plaintext_arrives(self):
+        world, network, client, relay, gateway = _setup()
+        response = client.request(_request())
+        assert response == b"response to: GET /private"
+        assert gateway.requests_served == 1
+        assert relay.relayed == 1
+
+    def test_multiple_requests(self):
+        world, network, client, relay, gateway = _setup()
+        for index in range(3):
+            response = client.request(_request(f"GET /{index}"))
+            assert response.endswith(f"/{index}".encode())
+
+
+class TestDecoupling:
+    def test_relay_sees_identity_but_no_plaintext(self):
+        world, network, client, relay, gateway = _setup()
+        client.request(_request())
+        relay_labels = world.ledger.labels_of("Relay")
+        assert SENSITIVE_IDENTITY in relay_labels
+        assert all(not l.is_sensitive for l in relay_labels if l.is_data)
+
+    def test_gateway_sees_plaintext_but_no_identity(self):
+        world, network, client, relay, gateway = _setup()
+        client.request(_request())
+        gateway_labels = world.ledger.labels_of("Gateway")
+        assert SENSITIVE_DATA in gateway_labels
+        assert SENSITIVE_IDENTITY not in gateway_labels
+
+    def test_system_is_decoupled_with_relay_gateway_coalition(self):
+        world, network, client, relay, gateway = _setup()
+        client.request(_request())
+        analyzer = DecouplingAnalyzer(world)
+        assert analyzer.verdict().decoupled
+        coalitions = analyzer.minimal_recoupling_coalitions()
+        assert frozenset({"relay-org", "gateway-org"}) in coalitions
+
+
+class TestIntegrity:
+    def test_envelope_mismatch_detected(self):
+        """A client lying in the logical envelope is caught."""
+        world, network, client, relay, gateway = _setup()
+        from repro.http.ohttp import _EncapsulatedRequest
+        from repro.core.values import Sealed
+        from repro.crypto.hpke import setup_base_sender
+
+        sender = setup_base_sender(gateway.public_key, b"message/bhttp request")
+        ciphertext = sender.seal(b"real request")
+        envelope = Sealed.wrap(
+            gateway.key_id,
+            [LabeledValue("different text", SENSITIVE_DATA, ALICE, "lie")],
+            subject=ALICE,
+        )
+        wrapped = _EncapsulatedRequest(
+            enc=sender.enc, ciphertext=ciphertext, envelope=envelope
+        )
+        client.host.send(relay.address, wrapped, "ohttp")
+        with pytest.raises(ValueError):
+            network.run()
+
+    def test_tampered_ciphertext_rejected(self):
+        world, network, client, relay, gateway = _setup()
+        from repro.http.ohttp import _EncapsulatedRequest
+        from repro.core.values import Sealed
+        from repro.crypto.hpke import setup_base_sender
+
+        sender = setup_base_sender(gateway.public_key, b"message/bhttp request")
+        ciphertext = bytearray(sender.seal(b"x"))
+        ciphertext[0] ^= 1
+        envelope = Sealed.wrap(
+            gateway.key_id,
+            [LabeledValue("x", SENSITIVE_DATA, ALICE, "r")],
+            subject=ALICE,
+        )
+        wrapped = _EncapsulatedRequest(
+            enc=sender.enc, ciphertext=bytes(ciphertext), envelope=envelope
+        )
+        client.host.send(relay.address, wrapped, "ohttp")
+        with pytest.raises(ValueError):
+            network.run()

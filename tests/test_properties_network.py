@@ -1,0 +1,98 @@
+"""Property-based tests of network/simulator invariants."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.entities import World
+from repro.core.labels import SENSITIVE_DATA
+from repro.core.values import LabeledValue, Subject
+from repro.net.network import Network
+
+ALICE = Subject("alice")
+
+
+class TestDeliveryInvariants:
+    @given(
+        hosts=st.integers(min_value=2, max_value=6),
+        messages=st.integers(min_value=0, max_value=30),
+        latency=st.floats(min_value=0.001, max_value=0.5),
+        data=st.data(),
+    )
+    @settings(max_examples=20)
+    def test_lossless_networks_conserve_messages(self, hosts, messages, latency, data):
+        """Every sent packet is delivered exactly once, in time order."""
+        world = World()
+        network = Network(default_latency=latency)
+        endpoints = []
+        for index in range(hosts):
+            entity = world.entity(f"H{index}", f"org-{index}")
+            host = network.add_host(f"h{index}", entity)
+            host.register("p", lambda pkt: None)
+            endpoints.append(host)
+        for message_index in range(messages):
+            src = data.draw(st.integers(min_value=0, max_value=hosts - 1))
+            dst = data.draw(st.integers(min_value=0, max_value=hosts - 1))
+            if src == dst:
+                dst = (dst + 1) % hosts
+            endpoints[src].send(
+                endpoints[dst].address, f"m{message_index}", "p"
+            )
+        network.run()
+        assert network.messages_delivered == messages
+        assert len(network.trace) == messages
+        times = [record.time for record in network.trace]
+        assert times == sorted(times)
+
+    @given(
+        loss=st.floats(min_value=0.1, max_value=0.9),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=15)
+    def test_lossy_networks_never_duplicate(self, loss, seed):
+        """delivered + dropped == sent, always."""
+        world = World()
+        network = Network(loss_rate=loss, loss_rng=random.Random(seed))
+        a = network.add_host("a", world.entity("A", "a-org"))
+        b = network.add_host("b", world.entity("B", "b-org"))
+        b.register("p", lambda pkt: None)
+        sent = 25
+        for index in range(sent):
+            a.send(b.address, index, "p")
+        network.run()
+        assert network.messages_delivered + network.packets_dropped == sent
+
+    @given(st.integers(min_value=1, max_value=20))
+    @settings(max_examples=10)
+    def test_observation_count_scales_with_labeled_values(self, count):
+        """Each delivered labeled value produces exactly one observation."""
+        world = World()
+        network = Network()
+        a = network.add_host("a", world.entity("A", "a-org"))
+        b = network.add_host("b", world.entity("B", "b-org"))
+        b.register("p", lambda pkt: None)
+        payload = [
+            LabeledValue(f"v{i}", SENSITIVE_DATA, ALICE, f"item {i}")
+            for i in range(count)
+        ]
+        a.send(b.address, payload, "p")
+        network.run()
+        assert len(world.ledger.by_entity("B")) == count
+
+    @given(
+        latency_ab=st.floats(min_value=0.001, max_value=0.2),
+        latency_ba=st.floats(min_value=0.001, max_value=0.2),
+    )
+    @settings(max_examples=10)
+    def test_transact_rtt_is_sum_of_one_way_latencies(self, latency_ab, latency_ba):
+        world = World()
+        network = Network()
+        a = network.add_host("a", world.entity("A", "a-org"))
+        b = network.add_host("b", world.entity("B", "b-org"))
+        b.register("p", lambda pkt: "pong")
+        # A symmetric override (one pair key) models the link.
+        network.set_latency(a.address, b.address, latency_ab)
+        start = network.simulator.now
+        a.transact(b.address, "ping", "p")
+        elapsed = network.simulator.now - start
+        assert abs(elapsed - 2 * latency_ab) < 1e-9

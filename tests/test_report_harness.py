@@ -1,0 +1,133 @@
+"""Tests for the experiment-report machinery and the harness."""
+
+import pytest
+
+from repro.core.report import ExperimentReport, FlowStep, compare_tables, flow_series
+from repro.core.tuples import KnowledgeTable, cell_from_labels
+from repro.core.labels import Facet, SENSITIVE_DATA, SENSITIVE_IDENTITY
+from repro.core.ledger import Ledger
+from repro.core.values import LabeledValue, Subject
+
+ALICE = Subject("alice")
+
+
+class TestExperimentReport:
+    def _matching(self):
+        return ExperimentReport(
+            experiment_id="TX",
+            title="demo",
+            expected={"A": "(▲, ⊙)"},
+            measured={"A": "(▲, ⊙)"},
+        )
+
+    def test_matching_report(self):
+        report = self._matching()
+        assert report.matches
+        assert report.mismatches() == {}
+        assert "MATCH" in report.render()
+
+    def test_mismatching_report(self):
+        report = ExperimentReport(
+            experiment_id="TX",
+            title="demo",
+            expected={"A": "(▲, ⊙)", "B": "(△, ●)"},
+            measured={"A": "(▲, ●)"},
+        )
+        assert not report.matches
+        mismatches = report.mismatches()
+        assert mismatches["A"] == ("(▲, ⊙)", "(▲, ●)")
+        assert mismatches["B"] == ("(△, ●)", "<absent>")
+        assert "MISMATCH" in report.render()
+        assert "differs" in report.render()
+
+    def test_extra_measured_entities_are_reported(self):
+        report = ExperimentReport(
+            experiment_id="TX",
+            title="demo",
+            expected={},
+            measured={"Extra": "(△, ⊙)"},
+        )
+        assert "Extra" in report.render()
+
+    def test_compare_tables_accepts_knowledge_table(self):
+        table = KnowledgeTable(
+            rows={"A": cell_from_labels([SENSITIVE_IDENTITY])},
+            facets=(Facet.GENERIC,),
+        )
+        report = compare_tables("TX", "t", {"A": "(▲, ⊙)"}, table)
+        assert report.matches
+
+    def test_notes_are_rendered(self):
+        report = ExperimentReport("TX", "t", {}, {}, notes="caveat here")
+        assert "caveat here" in report.render()
+
+
+class TestFlowSeries:
+    def test_series_deduplicates_repeat_knowledge(self):
+        ledger = Ledger()
+        value = LabeledValue("q", SENSITIVE_DATA, ALICE, "query")
+        for time in (1.0, 2.0, 3.0):
+            ledger.record("E", "org", value, time=time)
+        steps = flow_series(ledger, ["E"])
+        assert len(steps) == 1
+        assert steps[0].time == 1.0
+
+    def test_series_respects_entity_filter_and_cap(self):
+        ledger = Ledger()
+        for index in range(5):
+            ledger.record(
+                "E",
+                "org",
+                LabeledValue(f"q{index}", SENSITIVE_DATA, ALICE, f"item {index}"),
+                time=float(index),
+            )
+            ledger.record(
+                "Other",
+                "org2",
+                LabeledValue(f"x{index}", SENSITIVE_DATA, ALICE, f"other {index}"),
+                time=float(index),
+            )
+        steps = flow_series(ledger, ["E"], max_steps=3)
+        assert len(steps) == 3
+        assert all(step.entity == "E" for step in steps)
+
+    def test_step_render(self):
+        step = FlowStep(time=1.5, entity="Mix 1", glyph="⊙", description="onion")
+        text = step.render()
+        assert "Mix 1" in text and "⊙" in text and "onion" in text
+
+
+class TestMarkdownTable:
+    def test_to_markdown_has_header_rule_row(self):
+        table = KnowledgeTable(
+            rows={
+                "User": cell_from_labels([SENSITIVE_IDENTITY, SENSITIVE_DATA]),
+                "Proxy": cell_from_labels([SENSITIVE_IDENTITY]),
+            },
+            facets=(Facet.GENERIC,),
+        )
+        lines = table.to_markdown().splitlines()
+        assert len(lines) == 3
+        assert lines[0] == "| User | Proxy |"
+        assert "(▲, ●)" in lines[2]
+
+
+class TestHarnessSweeps:
+    def test_sweep_striping_shares_fall_as_one_over_n(self):
+        from repro.harness import sweep_striping
+
+        series = sweep_striping(resolver_counts=(1, 2))
+        assert series[0]["max_query_share"] == 1.0
+        assert series[1]["max_query_share"] == 0.5
+
+    def test_sweep_relays_is_monotone(self):
+        from repro.harness import sweep_relays
+
+        sweep = sweep_relays(degrees=(1, 2))
+        assert sweep.privacy_is_monotone() and sweep.cost_is_monotone()
+
+    def test_figure_series_are_nonempty(self):
+        from repro.harness import figure_f1_series, figure_f2_series
+
+        assert figure_f1_series()
+        assert figure_f2_series()

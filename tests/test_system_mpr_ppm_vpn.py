@@ -1,0 +1,135 @@
+"""System tests: T6 (MPR), T7 (PPM), T8 (VPN/ECH)."""
+
+import pytest
+
+from repro.core.labels import SENSITIVE_DATA
+from repro.mpr import PAPER_TABLE_T6, paper_table_t6, run_mpr
+from repro.ppm import (
+    PAPER_TABLE_T7,
+    run_naive_aggregation,
+    run_ohttp_aggregation,
+    run_prio,
+)
+from repro.vpn import PAPER_TABLE_T8, run_ech, run_vpn
+
+
+@pytest.fixture(scope="module")
+def mpr_run():
+    return run_mpr(relays=2, requests=3)
+
+
+@pytest.fixture(scope="module")
+def prio_run():
+    return run_prio(clients=5, aggregators=2)
+
+
+class TestMpr:
+    def test_derived_table_matches_the_paper(self, mpr_run):
+        assert mpr_run.table().as_mapping() == PAPER_TABLE_T6
+
+    def test_system_is_decoupled(self, mpr_run):
+        assert mpr_run.analyzer.verdict().decoupled
+
+    def test_generalized_tables(self):
+        for relays in (2, 3, 4):
+            run = run_mpr(relays=relays, requests=1)
+            assert run.table().as_mapping() == paper_table_t6(relays)
+
+    def test_single_relay_is_the_vpn_anti_pattern(self):
+        run = run_mpr(relays=1, requests=1)
+        assert not run.analyzer.verdict().decoupled
+
+    def test_minimal_coalition_is_both_relays(self, mpr_run):
+        (coalition,) = mpr_run.analyzer.minimal_recoupling_coalitions()
+        assert coalition == frozenset({"relay-org-1", "relay-org-2"})
+
+    def test_collusion_resistance_scales_with_relays(self):
+        assert run_mpr(relays=3, requests=1).analyzer.collusion_resistance() == 3
+
+    def test_latency_grows_with_relays(self):
+        fast = run_mpr(relays=2, requests=2).mean_latency
+        slow = run_mpr(relays=5, requests=2).mean_latency
+        assert fast < slow
+
+    def test_relay1_never_sees_fqdn_or_content(self, mpr_run):
+        for obs in mpr_run.world.ledger.by_entity("Relay 1"):
+            assert obs.description not in ("target fqdn", "http request")
+
+    def test_geo_hint_reaches_origin(self):
+        run = run_mpr(relays=2, requests=1, geo_hint="US-CA")
+        assert run.origin_knows_location()
+        baseline = run_mpr(relays=2, requests=1)
+        assert not baseline.origin_knows_location()
+
+
+class TestPpm:
+    def test_naive_single_server_couples(self):
+        run = run_naive_aggregation()
+        assert not run.analyzer.verdict().decoupled
+        assert run.collector_sees_individual_values()
+        assert run.reported_total == run.true_total
+
+    def test_ohttp_decouples_identity_but_not_values(self):
+        run = run_ohttp_aggregation()
+        assert run.analyzer.verdict().decoupled
+        assert run.collector_sees_individual_values()
+        assert run.reported_total == run.true_total
+
+    def test_prio_table_matches_the_paper(self, prio_run):
+        assert prio_run.table().as_mapping() == PAPER_TABLE_T7
+
+    def test_prio_is_decoupled_and_aggregate_only(self, prio_run):
+        assert prio_run.analyzer.verdict().decoupled
+        assert not prio_run.collector_sees_individual_values()
+
+    def test_prio_total_is_exact(self, prio_run):
+        assert prio_run.reported_total == prio_run.true_total
+
+    def test_prio_collusion_needs_all_aggregators(self, prio_run):
+        (coalition,) = prio_run.analyzer.minimal_recoupling_coalitions()
+        assert coalition == frozenset({"aggregator-org-1", "aggregator-org-2"})
+
+    def test_more_aggregators_raise_collusion_resistance(self):
+        assert run_prio(aggregators=3).analyzer.collusion_resistance() == 3
+
+    def test_invalid_report_is_excluded(self):
+        """A cheating client submitting x=5 fails the Beaver check."""
+        from repro.core.values import Subject
+        from repro.crypto.secretshare import make_boolean_proof
+        import random
+
+        run = run_prio(clients=3, aggregators=2)
+        # verify through the protocol-level primitive: a non-boolean
+        # submission cannot pass the validity check the aggregators ran
+        proofs = make_boolean_proof(5, 2, rng=random.Random(1))
+        from repro.crypto.secretshare import check_boolean_shares
+
+        assert not check_boolean_shares(proofs)
+
+
+class TestVpnAndEch:
+    def test_vpn_table_matches_the_paper(self):
+        run = run_vpn()
+        assert run.table().as_mapping() == PAPER_TABLE_T8
+
+    def test_vpn_is_not_decoupled(self):
+        run = run_vpn()
+        verdict = run.analyzer.verdict()
+        assert not verdict.decoupled
+        assert any(v.entity == "VPN Server" for v in verdict.violations)
+        (coalition,) = run.analyzer.minimal_recoupling_coalitions()
+        assert coalition == frozenset({"vpn-provider"})
+
+    def test_ech_hides_sni_from_the_network(self):
+        without = run_ech(use_ech=False)
+        with_ech = run_ech(use_ech=True)
+        assert without.observer_saw_sni()
+        assert not with_ech.observer_saw_sni()
+
+    def test_ech_does_not_change_what_the_server_sees(self):
+        without = run_ech(use_ech=False)
+        with_ech = run_ech(use_ech=True)
+        server_cell_without = without.table().as_mapping()["TLS Server"]
+        server_cell_with = with_ech.table().as_mapping()["TLS Server"]
+        assert server_cell_without == server_cell_with == "(▲, ●)"
+        assert not with_ech.analyzer.verdict().decoupled
