@@ -2,8 +2,10 @@
 """Regenerate every paper artifact and print paper-vs-measured.
 
 A thin wrapper over ``python -m repro report`` kept at this path so the
-benchmark directory is self-contained.  Exit status is non-zero if any
-knowledge table mismatches the paper.
+benchmark directory is self-contained.  Runs with tracing enabled so
+the report ends with the per-experiment timing/metrics section; pass
+CLI flags through to override (e.g. ``report.py --json``).  Exit
+status is non-zero if any knowledge table mismatches the paper.
 """
 
 import sys
@@ -11,4 +13,5 @@ import sys
 from repro.cli import main
 
 if __name__ == "__main__":
-    sys.exit(main(["report"]))
+    argv = sys.argv[1:] if len(sys.argv) > 1 else ["--trace"]
+    sys.exit(main(["report", *argv]))

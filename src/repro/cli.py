@@ -3,20 +3,27 @@
 Commands:
 
 * ``report``      -- regenerate every paper artifact, paper vs measured
+  (``--trace`` appends a per-experiment timing/metrics section,
+  ``--json`` emits the machine-readable equivalent)
 * ``tables``      -- just the knowledge tables (T-series)
 * ``figures``     -- just the flow figures (F-series)
-* ``sweeps``      -- just the degree sweeps (D-series)
+* ``sweeps``      -- just the degree sweeps (D-series); ``--trace``
+  appends a per-sweep timing section
 * ``demo NAME``   -- run one system's scenario and print its analysis
+* ``trace NAME``  -- run one demo with tracing on and export the span
+  tree plus metrics as JSONL (``--out spans.jsonl``)
 * ``list``        -- list the available demos
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable, Dict
 
-from repro import harness
+from repro import harness, obs
+from repro.obs import export as obs_export
 
 
 __all__ = ["main"]
@@ -135,6 +142,182 @@ def _print_sweeps(out) -> None:
     print(file=out)
 
 
+def _spans_per_experiment(tracer) -> Dict[int, int]:
+    """Descendant-span counts keyed by experiment span id."""
+    experiments = tracer.by_name("experiment")
+    parent_of = {span.span_id: span.parent_id for span in tracer.spans}
+    counts = {span.span_id: 0 for span in experiments}
+    for span in tracer.spans:
+        node = span.parent_id
+        while node is not None:
+            if node in counts:
+                counts[node] += 1
+                break
+            node = parent_of.get(node)
+    return counts
+
+
+def _print_trace_section(tracer, registry, out) -> None:
+    """The per-experiment timing/metrics section behind ``--trace``."""
+    print("Per-experiment timing / metrics (tracing enabled)", file=out)
+    counts = _spans_per_experiment(tracer)
+    for span in tracer.by_name("experiment"):
+        attrs = span.attributes
+        wall_ms = (span.wall_seconds or 0.0) * 1000.0
+        sim = span.sim_duration or 0.0
+        print(
+            f"  {attrs.get('experiment', '?'):<4}"
+            f" {attrs.get('title', '')[:42]:<42}"
+            f" wall={wall_ms:8.2f}ms sim={sim:8.4f}s"
+            f" spans={counts.get(span.span_id, 0):>4}"
+            f" events={attrs.get('events', '-'):>5}"
+            f" messages={attrs.get('messages', '-'):>4}"
+            f" bytes={attrs.get('bytes', '-'):>7}"
+            f" observations={attrs.get('observations', '-'):>4}",
+            file=out,
+        )
+    print(
+        f"  totals: spans={len(tracer.spans)}"
+        f" events={registry.counter_value('sim.events')}"
+        f" messages={registry.counter_value('net.messages')}"
+        f" bytes={registry.counter_value('net.bytes')}"
+        f" observations={registry.counter_value('ledger.observations')}",
+        file=out,
+    )
+    print(file=out)
+
+
+def _print_sweep_trace_section(tracer, registry, out) -> None:
+    points = tracer.by_name("sweep-point")
+    by_sweep: Dict[str, list] = {}
+    for span in points:
+        by_sweep.setdefault(str(span.attributes.get("sweep", "?")), []).append(span)
+    print("Per-sweep timing (tracing enabled)", file=out)
+    for sweep in sorted(by_sweep):
+        spans = by_sweep[sweep]
+        wall_ms = sum((s.wall_seconds or 0.0) for s in spans) * 1000.0
+        print(
+            f"  {sweep}: points={len(spans)} wall={wall_ms:.2f}ms",
+            file=out,
+        )
+    print(
+        f"  totals: events={registry.counter_value('sim.events')}"
+        f" messages={registry.counter_value('net.messages')}"
+        f" bytes={registry.counter_value('net.bytes')}",
+        file=out,
+    )
+    print(file=out)
+
+
+def _experiment_timing_rows(tracer) -> list:
+    counts = _spans_per_experiment(tracer)
+    rows = []
+    for span in tracer.by_name("experiment"):
+        attrs = span.attributes
+        rows.append(
+            {
+                "experiment_id": attrs.get("experiment"),
+                "wall_ms": (span.wall_seconds or 0.0) * 1000.0,
+                "sim_seconds": span.sim_duration,
+                "spans": counts.get(span.span_id, 0),
+                "events": attrs.get("events"),
+                "messages": attrs.get("messages"),
+                "bytes": attrs.get("bytes"),
+                "observations": attrs.get("observations"),
+            }
+        )
+    return rows
+
+
+def _report_json(out, trace: bool = False) -> int:
+    """``report --json``: machine-readable tables, sweeps, figures."""
+    from repro.core.serialize import degree_sweep_to_dict, experiment_report_to_dict
+
+    def build():
+        all_match = True
+        experiments = []
+        for report, run in harness.table_reports():
+            row = experiment_report_to_dict(report)
+            row["verdict_decoupled"] = run.analyzer.verdict().decoupled
+            row["observations"] = len(run.world.ledger)
+            network = getattr(run, "network", None)
+            if network is not None:
+                row["sim_seconds"] = network.simulator.now
+                row["events"] = network.simulator.events_processed
+                row["messages"] = network.messages_delivered
+                row["bytes"] = network.bytes_delivered
+            experiments.append(row)
+            all_match &= report.matches
+        document = {
+            "experiments": experiments,
+            "figures": {
+                "F1": [step.render() for step in harness.figure_f1_series()],
+                "F2": [step.render() for step in harness.figure_f2_series()],
+            },
+            "sweeps": {
+                "D1": degree_sweep_to_dict(harness.sweep_relays()),
+                "D2": degree_sweep_to_dict(harness.sweep_aggregators()),
+                "D3": {
+                    "unpadded": harness.sweep_batches(False),
+                    "padded": harness.sweep_batches(True),
+                },
+                "D4": harness.sweep_striping(),
+                "D5": harness.sweep_tracking(),
+                "D6": harness.sweep_disclosure(),
+            },
+        }
+        return all_match, document
+
+    if trace:
+        with obs.capture() as (tracer, registry):
+            all_match, document = build()
+        document["timing"] = _experiment_timing_rows(tracer)
+        document["metrics"] = registry.snapshot()
+    else:
+        all_match, document = build()
+    document["all_match"] = all_match
+    json.dump(document, out, ensure_ascii=False, indent=2)
+    print(file=out)
+    return 0 if all_match else 1
+
+
+def _run_trace(name: str, out_path: str, out) -> int:
+    """``trace NAME``: one traced demo run, exported as JSONL."""
+    _register_demos()
+    runner = _DEMOS.get(name)
+    if runner is None:
+        print(f"unknown demo {name!r}; try: {', '.join(sorted(_DEMOS))}", file=out)
+        return 2
+    with obs.capture() as (tracer, registry):
+        with tracer.span("demo", kind="demo", sim_time=0.0, demo=name) as root:
+            run = runner()
+            network = getattr(run, "network", None)
+            if network is not None:
+                root.end_sim(network.simulator.now)
+                root.set("events", network.simulator.events_processed)
+                root.set("messages", network.messages_delivered)
+                root.set("bytes", network.bytes_delivered)
+            world = getattr(run, "world", None)
+            if world is not None:
+                root.set("observations", len(world.ledger))
+    try:
+        lines = obs_export.write_jsonl(out_path, tracer, registry)
+    except OSError as error:
+        print(f"cannot write {out_path}: {error}", file=out)
+        return 1
+    print(
+        f"traced demo {name!r}: {len(tracer.spans)} spans,"
+        f" {registry.counter_value('sim.events')} events,"
+        f" {registry.counter_value('net.messages')} messages,"
+        f" {registry.counter_value('net.bytes')} bytes"
+        f" -> {lines} JSONL records in {out_path}",
+        file=out,
+    )
+    print(file=out)
+    print(obs_export.render_span_tree(tracer.spans), file=out)
+    return 0
+
+
 def _run_demo(name: str, out) -> int:
     _register_demos()
     runner = _DEMOS.get(name)
@@ -166,19 +349,53 @@ def main(argv=None, out=None) -> int:
         description="The Decoupling Principle, made executable (HotNets '22 reproduction)",
     )
     sub = parser.add_subparsers(dest="command")
-    sub.add_parser("report", help="regenerate every paper artifact")
+    report = sub.add_parser("report", help="regenerate every paper artifact")
+    report.add_argument(
+        "--trace",
+        action="store_true",
+        help="trace the runs and append a per-experiment timing/metrics section",
+    )
+    report.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable table/sweep results instead of text",
+    )
     sub.add_parser("tables", help="the T-series knowledge tables")
     sub.add_parser("figures", help="the F-series flow figures")
-    sub.add_parser("sweeps", help="the D-series degree sweeps")
+    sweeps = sub.add_parser("sweeps", help="the D-series degree sweeps")
+    sweeps.add_argument(
+        "--trace",
+        action="store_true",
+        help="trace the runs and append a per-sweep timing section",
+    )
     demo = sub.add_parser("demo", help="run one system's scenario")
     demo.add_argument("name", help="system name (see `list`)")
+    trace = sub.add_parser(
+        "trace", help="run one demo with tracing on; export spans+metrics as JSONL"
+    )
+    trace.add_argument("name", help="system name (see `list`)")
+    trace.add_argument(
+        "--out",
+        default="spans.jsonl",
+        dest="out_path",
+        help="JSONL output path (default: spans.jsonl)",
+    )
     sub.add_parser("list", help="list available demos")
     args = parser.parse_args(argv)
 
     if args.command == "report":
-        ok = _print_tables(out)
-        _print_figures(out)
-        _print_sweeps(out)
+        if args.json:
+            return _report_json(out, trace=args.trace)
+        if args.trace:
+            with obs.capture() as (tracer, registry):
+                ok = _print_tables(out)
+                _print_figures(out)
+                _print_sweeps(out)
+            _print_trace_section(tracer, registry, out)
+        else:
+            ok = _print_tables(out)
+            _print_figures(out)
+            _print_sweeps(out)
         print(
             "ALL PAPER TABLES REPRODUCED EXACTLY" if ok else "SOME TABLES MISMATCHED",
             file=out,
@@ -190,10 +407,17 @@ def main(argv=None, out=None) -> int:
         _print_figures(out)
         return 0
     if args.command == "sweeps":
-        _print_sweeps(out)
+        if args.trace:
+            with obs.capture() as (tracer, registry):
+                _print_sweeps(out)
+            _print_sweep_trace_section(tracer, registry, out)
+        else:
+            _print_sweeps(out)
         return 0
     if args.command == "demo":
         return _run_demo(args.name, out)
+    if args.command == "trace":
+        return _run_trace(args.name, args.out_path, out)
     if args.command == "list":
         _register_demos()
         for name in sorted(_DEMOS):

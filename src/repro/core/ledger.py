@@ -14,6 +14,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
+from repro.obs import runtime as _obs
+from repro.obs.metrics import get_registry as _get_registry
+
 from .labels import Label
 from .values import LabeledValue, ShareInfo, Subject, digest
 
@@ -86,6 +89,10 @@ class Ledger:
             share_info=value.share_info,
         )
         self._observations.append(observation)
+        if _obs.ENABLED:
+            registry = _get_registry()
+            registry.counter("ledger.observations").inc()
+            registry.counter(f"ledger.observations.{channel}").inc()
         return observation
 
     def __len__(self) -> int:

@@ -3,16 +3,22 @@
 Observation ledgers serialize to plain dicts (one per observation),
 suitable for JSON Lines; :func:`ledger_from_dicts` round-trips them.
 This is how a long simulation's evidence can be archived, diffed
-between runs, or fed to external tooling.
+between runs, or fed to external tooling.  The same module serializes
+harness artifacts -- :class:`~repro.core.report.ExperimentReport` and
+:class:`~repro.core.metrics.DegreeSweep` -- for the CLI's ``--json``
+output.
 """
 
 from __future__ import annotations
 
 import json
+from dataclasses import asdict
 from typing import Any, Dict, Iterable, List, Optional
 
 from .labels import Facet, Kind, Label, Sensitivity
 from .ledger import Ledger, Observation
+from .metrics import DegreeSweep
+from .report import ExperimentReport
 from .values import ShareInfo, Subject
 
 __all__ = [
@@ -24,6 +30,8 @@ __all__ = [
     "ledger_from_dicts",
     "ledger_to_jsonl",
     "ledger_from_jsonl",
+    "experiment_report_to_dict",
+    "degree_sweep_to_dict",
 ]
 
 
@@ -110,3 +118,32 @@ def ledger_to_jsonl(ledger: Ledger) -> str:
 def ledger_from_jsonl(text: str) -> Ledger:
     rows = [json.loads(line) for line in text.splitlines() if line.strip()]
     return ledger_from_dicts(rows)
+
+
+def experiment_report_to_dict(report: ExperimentReport) -> Dict[str, Any]:
+    """A paper-vs-measured comparison as a plain dict."""
+    data: Dict[str, Any] = {
+        "experiment_id": report.experiment_id,
+        "title": report.title,
+        "matches": report.matches,
+        "expected": dict(report.expected),
+        "measured": dict(report.measured),
+    }
+    if not report.matches:
+        data["mismatches"] = {
+            entity: {"expected": exp, "measured": got}
+            for entity, (exp, got) in report.mismatches().items()
+        }
+    if report.notes:
+        data["notes"] = report.notes
+    return data
+
+
+def degree_sweep_to_dict(sweep: DegreeSweep) -> Dict[str, Any]:
+    """A D-series sweep as a plain dict (points in degree order)."""
+    return {
+        "name": sweep.name,
+        "points": [asdict(point) for point in sweep.sorted_points()],
+        "privacy_is_monotone": sweep.privacy_is_monotone(),
+        "has_diminishing_returns": sweep.has_diminishing_returns(),
+    }

@@ -9,7 +9,9 @@ everywhere.
 from __future__ import annotations
 
 import statistics
-from typing import Dict, List, Tuple
+from typing import Callable, Dict, List, Tuple
+
+from repro.obs.tracing import get_tracer
 
 from repro.blindsig import PAPER_TABLE_T1, run_digital_cash
 from repro.core.metrics import DegreePoint, DegreeSweep
@@ -54,23 +56,54 @@ __all__ = [
 ]
 
 
+def _run_experiment(experiment_id: str, title: str, runner: Callable[[], object]):
+    """Run one table experiment inside an ``experiment`` span.
+
+    The span is annotated with the run's simulator/network/ledger
+    totals so the CLI's ``--trace`` section and the JSONL export can
+    attribute cost per experiment without re-running anything.
+    """
+    with get_tracer().span(
+        "experiment",
+        kind="harness",
+        sim_time=0.0,
+        experiment=experiment_id,
+        title=title,
+    ) as span:
+        run = runner()
+        network = getattr(run, "network", None)
+        if network is not None:
+            span.end_sim(network.simulator.now)
+            span.set("events", network.simulator.events_processed)
+            span.set("messages", network.messages_delivered)
+            span.set("bytes", network.bytes_delivered)
+        world = getattr(run, "world", None)
+        if world is not None:
+            span.set("observations", len(world.ledger))
+    return run
+
+
 def table_experiments() -> List[Tuple[str, str, Dict[str, str], object]]:
     """(id, title, paper table, completed run) for every table."""
+    specs: List[Tuple[str, str, Dict[str, str], Callable[[], object]]] = [
+        ("T1", "Blind-signature digital cash (3.1.1)", PAPER_TABLE_T1, run_digital_cash),
+        ("T2", "Mix-net, 3 mixes (3.1.2)", paper_table_t2(3), lambda: run_mixnet(mixes=3, senders=4)),
+        ("T3", "Privacy Pass (3.2.1)", PAPER_TABLE_T3, run_privacy_pass),
+        ("T4a", "Oblivious DNS -- ODNS (3.2.2)", PAPER_TABLE_T4_ODNS, run_odns),
+        ("T4b", "Oblivious DNS -- ODoH (3.2.2)", PAPER_TABLE_T4_ODOH, run_odoh),
+        ("T5", "Pretty Good Phone Privacy (3.2.3)", PAPER_TABLE_T5, run_pgpp),
+        ("T6", "Multi-Party Relay (3.2.4)", PAPER_TABLE_T6, run_mpr),
+        ("T7", "Private aggregate statistics -- Prio (3.2.5)", PAPER_TABLE_T7, run_prio),
+        ("T8", "Centralized VPN, cautionary (3.3)", PAPER_TABLE_T8, run_vpn),
+        ("E1a", "CACTI (4.3, extension)", EXPECTED_TABLE_CACTI, run_cacti),
+        ("E1b", "Phoenix keyless CDN (4.3, extension)", EXPECTED_TABLE_PHOENIX, run_phoenix),
+        ("E2a", "SSO, global ids (2.2, extension)", EXPECTED_TABLES_SSO["global"], lambda: run_sso("global")),
+        ("E2b", "SSO, pairwise ids (2.2, extension)", EXPECTED_TABLES_SSO["pairwise"], lambda: run_sso("pairwise")),
+        ("E2c", "SSO, blind tickets (2.2, extension)", EXPECTED_TABLES_SSO["anonymous"], lambda: run_sso("anonymous")),
+    ]
     return [
-        ("T1", "Blind-signature digital cash (3.1.1)", PAPER_TABLE_T1, run_digital_cash()),
-        ("T2", "Mix-net, 3 mixes (3.1.2)", paper_table_t2(3), run_mixnet(mixes=3, senders=4)),
-        ("T3", "Privacy Pass (3.2.1)", PAPER_TABLE_T3, run_privacy_pass()),
-        ("T4a", "Oblivious DNS -- ODNS (3.2.2)", PAPER_TABLE_T4_ODNS, run_odns()),
-        ("T4b", "Oblivious DNS -- ODoH (3.2.2)", PAPER_TABLE_T4_ODOH, run_odoh()),
-        ("T5", "Pretty Good Phone Privacy (3.2.3)", PAPER_TABLE_T5, run_pgpp()),
-        ("T6", "Multi-Party Relay (3.2.4)", PAPER_TABLE_T6, run_mpr()),
-        ("T7", "Private aggregate statistics -- Prio (3.2.5)", PAPER_TABLE_T7, run_prio()),
-        ("T8", "Centralized VPN, cautionary (3.3)", PAPER_TABLE_T8, run_vpn()),
-        ("E1a", "CACTI (4.3, extension)", EXPECTED_TABLE_CACTI, run_cacti()),
-        ("E1b", "Phoenix keyless CDN (4.3, extension)", EXPECTED_TABLE_PHOENIX, run_phoenix()),
-        ("E2a", "SSO, global ids (2.2, extension)", EXPECTED_TABLES_SSO["global"], run_sso("global")),
-        ("E2b", "SSO, pairwise ids (2.2, extension)", EXPECTED_TABLES_SSO["pairwise"], run_sso("pairwise")),
-        ("E2c", "SSO, blind tickets (2.2, extension)", EXPECTED_TABLES_SSO["anonymous"], run_sso("anonymous")),
+        (experiment_id, title, expected, _run_experiment(experiment_id, title, runner))
+        for experiment_id, title, expected, runner in specs
     ]
 
 
@@ -98,7 +131,10 @@ def sweep_relays(degrees=(1, 2, 3, 4, 5)) -> DegreeSweep:
     """D1: relay count vs collusion resistance and latency."""
     sweep = DegreeSweep(name="D1: relays vs privacy/cost")
     for relays in degrees:
-        run = run_mpr(relays=relays, requests=2)
+        with get_tracer().span(
+            "sweep-point", kind="harness", sweep="D1", degree=relays
+        ):
+            run = run_mpr(relays=relays, requests=2)
         sweep.add(
             DegreePoint(
                 degree=relays,
@@ -115,7 +151,10 @@ def sweep_aggregators(degrees=(2, 3, 4, 5), clients: int = 6) -> DegreeSweep:
     """D2: aggregator count vs collusion resistance and traffic."""
     sweep = DegreeSweep(name="D2: aggregators vs privacy/cost")
     for count in degrees:
-        run = run_prio(clients=clients, aggregators=count)
+        with get_tracer().span(
+            "sweep-point", kind="harness", sweep="D2", degree=count
+        ):
+            run = run_prio(clients=clients, aggregators=count)
         if run.reported_total != run.true_total:
             raise AssertionError("aggregate total diverged from ground truth")
         sweep.add(
@@ -140,10 +179,13 @@ def sweep_batches(
     for batch in batches:
         timing, sizes, latencies = [], [], []
         for seed in seeds:
-            run = run_mixnet(
-                mixes=2, senders=8, batch_size=batch, seed=seed,
-                use_padding=use_padding,
-            )
+            with get_tracer().span(
+                "sweep-point", kind="harness", sweep="D3", degree=batch, seed=seed
+            ):
+                run = run_mixnet(
+                    mixes=2, senders=8, batch_size=batch, seed=seed,
+                    use_padding=use_padding,
+                )
             correlator = PassiveCorrelator(run.network.trace)
             args = (
                 run.mixes[0].address,
@@ -182,31 +224,38 @@ def sweep_striping(resolver_counts=(1, 2, 4, 8)) -> List[Dict[str, float]]:
     names = [f"site-{i}.example.com" for i in range(16)]
     series = []
     for count in resolver_counts:
-        world = World()
-        network = Network()
-        registry = ZoneRegistry()
-        zone = Zone("example.com")
-        for name in names:
-            zone.add(name, "203.0.113.99")
-        AuthoritativeServer(network, world.entity("Auth", "dns-infra"), zone, registry)
-        resolvers = [
-            RecursiveResolver(
-                network,
-                world.entity(f"Resolver {i}", f"resolver-org-{i}"),
-                registry,
-                name=f"resolver-{i}",
+        with get_tracer().span(
+            "sweep-point", kind="harness", sweep="D4", degree=count
+        ):
+            world = World()
+            network = Network()
+            registry = ZoneRegistry()
+            zone = Zone("example.com")
+            for name in names:
+                zone.add(name, "203.0.113.99")
+            AuthoritativeServer(
+                network, world.entity("Auth", "dns-infra"), zone, registry
             )
-            for i in range(count)
-        ]
-        alice = Subject("alice")
-        host = network.add_host(
-            "client",
-            world.entity("Client", "device", trusted_by_user=True),
-            identity=LabeledValue("198.51.100.9", SENSITIVE_IDENTITY, alice, "ip"),
-        )
-        stub = StripingStub(host, [r.address for r in resolvers], RoundRobinPolicy())
-        for name in names:
-            stub.lookup(name, alice)
+            resolvers = [
+                RecursiveResolver(
+                    network,
+                    world.entity(f"Resolver {i}", f"resolver-org-{i}"),
+                    registry,
+                    name=f"resolver-{i}",
+                )
+                for i in range(count)
+            ]
+            alice = Subject("alice")
+            host = network.add_host(
+                "client",
+                world.entity("Client", "device", trusted_by_user=True),
+                identity=LabeledValue("198.51.100.9", SENSITIVE_IDENTITY, alice, "ip"),
+            )
+            stub = StripingStub(
+                host, [r.address for r in resolvers], RoundRobinPolicy()
+            )
+            for name in names:
+                stub.lookup(name, alice)
         series.append(
             {
                 "resolvers": count,
@@ -228,12 +277,15 @@ def sweep_disclosure(
     series = []
     for round_count in rounds:
         hits = 0
-        for seed in seeds:
-            observations, target, truth = generate_sda_rounds(
-                rounds=round_count, covers=9, recipients=recipients, seed=seed
-            )
-            guess = StatisticalDisclosureAttack().estimate(observations, target)
-            hits += int(guess == truth)
+        with get_tracer().span(
+            "sweep-point", kind="harness", sweep="D6", degree=round_count
+        ):
+            for seed in seeds:
+                observations, target, truth = generate_sda_rounds(
+                    rounds=round_count, covers=9, recipients=recipients, seed=seed
+                )
+                guess = StatisticalDisclosureAttack().estimate(observations, target)
+                hits += int(guess == truth)
         series.append(
             {
                 "rounds": round_count,
@@ -249,11 +301,14 @@ def sweep_tracking(populations=(2, 4, 8, 16), seeds=range(5)) -> List[Dict[str, 
     series = []
     for users in populations:
         accuracies = []
-        for seed in seeds:
-            run = run_pgpp(users=users, cells=6, steps=4, epochs=3, seed=seed)
-            tracks = extract_epoch_tracks(run.core.mobility_log)
-            chains = TrajectoryLinker().link(tracks)
-            accuracies.append(tracking_accuracy(chains, run.imsi_truth()))
+        with get_tracer().span(
+            "sweep-point", kind="harness", sweep="D5", degree=users
+        ):
+            for seed in seeds:
+                run = run_pgpp(users=users, cells=6, steps=4, epochs=3, seed=seed)
+                tracks = extract_epoch_tracks(run.core.mobility_log)
+                chains = TrajectoryLinker().link(tracks)
+                accuracies.append(tracking_accuracy(chains, run.imsi_truth()))
         series.append(
             {
                 "users": users,

@@ -50,6 +50,9 @@ class AddressAllocator:
         """The next free address within ``prefix``."""
         host = self._next_host.get(prefix, 1)
         if host > 254:
-            raise ValueError(f"prefix {prefix} exhausted")
+            raise ValueError(
+                f"prefix {prefix} exhausted: all {host - 1} host addresses"
+                f" ({prefix}.1-{prefix}.{host - 1}) already allocated"
+            )
         self._next_host[prefix] = host + 1
         return Address(f"{prefix}.{host}")

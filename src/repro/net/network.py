@@ -24,6 +24,9 @@ import random as _random
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core.entities import Entity
+from repro.obs import runtime as _obs
+from repro.obs.metrics import LATENCY_BUCKETS, SIZE_BUCKETS, get_registry
+from repro.obs.tracing import get_tracer
 
 from .addressing import Address, AddressAllocator
 from .packets import Packet, estimate_size
@@ -245,12 +248,73 @@ class Network:
         )
         if self.loss_rate > 0 and self._loss_rng.random() < self.loss_rate:
             self.packets_dropped += 1
+            if _obs.ENABLED:
+                get_registry().counter("net.packets_dropped").inc()
             return packet  # lost in transit: never delivered
         delay = self.latency(src_host.address, dst)
-        self.simulator.schedule(delay, lambda: self._deliver(packet))
+        if _obs.ENABLED:
+            # Capture the span active *now* so the delivery -- which
+            # fires later, outside any ``with`` block -- still links
+            # causally to whatever sent it.
+            origin = get_tracer().current_span()
+            self.simulator.schedule(delay, lambda: self._deliver(packet, origin))
+        else:
+            self.simulator.schedule(delay, lambda: self._deliver(packet))
         return packet
 
-    def _deliver(self, packet: Packet) -> None:
+    def _deliver(self, packet: Packet, origin_span=None) -> None:
+        if not _obs.ENABLED:
+            return self._deliver_inner(packet)
+        tracer = get_tracer()
+        registry = get_registry()
+        now = self.simulator.now
+        registry.counter("net.messages").inc()
+        registry.counter("net.bytes").inc(packet.size)
+        registry.histogram("net.packet_bytes", SIZE_BUCKETS).observe(packet.size)
+        if packet.sent_at is not None:
+            registry.histogram("net.hop_latency", LATENCY_BUCKETS).observe(
+                now - packet.sent_at
+            )
+        # A delivery whose origin lies outside the network layer (a
+        # one-way ``send`` from protocol or scenario code) gets a
+        # synthetic ``transact`` wrapper so every delivery span sits
+        # under a transact ancestor, mirroring the request/response
+        # case.  Deliveries caused by other network activity (mix
+        # forwarding, responses) parent to the originating span.
+        parent = origin_span
+        wrapper = None
+        if parent is None or getattr(parent, "kind", "") != "net":
+            wrapper = tracer.span(
+                "transact",
+                kind="net",
+                sim_time=packet.sent_at if packet.sent_at is not None else now,
+                parent=parent,
+                protocol=packet.protocol,
+                one_way=True,
+            )
+            wrapper.__enter__()
+            parent = wrapper
+        span = tracer.span(
+            "deliver",
+            kind="net",
+            sim_time=packet.sent_at if packet.sent_at is not None else now,
+            parent=parent,
+            src=str(packet.src),
+            dst=str(packet.dst),
+            protocol=packet.protocol,
+            bytes=packet.size,
+            packet_id=packet.packet_id,
+        )
+        try:
+            with span:
+                self._deliver_inner(packet)
+                span.end_sim(self.simulator.now)
+        finally:
+            if wrapper is not None:
+                wrapper.end_sim(self.simulator.now)
+                wrapper.__exit__(None, None, None)
+
+    def _deliver_inner(self, packet: Packet) -> None:
         now = self.simulator.now
         self.trace.record(
             PacketRecord(
@@ -315,17 +379,26 @@ class Network:
         upstream while serving a client's ``transact``.
         """
         request_id = next(_request_ids)
-        self.send(
-            src_host,
-            dst,
-            payload,
-            protocol,
-            size=size,
-            request_id=request_id,
-            flow=flow,
-        )
-        self.simulator.run_until(lambda: request_id in self._responses)
-        return self._responses.pop(request_id)
+        with get_tracer().span(
+            "transact",
+            kind="net",
+            sim_time=self.simulator.now,
+            src=str(src_host.address),
+            dst=str(dst),
+            protocol=protocol,
+        ) as span:
+            self.send(
+                src_host,
+                dst,
+                payload,
+                protocol,
+                size=size,
+                request_id=request_id,
+                flow=flow,
+            )
+            self.simulator.run_until(lambda: request_id in self._responses)
+            span.end_sim(self.simulator.now)
+            return self._responses.pop(request_id)
 
     def run(self) -> int:
         """Pump until idle (for one-way protocols such as mixing)."""

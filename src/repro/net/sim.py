@@ -15,7 +15,14 @@ import heapq
 import itertools
 from typing import Callable, List, Tuple
 
+from repro.obs import runtime as _obs
+from repro.obs.metrics import get_registry as _get_registry
+
 __all__ = ["Simulator"]
+
+#: Signature of a per-event hook: ``hook(time, callback)`` runs just
+#: before the event's callback executes.
+EventHook = Callable[[float, Callable[[], None]], None]
 
 
 class Simulator:
@@ -26,6 +33,7 @@ class Simulator:
         self._queue: List[Tuple[float, int, Callable[[], None]]] = []
         self._sequence = itertools.count()
         self._processed = 0
+        self._hooks: List[EventHook] = []
 
     @property
     def events_processed(self) -> int:
@@ -45,6 +53,17 @@ class Simulator:
         """Run ``callback`` at absolute ``time`` (>= now)."""
         self.schedule(time - self.now, callback)
 
+    def add_hook(self, hook: EventHook) -> None:
+        """Call ``hook(time, callback)`` before each event executes.
+
+        Hooks are the profiling seam: an event-frequency profiler or a
+        watchdog attaches here without subclassing the simulator.
+        """
+        self._hooks.append(hook)
+
+    def remove_hook(self, hook: EventHook) -> None:
+        self._hooks.remove(hook)
+
     def _step(self) -> bool:
         if not self._queue:
             return False
@@ -53,6 +72,11 @@ class Simulator:
             raise RuntimeError("event queue went backwards in time")
         self.now = time
         self._processed += 1
+        if _obs.ENABLED:
+            _get_registry().counter("sim.events").inc()
+        if self._hooks:
+            for hook in self._hooks:
+                hook(time, callback)
         callback()
         return True
 

@@ -9,6 +9,7 @@ these records alone.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Tuple
 
@@ -68,3 +69,46 @@ class TrafficTrace:
 
     def window(self, start: float, end: float) -> Tuple[PacketRecord, ...]:
         return tuple(r for r in self._records if start <= r.time <= end)
+
+    def to_jsonl(self) -> str:
+        """One JSON object per record, in capture order.
+
+        The wire-trace counterpart of the span/metric JSONL export:
+        archiving both alongside each other gives a run's complete
+        observable record.
+        """
+        return "\n".join(
+            json.dumps(
+                {
+                    "time": r.time,
+                    "src": str(r.src),
+                    "dst": str(r.dst),
+                    "size": r.size,
+                    "protocol": r.protocol,
+                    "packet_id": r.packet_id,
+                },
+                ensure_ascii=False,
+                sort_keys=True,
+            )
+            for r in self._records
+        )
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "TrafficTrace":
+        """Rebuild a trace from :meth:`to_jsonl` output."""
+        trace = cls()
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            row = json.loads(line)
+            trace.record(
+                PacketRecord(
+                    time=float(row["time"]),
+                    src=Address(row["src"]),
+                    dst=Address(row["dst"]),
+                    size=int(row["size"]),
+                    protocol=row["protocol"],
+                    packet_id=int(row["packet_id"]),
+                )
+            )
+        return trace

@@ -1,0 +1,93 @@
+"""``repro.obs`` -- observability for simulator and harness runs.
+
+Three pieces, all off by default:
+
+* :mod:`repro.obs.tracing` -- span trees over both clocks (simulated
+  and wall time), fed by instrumentation in ``repro.net`` and the
+  harness;
+* :mod:`repro.obs.metrics` -- counters, gauges, and fixed-bucket
+  histograms (events processed, messages, bytes, packet sizes, hop
+  latencies, ledger observations);
+* :mod:`repro.obs.export` -- JSONL and text-tree exporters.
+
+The usual entry point is :func:`capture`::
+
+    with obs.capture() as (tracer, registry):
+        run = run_mixnet()
+    print(export.render_span_tree(tracer.spans))
+
+which installs a fresh tracer/registry as the process defaults, flips
+the global gate on, and restores everything on exit.  While the gate is
+off, every instrumented hot path short-circuits on one module-attribute
+check -- a run with observability disabled performs like one built
+without it.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional, Tuple
+
+from . import export, runtime
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+    SIZE_BUCKETS,
+    get_registry,
+    set_registry,
+)
+from .tracing import NOOP_SPAN, Span, Tracer, get_tracer, set_tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS",
+    "MetricsRegistry",
+    "NOOP_SPAN",
+    "SIZE_BUCKETS",
+    "Span",
+    "Tracer",
+    "capture",
+    "disable",
+    "enable",
+    "export",
+    "get_registry",
+    "get_tracer",
+    "is_enabled",
+    "runtime",
+    "set_registry",
+    "set_tracer",
+]
+
+enable = runtime.enable
+disable = runtime.disable
+is_enabled = runtime.is_enabled
+
+
+@contextmanager
+def capture(
+    tracer: Optional[Tracer] = None,
+    registry: Optional[MetricsRegistry] = None,
+) -> Iterator[Tuple[Tracer, MetricsRegistry]]:
+    """Enable observability into a (fresh by default) tracer/registry.
+
+    Installs both as the process defaults and turns the global gate on;
+    on exit the previous defaults and gate state come back, so captures
+    nest and never leak into later runs.
+    """
+    capture_tracer = tracer if tracer is not None else Tracer()
+    capture_registry = registry if registry is not None else MetricsRegistry()
+    previous_tracer = set_tracer(capture_tracer)
+    previous_registry = set_registry(capture_registry)
+    previous_enabled = runtime.ENABLED
+    runtime.ENABLED = True
+    try:
+        yield capture_tracer, capture_registry
+    finally:
+        runtime.ENABLED = previous_enabled
+        set_tracer(previous_tracer)
+        set_registry(previous_registry)

@@ -1,0 +1,110 @@
+"""Exporters: spans and metrics to JSONL and a human-readable tree.
+
+The JSONL stream is line-delimited JSON, one record per line, each
+tagged with a ``"type"`` -- ``"span"``, ``"counter"``, ``"gauge"``, or
+``"histogram"`` -- so one file can archive a whole traced run.  Span
+records carry both clocks (``sim_start``/``sim_end`` in simulated
+seconds, ``wall_ms`` in host milliseconds) plus the parent link that
+reconstructs the tree.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from .metrics import MetricsRegistry
+from .tracing import Span, Tracer
+
+__all__ = [
+    "span_to_dict",
+    "spans_to_jsonl",
+    "to_jsonl",
+    "write_jsonl",
+    "render_span_tree",
+]
+
+
+def span_to_dict(span: Span) -> Dict[str, Any]:
+    wall = span.wall_seconds
+    return {
+        "type": "span",
+        "span_id": span.span_id,
+        "parent_id": span.parent_id,
+        "name": span.name,
+        "kind": span.kind,
+        "sim_start": span.sim_start,
+        "sim_end": span.sim_end,
+        "wall_ms": wall * 1000.0 if wall is not None else None,
+        "attributes": dict(span.attributes),
+    }
+
+
+def spans_to_jsonl(spans: Iterable[Span]) -> str:
+    return "\n".join(
+        json.dumps(span_to_dict(span), ensure_ascii=False, sort_keys=True)
+        for span in spans
+    )
+
+
+def to_jsonl(tracer: Tracer, registry: Optional[MetricsRegistry] = None) -> str:
+    """Spans (tree order) then metrics, one JSON object per line."""
+    lines = [
+        json.dumps(span_to_dict(span), ensure_ascii=False, sort_keys=True)
+        for span in sorted(tracer.spans, key=lambda s: s.span_id)
+    ]
+    if registry is not None:
+        lines.extend(
+            json.dumps(row, ensure_ascii=False, sort_keys=True)
+            for row in registry.snapshot()
+        )
+    return "\n".join(lines)
+
+
+def write_jsonl(
+    path: str, tracer: Tracer, registry: Optional[MetricsRegistry] = None
+) -> int:
+    """Write the JSONL export to ``path``; returns the line count."""
+    text = to_jsonl(tracer, registry)
+    with open(path, "w", encoding="utf-8") as handle:
+        if text:
+            handle.write(text + "\n")
+    return 0 if not text else text.count("\n") + 1
+
+
+def _format_span(span: Span) -> str:
+    bits = [span.name]
+    if span.sim_start is not None and span.sim_end is not None:
+        bits.append(f"sim={span.sim_start:.4f}..{span.sim_end:.4f}")
+    wall = span.wall_seconds
+    if wall is not None:
+        bits.append(f"wall={wall * 1000.0:.2f}ms")
+    for key in sorted(span.attributes):
+        bits.append(f"{key}={span.attributes[key]}")
+    return " ".join(bits)
+
+
+def render_span_tree(spans: Sequence[Span]) -> str:
+    """An indented text tree of the span forest, in span-id order.
+
+    Spans whose parent is missing from ``spans`` (e.g. still open when
+    the export ran) render as roots.
+    """
+    by_id = {span.span_id: span for span in spans}
+    children: Dict[Optional[int], List[Span]] = {}
+    for span in spans:
+        parent = span.parent_id if span.parent_id in by_id else None
+        children.setdefault(parent, []).append(span)
+    for siblings in children.values():
+        siblings.sort(key=lambda s: s.span_id)
+
+    lines: List[str] = []
+
+    def walk(span: Span, depth: int) -> None:
+        lines.append("  " * depth + _format_span(span))
+        for child in children.get(span.span_id, ()):
+            walk(child, depth + 1)
+
+    for root in children.get(None, ()):
+        walk(root, 0)
+    return "\n".join(lines)

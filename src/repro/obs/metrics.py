@@ -1,0 +1,186 @@
+"""Run metrics: counters, gauges, and fixed-bucket histograms.
+
+A :class:`MetricsRegistry` is a namespace of named instruments,
+get-or-created on first touch so instrumentation sites never need
+registration ceremony::
+
+    get_registry().counter("net.messages").inc()
+    get_registry().histogram("net.packet_bytes", SIZE_BUCKETS).observe(512)
+
+Histograms are fixed-bucket (cumulative counts per upper bound, plus
+an overflow bucket) -- enough for packet-size and hop-latency
+distributions without holding every sample.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SIZE_BUCKETS",
+    "LATENCY_BUCKETS",
+    "get_registry",
+    "set_registry",
+]
+
+#: Default byte-size buckets (powers of two around typical payloads).
+SIZE_BUCKETS: Tuple[float, ...] = (64, 128, 256, 512, 1024, 2048, 4096, 8192)
+
+#: Default simulated-latency buckets, in seconds.
+LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"type": "counter", "name": self.name, "value": self.value}
+
+
+class Gauge:
+    """A point-in-time value (queue depth, clock reading)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"type": "gauge", "name": self.name, "value": self.value}
+
+
+class Histogram:
+    """Fixed upper-bound buckets plus an overflow bucket.
+
+    ``counts[i]`` holds samples ``<= buckets[i]`` (non-cumulative);
+    ``counts[-1]`` holds everything beyond the last bound.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "count", "total", "min", "max")
+
+    def __init__(self, name: str, buckets: Sequence[float]) -> None:
+        if not buckets:
+            raise ValueError("histogram needs at least one bucket bound")
+        ordered = tuple(sorted(buckets))
+        if len(set(ordered)) != len(ordered):
+            raise ValueError("histogram bucket bounds must be distinct")
+        self.name = name
+        self.buckets = ordered
+        self.counts: List[int] = [0] * (len(ordered) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.total / self.count if self.count else None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "type": "histogram",
+            "name": self.name,
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+class MetricsRegistry:
+    """Named instruments, get-or-created on first use."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = self._gauges[name] = Gauge(name)
+        return gauge
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = SIZE_BUCKETS
+    ) -> Histogram:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram(name, buckets)
+        return histogram
+
+    def counter_value(self, name: str, default: int = 0) -> int:
+        """Read a counter without creating it."""
+        counter = self._counters.get(name)
+        return counter.value if counter is not None else default
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """Every instrument as a plain dict, counters first, by name."""
+        rows: List[Dict[str, Any]] = []
+        for group in (self._counters, self._gauges, self._histograms):
+            for name in sorted(group):
+                rows.append(group[name].to_dict())
+        return rows
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+
+_default_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _default_registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the default registry; returns the previous one."""
+    global _default_registry
+    previous = _default_registry
+    _default_registry = registry
+    return previous

@@ -1,0 +1,32 @@
+"""The process-wide observability switch.
+
+Instrumentation in the simulator, network, ledger, and harness is
+gated on :data:`ENABLED`.  The flag lives in its own dependency-free
+module so hot paths (``Simulator._step``, ``Ledger.record``,
+``Network._deliver``) can check one module attribute and fall through
+-- tracing off must cost nothing measurable.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ENABLED", "enable", "disable", "is_enabled"]
+
+#: The global gate.  Off by default; flip via :func:`enable` /
+#: :func:`disable` or, preferably, :func:`repro.obs.capture`.
+ENABLED = False
+
+
+def enable() -> None:
+    """Turn observability on for the whole process."""
+    global ENABLED
+    ENABLED = True
+
+
+def disable() -> None:
+    """Turn observability off (the default)."""
+    global ENABLED
+    ENABLED = False
+
+
+def is_enabled() -> bool:
+    return ENABLED

@@ -57,6 +57,88 @@ class TestTables:
         assert "MISMATCH" not in output
 
 
+class TestTrace:
+    def test_trace_mixnet_exports_valid_jsonl(self, tmp_path):
+        import json
+
+        path = tmp_path / "spans.jsonl"
+        code, output = _run(["trace", "mixnet", "--out", str(path)])
+        assert code == 0
+        assert "traced demo 'mixnet'" in output
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        spans = {row["span_id"]: row for row in rows if row["type"] == "span"}
+        assert spans, "no span records exported"
+        # Acceptance: every packet-delivery span nests under a transact
+        # span, and sim times stay within the demo root's window.
+        roots = [s for s in spans.values() if s["parent_id"] is None]
+        assert [r["name"] for r in roots] == ["demo"]
+        sim_end = roots[0]["sim_end"]
+        delivers = [s for s in spans.values() if s["name"] == "deliver"]
+        assert delivers
+        for deliver in delivers:
+            node = deliver
+            while node["parent_id"] is not None and node["name"] != "transact":
+                node = spans[node["parent_id"]]
+            assert node["name"] == "transact"
+            assert 0.0 <= deliver["sim_start"] <= deliver["sim_end"] <= sim_end
+        # Metrics ride along in the same file.
+        assert any(row["type"] == "counter" for row in rows)
+
+    def test_trace_unknown_demo_fails_gracefully(self, tmp_path):
+        code, output = _run(["trace", "nope", "--out", str(tmp_path / "x.jsonl")])
+        assert code == 2
+        assert "unknown demo" in output
+
+    def test_tracing_is_off_after_trace_run(self, tmp_path):
+        from repro.obs import runtime
+
+        _run(["trace", "vpn", "--out", str(tmp_path / "x.jsonl")])
+        assert runtime.ENABLED is False
+
+
+class TestReportTrace:
+    def test_report_trace_prints_timing_for_all_experiments(self):
+        code, output = _run(["report", "--trace"])
+        assert code == 0
+        assert "Per-experiment timing / metrics" in output
+        section = output[output.index("Per-experiment timing") :]
+        for experiment_id in (
+            "T1", "T2", "T3", "T4a", "T4b", "T5", "T6", "T7", "T8",
+            "E1a", "E1b", "E2a", "E2b", "E2c",
+        ):
+            assert f"  {experiment_id} " in section
+        assert "events=" in section and "messages=" in section
+        assert "bytes=" in section and "spans=" in section
+        assert "ALL PAPER TABLES REPRODUCED EXACTLY" in output
+
+
+class TestReportJson:
+    def test_report_json_is_machine_readable(self):
+        import json
+
+        code, output = _run(["report", "--json"])
+        assert code == 0
+        document = json.loads(output)
+        assert document["all_match"] is True
+        assert len(document["experiments"]) == 14
+        first = document["experiments"][0]
+        assert first["experiment_id"] == "T1"
+        assert first["matches"] is True
+        assert first["expected"] and first["measured"]
+        assert set(document["sweeps"]) == {"D1", "D2", "D3", "D4", "D5", "D6"}
+        assert document["sweeps"]["D1"]["points"][0]["degree"] == 1
+        assert document["figures"]["F1"]
+
+
+class TestSweepsTrace:
+    def test_sweeps_trace_prints_per_sweep_timing(self):
+        code, output = _run(["sweeps", "--trace"])
+        assert code == 0
+        assert "Per-sweep timing" in output
+        for sweep in ("D1", "D2", "D3", "D4", "D5", "D6"):
+            assert f"  {sweep}: points=" in output
+
+
 class TestNoCommand:
     def test_help_on_no_command(self):
         code, output = _run([])

@@ -9,6 +9,7 @@ from repro.net.addressing import Address, AddressAllocator
 from repro.net.network import Network, WireObserver
 from repro.net.packets import estimate_size
 from repro.net.sim import Simulator
+from repro.net.trace import PacketRecord, TrafficTrace
 
 ALICE = Subject("alice")
 
@@ -99,9 +100,87 @@ class TestAddressing:
         with pytest.raises(ValueError):
             allocator.allocate(prefix)
 
+    def test_prefix_exhaustion_reports_prefix_and_count(self):
+        allocator = AddressAllocator()
+        prefix = allocator.network_prefix()
+        for _ in range(254):
+            allocator.allocate(prefix)
+        with pytest.raises(ValueError) as exc_info:
+            allocator.allocate(prefix)
+        message = str(exc_info.value)
+        assert prefix in message
+        assert "254" in message
+        # Exhaustion of one prefix leaves others allocatable.
+        other = allocator.network_prefix()
+        assert allocator.allocate(other).prefix == other
+
     def test_address_ordering_and_str(self):
         assert str(Address("10.0.0.1")) == "10.0.0.1"
         assert Address("10.0.0.1").prefix == "10.0.0"
+
+
+class TestTrafficTraceJsonl:
+    def _trace(self):
+        trace = TrafficTrace()
+        trace.record(
+            PacketRecord(
+                time=0.01,
+                src=Address("10.0.0.1"),
+                dst=Address("10.0.1.1"),
+                size=512,
+                protocol="mix",
+                packet_id=1,
+            )
+        )
+        trace.record(
+            PacketRecord(
+                time=0.02,
+                src=Address("10.0.1.1"),
+                dst=Address("10.0.2.1"),
+                size=64,
+                protocol="dns",
+                packet_id=2,
+            )
+        )
+        return trace
+
+    def test_round_trip_preserves_records(self):
+        trace = self._trace()
+        restored = TrafficTrace.from_jsonl(trace.to_jsonl())
+        assert restored.records == trace.records
+        assert restored.total_bytes() == trace.total_bytes()
+
+    def test_jsonl_lines_are_plain_json(self):
+        import json
+
+        lines = self._trace().to_jsonl().splitlines()
+        assert len(lines) == 2
+        row = json.loads(lines[0])
+        assert row == {
+            "time": 0.01,
+            "src": "10.0.0.1",
+            "dst": "10.0.1.1",
+            "size": 512,
+            "protocol": "mix",
+            "packet_id": 1,
+        }
+
+    def test_from_jsonl_skips_blank_lines(self):
+        text = self._trace().to_jsonl() + "\n\n"
+        assert len(TrafficTrace.from_jsonl(text)) == 2
+
+    def test_empty_trace_round_trips(self):
+        assert len(TrafficTrace.from_jsonl(TrafficTrace().to_jsonl())) == 0
+
+    def test_network_trace_exports(self):
+        world = World()
+        network = Network()
+        client = network.add_host("client", world.entity("C", "c-org"))
+        server = network.add_host("server", world.entity("S", "s-org"))
+        server.register("echo", lambda packet: "ok")
+        client.transact(server.address, "hi", "echo")
+        restored = TrafficTrace.from_jsonl(network.trace.to_jsonl())
+        assert restored.records == network.trace.records
 
 
 class TestEstimateSize:

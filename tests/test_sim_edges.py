@@ -1,0 +1,129 @@
+"""Edge cases for ``Simulator.run_until`` / ``run_until_idle``.
+
+The re-entrant pump under :meth:`Network.transact` leans on subtle
+invariants -- ``max_events`` cutoffs, zero-delay ordering, ``advance``
+interleaving -- that deserve direct coverage.
+"""
+
+import pytest
+
+from repro.net.sim import Simulator
+
+
+class TestMaxEventsCutoff:
+    def test_run_until_idle_raises_on_event_storm(self):
+        sim = Simulator()
+
+        def reschedule():
+            sim.schedule(0.001, reschedule)
+
+        sim.schedule(0.001, reschedule)
+        with pytest.raises(RuntimeError, match="quiesce"):
+            sim.run_until_idle(max_events=50)
+        # The cutoff fires *after* max_events steps, never silently.
+        assert sim.events_processed == 51
+
+    def test_run_until_raises_when_predicate_never_holds(self):
+        sim = Simulator()
+
+        def reschedule():
+            sim.schedule(0.001, reschedule)
+
+        sim.schedule(0.001, reschedule)
+        with pytest.raises(RuntimeError, match="never satisfied"):
+            sim.run_until(lambda: False, max_events=50)
+
+    def test_run_until_idle_exactly_at_limit_is_fine(self):
+        sim = Simulator()
+        for index in range(10):
+            sim.schedule(index * 0.01, lambda: None)
+        assert sim.run_until_idle(max_events=10) == 10
+
+    def test_run_until_checks_predicate_before_pumping(self):
+        sim = Simulator()
+        # Predicate already true: no events needed, none consumed.
+        sim.schedule(0.1, lambda: None)
+        sim.run_until(lambda: True)
+        assert sim.pending == 1
+        assert sim.events_processed == 0
+
+
+class TestZeroDelayOrdering:
+    def test_zero_delay_events_run_fifo_at_constant_time(self):
+        sim = Simulator()
+        order = []
+        for index in range(5):
+            sim.schedule(0.0, lambda i=index: order.append(i))
+        sim.run_until_idle()
+        assert order == [0, 1, 2, 3, 4]
+        assert sim.now == 0.0
+
+    def test_zero_delay_chain_spawned_during_pump(self):
+        sim = Simulator()
+        order = []
+
+        def spawn(depth):
+            order.append(depth)
+            if depth < 3:
+                sim.schedule(0.0, lambda: spawn(depth + 1))
+
+        sim.schedule(0.0, lambda: spawn(0))
+        sim.run_until_idle()
+        assert order == [0, 1, 2, 3]
+        assert sim.now == 0.0
+
+    def test_zero_delay_interleaves_after_already_queued_same_time(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(0.0, lambda: order.append("a"))
+        sim.schedule(0.0, lambda: (order.append("b"), sim.schedule(0.0, lambda: order.append("d"))))
+        sim.schedule(0.0, lambda: order.append("c"))
+        sim.run_until_idle()
+        # The event spawned mid-pump queues behind earlier same-time events.
+        assert order == ["a", "b", "c", "d"]
+
+
+class TestAdvanceInterleaving:
+    def test_advance_moves_clock_without_events(self):
+        sim = Simulator()
+        sim.advance(1.5)
+        assert sim.now == pytest.approx(1.5)
+        assert sim.events_processed == 0
+
+    def test_advance_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Simulator().advance(-0.1)
+
+    def test_schedule_after_advance_is_relative_to_new_now(self):
+        sim = Simulator()
+        times = []
+        sim.advance(1.0)
+        sim.schedule(0.5, lambda: times.append(sim.now))
+        sim.run_until_idle()
+        assert times == [pytest.approx(1.5)]
+
+    def test_advance_between_pumps_keeps_queue_consistent(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(0.1, lambda: times.append(sim.now))
+        sim.schedule(0.9, lambda: times.append(sim.now))
+        sim.run_until(lambda: len(times) == 1)
+        sim.advance(0.5)  # clock now 0.6, ahead of nothing pending before 0.9
+        sim.run_until_idle()
+        assert times == [pytest.approx(0.1), pytest.approx(0.9)]
+
+    def test_advance_past_pending_event_raises_on_pump(self):
+        sim = Simulator()
+        sim.schedule(0.1, lambda: None)
+        sim.advance(0.5)  # clock jumps past the queued event's time
+        with pytest.raises(RuntimeError, match="backwards"):
+            sim.run_until_idle()
+
+    def test_advance_inside_callback_affects_later_events(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(0.1, lambda: (times.append(sim.now), sim.advance(0.2)))
+        sim.schedule(0.5, lambda: times.append(sim.now))
+        sim.run_until_idle()
+        assert times == [pytest.approx(0.1), pytest.approx(0.5)]
+        assert sim.now == pytest.approx(0.5)
