@@ -4,7 +4,9 @@
 A thin wrapper over ``python -m repro report`` kept at this path so the
 benchmark directory is self-contained.  Runs with tracing enabled so
 the report ends with the per-experiment timing/metrics section; pass
-CLI flags through to override (e.g. ``report.py --json``).  Exit
+CLI flags through to override (e.g. ``report.py --json`` or
+``report.py --jobs 4`` to fan the experiments and sweeps across worker
+processes -- the merged output is identical to a serial run).  Exit
 status is non-zero if any knowledge table mismatches the paper.
 """
 

@@ -4,11 +4,13 @@ Commands:
 
 * ``report``      -- regenerate every paper artifact, paper vs measured
   (``--trace`` appends a per-experiment timing/metrics section,
-  ``--json`` emits the machine-readable equivalent)
-* ``tables``      -- just the knowledge tables (T-series)
+  ``--json`` emits the machine-readable equivalent, ``--jobs N`` fans
+  experiments and sweeps across N worker processes with output
+  identical to a serial run)
+* ``tables``      -- just the knowledge tables (T-series); ``--jobs N``
 * ``figures``     -- just the flow figures (F-series)
 * ``sweeps``      -- just the degree sweeps (D-series); ``--trace``
-  appends a per-sweep timing section
+  appends a per-sweep timing section, ``--jobs N`` runs them parallel
 * ``demo NAME``   -- run one system's scenario and print its analysis
 * ``trace NAME``  -- run one demo with tracing on and export the span
   tree plus metrics as JSONL (``--out spans.jsonl``)
@@ -68,24 +70,27 @@ def _register_demos() -> None:
     )
 
 
-def _print_tables(out) -> bool:
+def _print_table_summaries(summaries, out) -> bool:
     all_match = True
-    for report, run in harness.table_reports():
-        print(report.render(), file=out)
-        verdict = run.analyzer.verdict()
+    for summary in summaries:
+        print(summary.report.render(), file=out)
         print(
-            f"  verdict: {'DECOUPLED' if verdict.decoupled else 'NOT DECOUPLED'}",
+            f"  verdict: {'DECOUPLED' if summary.verdict_decoupled else 'NOT DECOUPLED'}",
             file=out,
         )
-        coalitions = run.analyzer.minimal_recoupling_coalitions()
+        coalitions = summary.coalitions
         print(
             "  minimal re-coupling coalitions:",
-            [sorted(c) for c in coalitions] if coalitions else "none possible",
+            [list(c) for c in coalitions] if coalitions else "none possible",
             file=out,
         )
         print(file=out)
-        all_match &= report.matches
+        all_match &= summary.report.matches
     return all_match
+
+
+def _print_tables(out, jobs: int = 1) -> bool:
+    return _print_table_summaries(harness.table_summaries(jobs=jobs), out)
 
 
 def _print_figures(out) -> None:
@@ -99,16 +104,22 @@ def _print_figures(out) -> None:
     print(file=out)
 
 
-def _print_sweeps(out) -> None:
-    print(harness.sweep_relays().render(), file=out)
+def _print_sweep_payloads(payloads: Dict[str, object], out) -> None:
+    """Render the D-series sections from keyed sweep payloads.
+
+    ``payloads`` comes from :func:`harness.sweep_results` (serial or
+    parallel); presentation order is fixed here, so a parallel run
+    prints byte-identically to a serial one.
+    """
+    print(payloads["D1"].render(), file=out)
     print(file=out)
-    print(harness.sweep_aggregators().render(), file=out)
+    print(payloads["D2"].render(), file=out)
     print(file=out)
     print("D3: traffic analysis (no padding / padded)", file=out)
     header = f"{'batch':>6} {'timing acc':>11} {'size acc':>9} {'latency':>9}"
     for padded in (False, True):
         print(f"{header}   ({'padded cells' if padded else 'no padding'})", file=out)
-        for row in harness.sweep_batches(padded):
+        for row in payloads["D3p" if padded else "D3u"]:
             print(
                 f"{row['batch']:>6} {row['timing_accuracy']:>11.3f}"
                 f" {row['size_accuracy']:>9.3f} {row['latency']:>9.4f}",
@@ -116,7 +127,7 @@ def _print_sweeps(out) -> None:
             )
     print(file=out)
     print("D4: resolver striping", file=out)
-    for row in harness.sweep_striping():
+    for row in payloads["D4"]:
         print(
             f"  resolvers={row['resolvers']:<3} max_share={row['max_query_share']:.3f}"
             f" coverage={row['max_name_coverage']:.3f}"
@@ -125,7 +136,7 @@ def _print_sweeps(out) -> None:
         )
     print(file=out)
     print("D5 (extension): PGPP tracking vs population", file=out)
-    for row in harness.sweep_tracking():
+    for row in payloads["D5"]:
         print(
             f"  users={row['users']:<3} tracking={row['tracking_accuracy']:.3f}"
             f" (chance {row['chance']:.3f})",
@@ -133,13 +144,23 @@ def _print_sweeps(out) -> None:
         )
     print(file=out)
     print("D6 (extension): statistical disclosure vs rounds observed", file=out)
-    for row in harness.sweep_disclosure():
+    for row in payloads["D6"]:
         print(
             f"  rounds={row['rounds']:<4} accuracy={row['accuracy']:.3f}"
             f" (chance {row['chance']:.3f})",
             file=out,
         )
     print(file=out)
+
+
+def _sweep_payload_map(results) -> Dict[str, object]:
+    return {result.key: result.payload for result in results}
+
+
+def _print_sweeps(out, jobs: int = 1) -> None:
+    _print_sweep_payloads(
+        _sweep_payload_map(harness.sweep_results(jobs=jobs)), out
+    )
 
 
 def _spans_per_experiment(tracer) -> Dict[int, int]:
@@ -209,6 +230,74 @@ def _print_sweep_trace_section(tracer, registry, out) -> None:
     print(file=out)
 
 
+def _fold_counters(parts) -> Dict[str, int]:
+    """Sum per-worker counter snapshots into one totals mapping."""
+    totals: Dict[str, int] = {}
+    for part in parts:
+        for name, value in part.counters.items():
+            totals[name] = totals.get(name, 0) + value
+    return totals
+
+
+def _print_folded_trace_section(summaries, sweep_results, out) -> None:
+    """The ``--trace`` section for parallel runs.
+
+    Worker processes cannot append to the parent's tracer, so each
+    worker captures locally and returns wall time, span counts, and
+    counter snapshots; this prints the same per-experiment rows as the
+    serial section from those folded metrics (figures, which run in the
+    parent untraced, are not included in the totals).
+    """
+    print("Per-experiment timing / metrics (folded from worker traces)", file=out)
+    for summary in summaries:
+        print(
+            f"  {summary.experiment_id:<4}"
+            f" {summary.title[:42]:<42}"
+            f" wall={summary.wall_ms:8.2f}ms sim={summary.sim_seconds or 0.0:8.4f}s"
+            f" spans={summary.spans:>4}"
+            f" events={summary.events if summary.events is not None else '-':>5}"
+            f" messages={summary.messages if summary.messages is not None else '-':>4}"
+            f" bytes={summary.bytes if summary.bytes is not None else '-':>7}"
+            f" observations={summary.observations:>4}",
+            file=out,
+        )
+    totals = _fold_counters([*summaries, *sweep_results])
+    spans = sum(s.spans + 1 for s in summaries)
+    print(
+        f"  totals: spans={spans}"
+        f" events={totals.get('sim.events', 0)}"
+        f" messages={totals.get('net.messages', 0)}"
+        f" bytes={totals.get('net.bytes', 0)}"
+        f" observations={totals.get('ledger.observations', 0)}",
+        file=out,
+    )
+    print(file=out)
+
+
+def _print_folded_sweep_trace_section(sweep_results, out) -> None:
+    """``sweeps --trace --jobs N``: per-sweep timing from worker metrics."""
+    by_sweep: Dict[str, list] = {}
+    for result in sweep_results:
+        # D3u/D3p are halves of the paper's D3; fold them back together
+        # so the section keys match the serial (span-derived) one.
+        key = "D3" if result.key.startswith("D3") else result.key
+        by_sweep.setdefault(key, []).append(result)
+    print("Per-sweep timing (folded from worker traces)", file=out)
+    for sweep in sorted(by_sweep):
+        parts = by_sweep[sweep]
+        wall_ms = sum(part.wall_ms for part in parts)
+        points = sum(part.points for part in parts)
+        print(f"  {sweep}: points={points} wall={wall_ms:.2f}ms", file=out)
+    totals = _fold_counters(sweep_results)
+    print(
+        f"  totals: events={totals.get('sim.events', 0)}"
+        f" messages={totals.get('net.messages', 0)}"
+        f" bytes={totals.get('net.bytes', 0)}",
+        file=out,
+    )
+    print(file=out)
+
+
 def _experiment_timing_rows(tracer) -> list:
     counts = _spans_per_experiment(tracer)
     rows = []
@@ -229,25 +318,27 @@ def _experiment_timing_rows(tracer) -> list:
     return rows
 
 
-def _report_json(out, trace: bool = False) -> int:
+def _report_json(out, trace: bool = False, jobs: int = 1) -> int:
     """``report --json``: machine-readable tables, sweeps, figures."""
     from repro.core.serialize import degree_sweep_to_dict, experiment_report_to_dict
 
     def build():
         all_match = True
         experiments = []
-        for report, run in harness.table_reports():
-            row = experiment_report_to_dict(report)
-            row["verdict_decoupled"] = run.analyzer.verdict().decoupled
-            row["observations"] = len(run.world.ledger)
-            network = getattr(run, "network", None)
-            if network is not None:
-                row["sim_seconds"] = network.simulator.now
-                row["events"] = network.simulator.events_processed
-                row["messages"] = network.messages_delivered
-                row["bytes"] = network.bytes_delivered
+        summaries = harness.table_summaries(jobs=jobs)
+        for summary in summaries:
+            row = experiment_report_to_dict(summary.report)
+            row["verdict_decoupled"] = summary.verdict_decoupled
+            row["observations"] = summary.observations
+            if summary.sim_seconds is not None:
+                row["sim_seconds"] = summary.sim_seconds
+                row["events"] = summary.events
+                row["messages"] = summary.messages
+                row["bytes"] = summary.bytes
             experiments.append(row)
-            all_match &= report.matches
+            all_match &= summary.report.matches
+        sweep_results = harness.sweep_results(jobs=jobs)
+        payloads = _sweep_payload_map(sweep_results)
         document = {
             "experiments": experiments,
             "figures": {
@@ -255,26 +346,47 @@ def _report_json(out, trace: bool = False) -> int:
                 "F2": [step.render() for step in harness.figure_f2_series()],
             },
             "sweeps": {
-                "D1": degree_sweep_to_dict(harness.sweep_relays()),
-                "D2": degree_sweep_to_dict(harness.sweep_aggregators()),
+                "D1": degree_sweep_to_dict(payloads["D1"]),
+                "D2": degree_sweep_to_dict(payloads["D2"]),
                 "D3": {
-                    "unpadded": harness.sweep_batches(False),
-                    "padded": harness.sweep_batches(True),
+                    "unpadded": payloads["D3u"],
+                    "padded": payloads["D3p"],
                 },
-                "D4": harness.sweep_striping(),
-                "D5": harness.sweep_tracking(),
-                "D6": harness.sweep_disclosure(),
+                "D4": payloads["D4"],
+                "D5": payloads["D5"],
+                "D6": payloads["D6"],
             },
         }
-        return all_match, document
+        return all_match, document, summaries, sweep_results
 
-    if trace:
+    if trace and jobs <= 1:
         with obs.capture() as (tracer, registry):
-            all_match, document = build()
+            all_match, document, _, _ = build()
         document["timing"] = _experiment_timing_rows(tracer)
         document["metrics"] = registry.snapshot()
+    elif trace:
+        all_match, document, summaries, sweep_results = build()
+        document["timing"] = [
+            {
+                "experiment_id": s.experiment_id,
+                "wall_ms": s.wall_ms,
+                "sim_seconds": s.sim_seconds,
+                "spans": s.spans,
+                "events": s.events,
+                "messages": s.messages,
+                "bytes": s.bytes,
+                "observations": s.observations,
+            }
+            for s in summaries
+        ]
+        document["metrics"] = [
+            {"type": "counter", "name": name, "value": value}
+            for name, value in sorted(
+                _fold_counters([*summaries, *sweep_results]).items()
+            )
+        ]
     else:
-        all_match, document = build()
+        all_match, document, _, _ = build()
     document["all_match"] = all_match
     json.dump(document, out, ensure_ascii=False, indent=2)
     print(file=out)
@@ -360,13 +472,34 @@ def main(argv=None, out=None) -> int:
         action="store_true",
         help="emit machine-readable table/sweep results instead of text",
     )
-    sub.add_parser("tables", help="the T-series knowledge tables")
+    report.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan experiments and sweeps across N worker processes",
+    )
+    tables = sub.add_parser("tables", help="the T-series knowledge tables")
+    tables.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan table experiments across N worker processes",
+    )
     sub.add_parser("figures", help="the F-series flow figures")
     sweeps = sub.add_parser("sweeps", help="the D-series degree sweeps")
     sweeps.add_argument(
         "--trace",
         action="store_true",
         help="trace the runs and append a per-sweep timing section",
+    )
+    sweeps.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan D-series sweeps across N worker processes",
     )
     demo = sub.add_parser("demo", help="run one system's scenario")
     demo.add_argument("name", help="system name (see `list`)")
@@ -384,35 +517,48 @@ def main(argv=None, out=None) -> int:
     args = parser.parse_args(argv)
 
     if args.command == "report":
+        jobs = max(getattr(args, "jobs", 1), 1)
         if args.json:
-            return _report_json(out, trace=args.trace)
-        if args.trace:
+            return _report_json(out, trace=args.trace, jobs=jobs)
+        if args.trace and jobs <= 1:
             with obs.capture() as (tracer, registry):
                 ok = _print_tables(out)
                 _print_figures(out)
                 _print_sweeps(out)
             _print_trace_section(tracer, registry, out)
-        else:
-            ok = _print_tables(out)
+        elif args.trace:
+            summaries = harness.table_summaries(jobs=jobs)
+            ok = _print_table_summaries(summaries, out)
             _print_figures(out)
-            _print_sweeps(out)
+            sweep_results = harness.sweep_results(jobs=jobs)
+            _print_sweep_payloads(_sweep_payload_map(sweep_results), out)
+            _print_folded_trace_section(summaries, sweep_results, out)
+        else:
+            ok = _print_tables(out, jobs=jobs)
+            _print_figures(out)
+            _print_sweeps(out, jobs=jobs)
         print(
             "ALL PAPER TABLES REPRODUCED EXACTLY" if ok else "SOME TABLES MISMATCHED",
             file=out,
         )
         return 0 if ok else 1
     if args.command == "tables":
-        return 0 if _print_tables(out) else 1
+        return 0 if _print_tables(out, jobs=max(args.jobs, 1)) else 1
     if args.command == "figures":
         _print_figures(out)
         return 0
     if args.command == "sweeps":
-        if args.trace:
+        jobs = max(args.jobs, 1)
+        if args.trace and jobs <= 1:
             with obs.capture() as (tracer, registry):
                 _print_sweeps(out)
             _print_sweep_trace_section(tracer, registry, out)
+        elif args.trace:
+            sweep_results = harness.sweep_results(jobs=jobs)
+            _print_sweep_payloads(_sweep_payload_map(sweep_results), out)
+            _print_folded_sweep_trace_section(sweep_results, out)
         else:
-            _print_sweeps(out)
+            _print_sweeps(out, jobs=jobs)
         return 0
     if args.command == "demo":
         return _run_demo(args.name, out)

@@ -162,18 +162,61 @@ def _observations_couple(observations: Sequence[Observation]) -> bool:
 
 
 class DecouplingAnalyzer:
-    """Derives decoupling facts from a world's observation ledger."""
+    """Derives decoupling facts from a world's observation ledger.
 
-    def __init__(self, world: World) -> None:
+    By default the analyzer consumes the ledger's incremental indices
+    (per-pair and per-organization observation buckets, label sets, the
+    identity-facet set) and memoizes facet and coupling results keyed
+    on :attr:`~repro.core.ledger.Ledger.version`, so repeated verdicts,
+    breach passes, and tables over an unchanged ledger cost O(1) per
+    query and a full pass costs O(N) in the observations it touches.
+    Recording new observations bumps the version and transparently
+    invalidates every memo -- queries after an append are always
+    computed against current contents.
+
+    ``naive=True`` selects the original full-scan reference
+    implementation (no indices, no memoization).  It exists so the
+    equivalence tests can assert, on randomized ledgers, that the
+    indexed path derives byte-identical verdicts, breach reports, and
+    tables.
+    """
+
+    def __init__(self, world: World, *, naive: bool = False) -> None:
         self.world = world
         self.ledger: Ledger = world.ledger
+        self.naive = naive
+        self._memo_version: int = -1
+        self._facets_memo: Optional[Tuple[Facet, ...]] = None
+        self._entity_couples_memo: Dict[Tuple[str, Subject], bool] = {}
+        self._coalition_couples_memo: Dict[
+            Tuple[FrozenSet[str], Subject], bool
+        ] = {}
+
+    def _memos(self) -> None:
+        """Drop every memo if the ledger has changed since last use.
+
+        The invalidation invariant: a memo entry is valid iff
+        ``ledger.version`` equals the version it was computed at.
+        Checking once per public query keeps the hot loops branch-free.
+        """
+        version = self.ledger.version
+        if version != self._memo_version:
+            self._memo_version = version
+            self._facets_memo = None
+            self._entity_couples_memo.clear()
+            self._coalition_couples_memo.clear()
 
     # ------------------------------------------------------------------
     # Knowledge tables
     # ------------------------------------------------------------------
 
     def facets(self) -> Tuple[Facet, ...]:
-        return facets_in_ledger(self.ledger)
+        if self.naive:
+            return facets_in_ledger(self.ledger, naive=True)
+        self._memos()
+        if self._facets_memo is None:
+            self._facets_memo = facets_in_ledger(self.ledger)
+        return self._facets_memo
 
     def knowledge_cell(
         self, entity: str, subject: Optional[Subject] = None
@@ -207,20 +250,66 @@ class DecouplingAnalyzer:
         entities: Optional[Set[str]] = None,
         organizations: Optional[FrozenSet[str]] = None,
     ) -> List[Observation]:
-        pool: List[Observation] = []
-        for obs in self.ledger:
-            if obs.subject != subject:
-                continue
-            if entities is not None and obs.entity not in entities:
-                continue
-            if organizations is not None and obs.organization not in organizations:
-                continue
-            pool.append(obs)
+        """One subject's observations, filtered to entities or orgs.
+
+        The indexed path assembles the pool from per-pair buckets, so
+        its cost is the pool size, not the ledger size.  Bucket
+        concatenation does not preserve global record order across
+        filters with several members; every consumer (the union-find
+        coupling check, label sets) is order-insensitive.
+        """
+        if self.naive:
+            pool: List[Observation] = []
+            for obs in self.ledger:
+                if obs.subject != subject:
+                    continue
+                if entities is not None and obs.entity not in entities:
+                    continue
+                if organizations is not None and obs.organization not in organizations:
+                    continue
+                pool.append(obs)
+            return pool
+        if entities is None and organizations is None:
+            return list(self.ledger.by_subject(subject))
+        pool = []
+        if entities is not None:
+            for entity in sorted(entities):
+                bucket = self.ledger.by_pair(entity, subject)
+                if organizations is None:
+                    pool.extend(bucket)
+                else:
+                    pool.extend(
+                        obs for obs in bucket if obs.organization in organizations
+                    )
+        else:
+            assert organizations is not None
+            for org in sorted(organizations):
+                pool.extend(self.ledger.by_org_subject(org, subject))
         return pool
 
     def entity_couples(self, entity: str, subject: Subject) -> bool:
         """Can this entity alone attribute sensitive data to ▲?"""
-        return _observations_couple(self._pool(subject, entities={entity}))
+        if self.naive:
+            return _observations_couple(self._pool(subject, entities={entity}))
+        self._memos()
+        key = (entity, subject)
+        cached = self._entity_couples_memo.get(key)
+        if cached is None:
+            cached = _observations_couple(self._pool(subject, entities={entity}))
+            self._entity_couples_memo[key] = cached
+        return cached
+
+    def _coalition_couples_one(self, orgs: FrozenSet[str], subject: Subject) -> bool:
+        """Memoized per-(coalition, subject) coupling check."""
+        if self.naive:
+            return _observations_couple(self._pool(subject, organizations=orgs))
+        self._memos()
+        key = (orgs, subject)
+        cached = self._coalition_couples_memo.get(key)
+        if cached is None:
+            cached = _observations_couple(self._pool(subject, organizations=orgs))
+            self._coalition_couples_memo[key] = cached
+        return cached
 
     def coalition_couples(
         self, organizations: Iterable[str], subject: Optional[Subject] = None
@@ -228,10 +317,7 @@ class DecouplingAnalyzer:
         """Would these organizations, colluding, re-couple ▲ with ●?"""
         orgs = frozenset(organizations)
         subjects = [subject] if subject is not None else list(self.ledger.subjects())
-        return any(
-            _observations_couple(self._pool(subj, organizations=orgs))
-            for subj in subjects
-        )
+        return any(self._coalition_couples_one(orgs, subj) for subj in subjects)
 
     # ------------------------------------------------------------------
     # Verdicts
@@ -249,7 +335,15 @@ class DecouplingAnalyzer:
         for entity in self.world.non_user_entities():
             if trust_attested and entity.organization.attested:
                 continue
-            for subject in self.ledger.subjects():
+            if self.naive:
+                subjects: Iterable[Subject] = self.ledger.subjects()
+            else:
+                # Subjects this entity never observed cannot couple for
+                # it (empty pool); the index hands back the observed
+                # ones in global first-appearance order, so violation
+                # ordering matches the naive full loop exactly.
+                subjects = self.ledger.subjects_of_entity(entity.name)
+            for subject in subjects:
                 if self.entity_couples(entity.name, subject):
                     labels = self.ledger.labels_of(entity.name, subject)
                     violations.append(
@@ -320,6 +414,10 @@ class DecouplingAnalyzer:
         coupled: List[Subject] = []
         for subject in self.ledger.subjects():
             pool = self._pool(subject, organizations=orgs)
+            if not pool:
+                # An empty pool yields an all-non-sensitive cell and no
+                # coupling; skipping it preserves naive-path output.
+                continue
             labels = {obs.label for obs in pool}
             cell = cell_from_labels(labels, self.facets())
             if cell.knows_sensitive_identity:

@@ -129,6 +129,17 @@ class Label:
             self.kind is not Kind.DATA or self.sensitivity is not Sensitivity.SENSITIVE
         ):
             raise ValueError("only sensitive data labels can be partial")
+        # Labels are the workhorse set element of the analyzer; hashing
+        # three enums per membership test shows up in profiles, so the
+        # hash is computed once per (immutable) instance.
+        object.__setattr__(
+            self,
+            "_cached_hash",
+            hash((self.kind, self.sensitivity, self.facet, self.partial)),
+        )
+
+    def __hash__(self) -> int:
+        return self._cached_hash  # type: ignore[attr-defined]
 
     @property
     def glyph(self) -> str:

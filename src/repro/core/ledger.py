@@ -7,20 +7,32 @@ to the run's :class:`Ledger`.  The analyzer
 (:mod:`repro.core.analysis`) never looks at the systems themselves,
 only at the ledger; this keeps the derivation of the paper's tables
 honest.
+
+The ledger maintains incremental indices at :meth:`Ledger.record` time
+(by subject, by entity, by organization, by ``(entity, subject)`` and
+``(organization, subject)`` pair, per-pair label sets, and the set of
+identity facets in play) so that the analyzer's coupling passes run in
+time proportional to the observations they actually touch instead of
+rescanning the whole ledger per query.  A monotonically increasing
+:attr:`Ledger.version` lets downstream caches (the analyzer's memoized
+coupling results, :func:`repro.core.tuples.facets_in_ledger`) detect
+appends and invalidate; see docs/PERFORMANCE.md for the invariant.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.obs import runtime as _obs
 from repro.obs.metrics import get_registry as _get_registry
 
-from .labels import Label
+from .labels import Facet, Label
 from .values import LabeledValue, ShareInfo, Subject, digest
 
 __all__ = ["Observation", "Ledger"]
+
+_EMPTY: Tuple["Observation", ...] = ()
 
 
 @dataclass(frozen=True)
@@ -44,6 +56,33 @@ class Observation:
     provenance: Tuple[str, ...] = ()
     share_info: Optional[ShareInfo] = None
 
+    def __post_init__(self) -> None:
+        # Observations live in sets and dict keys throughout the
+        # coupling analysis; hashing all eleven fields per lookup
+        # dominated profiles, so the hash is computed once here.
+        object.__setattr__(
+            self,
+            "_cached_hash",
+            hash(
+                (
+                    self.entity,
+                    self.organization,
+                    self.subject,
+                    self.label,
+                    self.value_digest,
+                    self.description,
+                    self.time,
+                    self.channel,
+                    self.session,
+                    self.provenance,
+                    self.share_info,
+                )
+            ),
+        )
+
+    def __hash__(self) -> int:
+        return self._cached_hash  # type: ignore[attr-defined]
+
     def __str__(self) -> str:
         return (
             f"t={self.time:.3f} {self.entity} saw {self.label.glyph}"
@@ -56,6 +95,48 @@ class Ledger:
 
     def __init__(self) -> None:
         self._observations: List[Observation] = []
+        self._version: int = 0
+        # Incremental indices, maintained by _index().  Dicts preserve
+        # insertion order, so their keys double as the first-appearance
+        # orderings that entities()/subjects() promise.
+        self._by_entity: Dict[str, List[Observation]] = {}
+        self._by_organization: Dict[str, List[Observation]] = {}
+        self._by_subject: Dict[Subject, List[Observation]] = {}
+        self._by_entity_subject: Dict[Tuple[str, Subject], List[Observation]] = {}
+        self._by_org_subject: Dict[Tuple[str, Subject], List[Observation]] = {}
+        self._labels_by_entity: Dict[str, Set[Label]] = {}
+        self._labels_by_pair: Dict[Tuple[str, Subject], Set[Label]] = {}
+        self._identity_facets: Set[Facet] = set()
+
+    @property
+    def version(self) -> int:
+        """Monotonically increasing mutation counter.
+
+        Bumped on every :meth:`record` and :meth:`clear`.  Caches keyed
+        on ``(ledger, version)`` are exactly as fresh as the ledger:
+        equal version means identical contents, different version means
+        recompute.
+        """
+        return self._version
+
+    def _index(self, observation: Observation) -> None:
+        """Fold one observation into every incremental index."""
+        entity, subject, org = (
+            observation.entity,
+            observation.subject,
+            observation.organization,
+        )
+        self._by_entity.setdefault(entity, []).append(observation)
+        self._by_organization.setdefault(org, []).append(observation)
+        self._by_subject.setdefault(subject, []).append(observation)
+        self._by_entity_subject.setdefault((entity, subject), []).append(observation)
+        self._by_org_subject.setdefault((org, subject), []).append(observation)
+        self._labels_by_entity.setdefault(entity, set()).add(observation.label)
+        self._labels_by_pair.setdefault((entity, subject), set()).add(
+            observation.label
+        )
+        if observation.label.is_identity:
+            self._identity_facets.add(observation.label.facet)
 
     def record(
         self,
@@ -89,11 +170,25 @@ class Ledger:
             share_info=value.share_info,
         )
         self._observations.append(observation)
+        self._index(observation)
+        self._version += 1
         if _obs.ENABLED:
             registry = _get_registry()
             registry.counter("ledger.observations").inc()
             registry.counter(f"ledger.observations.{channel}").inc()
         return observation
+
+    def ingest(self, observations: Iterable[Observation]) -> None:
+        """Append pre-built observations (deserialization, replay).
+
+        Maintains every incremental index and bumps :attr:`version`
+        once per observation, exactly as :meth:`record` would; this is
+        the supported way to rebuild a ledger from stored rows.
+        """
+        for observation in observations:
+            self._observations.append(observation)
+            self._index(observation)
+            self._version += 1
 
     def __len__(self) -> int:
         return len(self._observations)
@@ -107,26 +202,42 @@ class Ledger:
 
     def entities(self) -> Tuple[str, ...]:
         """Entity names in order of first appearance."""
-        seen: Dict[str, None] = {}
-        for obs in self._observations:
-            seen.setdefault(obs.entity, None)
-        return tuple(seen)
+        return tuple(self._by_entity)
 
     def subjects(self) -> Tuple[Subject, ...]:
         """Subjects in order of first appearance."""
-        seen: Dict[Subject, None] = {}
-        for obs in self._observations:
-            seen.setdefault(obs.subject, None)
-        return tuple(seen)
+        return tuple(self._by_subject)
+
+    def identity_facets(self) -> FrozenSet[Facet]:
+        """The identity facets observed so far (unordered)."""
+        return frozenset(self._identity_facets)
 
     def by_entity(self, entity: str) -> Tuple[Observation, ...]:
-        return tuple(o for o in self._observations if o.entity == entity)
+        return tuple(self._by_entity.get(entity, _EMPTY))
 
     def by_organization(self, organization: str) -> Tuple[Observation, ...]:
-        return tuple(o for o in self._observations if o.organization == organization)
+        return tuple(self._by_organization.get(organization, _EMPTY))
 
     def by_subject(self, subject: Subject) -> Tuple[Observation, ...]:
-        return tuple(o for o in self._observations if o.subject == subject)
+        return tuple(self._by_subject.get(subject, _EMPTY))
+
+    def by_pair(self, entity: str, subject: Subject) -> Tuple[Observation, ...]:
+        """Observations of one entity about one subject, in record order."""
+        return tuple(self._by_entity_subject.get((entity, subject), _EMPTY))
+
+    def by_org_subject(
+        self, organization: str, subject: Subject
+    ) -> Tuple[Observation, ...]:
+        """Observations by one organization about one subject."""
+        return tuple(self._by_org_subject.get((organization, subject), _EMPTY))
+
+    def subjects_of_entity(self, entity: str) -> Tuple[Subject, ...]:
+        """Subjects ``entity`` has observed, in global first-appearance order."""
+        return tuple(
+            subject
+            for subject in self._by_subject
+            if (entity, subject) in self._by_entity_subject
+        )
 
     def labels_of(
         self,
@@ -136,25 +247,38 @@ class Ledger:
         channels: Optional[Iterable[str]] = None,
     ) -> Set[Label]:
         """The set of labels ``entity`` has observed (optionally per subject)."""
-        wanted = set(channels) if channels is not None else None
-        result: Set[Label] = set()
-        for obs in self._observations:
-            if obs.entity != entity:
-                continue
-            if subject is not None and obs.subject != subject:
-                continue
-            if wanted is not None and obs.channel not in wanted:
-                continue
-            result.add(obs.label)
-        return result
+        if channels is None:
+            if subject is None:
+                return set(self._labels_by_entity.get(entity, ()))
+            return set(self._labels_by_pair.get((entity, subject), ()))
+        # Channel slicing is rare (audits); scan just this entity's
+        # (or pair's) bucket rather than the whole ledger.
+        wanted = set(channels)
+        if subject is None:
+            bucket: Iterable[Observation] = self._by_entity.get(entity, _EMPTY)
+        else:
+            bucket = self._by_entity_subject.get((entity, subject), _EMPTY)
+        return {obs.label for obs in bucket if obs.channel in wanted}
 
     def merged(self, other: "Ledger") -> "Ledger":
         """A new ledger holding both runs' observations, time-ordered."""
         combined = Ledger()
-        combined._observations = sorted(
+        for observation in sorted(
             [*self._observations, *other._observations], key=lambda o: o.time
-        )
+        ):
+            combined._observations.append(observation)
+            combined._index(observation)
+        combined._version = len(combined._observations)
         return combined
 
     def clear(self) -> None:
         self._observations.clear()
+        self._by_entity.clear()
+        self._by_organization.clear()
+        self._by_subject.clear()
+        self._by_entity_subject.clear()
+        self._by_org_subject.clear()
+        self._labels_by_entity.clear()
+        self._labels_by_pair.clear()
+        self._identity_facets.clear()
+        self._version += 1

@@ -103,7 +103,7 @@ def ledger_to_dicts(ledger: Ledger) -> List[Dict[str, Any]]:
 
 def ledger_from_dicts(rows: Iterable[Dict[str, Any]]) -> Ledger:
     ledger = Ledger()
-    ledger._observations = [observation_from_dict(row) for row in rows]
+    ledger.ingest(observation_from_dict(row) for row in rows)
     return ledger
 
 

@@ -160,16 +160,23 @@ class KnowledgeTable:
         return self.render()
 
 
-def facets_in_ledger(ledger: Ledger) -> Tuple[Facet, ...]:
+def facets_in_ledger(ledger: Ledger, *, naive: bool = False) -> Tuple[Facet, ...]:
     """Which identity facets a run used, in display order.
 
     A run that used only generic identities displays the single-mark
     shape; one that used human/network facets (PGPP) displays both.
+
+    The ledger maintains its identity-facet set incrementally, so this
+    is O(#facets) rather than O(#observations); ``naive=True`` forces
+    the full-scan reference path (used by the equivalence tests).
     """
-    seen: Set[Facet] = set()
-    for obs in ledger:
-        if obs.label.is_identity:
-            seen.add(obs.label.facet)
+    if not naive and hasattr(ledger, "identity_facets"):
+        seen: Set[Facet] = set(ledger.identity_facets())
+    else:
+        seen = set()
+        for obs in ledger:
+            if obs.label.is_identity:
+                seen.add(obs.label.facet)
     ordered = tuple(f for f in _FACET_ORDER if f in seen and f is not Facet.GENERIC)
     if ordered:
         return ordered

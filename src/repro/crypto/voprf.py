@@ -73,7 +73,7 @@ class VoprfServer:
         self.group = group if group is not None else default_group()
         self._rng = rng
         self._key = key if key is not None else self.group.random_scalar(rng)
-        self.public_key = self.group.exp(self.group.generator, self._key)
+        self.public_key = self.group.exp_gen(self._key)
 
     def evaluate(self, blinded_element: int) -> Tuple[int, DleqProof]:
         """Evaluate the PRF on a blinded element, with proof."""
@@ -82,7 +82,7 @@ class VoprfServer:
             raise ValueError("blinded element is not in the group")
         z = g.exp(blinded_element, self._key)
         t = random_below(g.order - 1, self._rng) + 1
-        a = g.exp(g.generator, t)
+        a = g.exp_gen(t)
         b = g.exp(blinded_element, t)
         c = _dleq_challenge(g, self.public_key, blinded_element, z, a, b)
         s = (t - c * self._key) % g.order
@@ -105,7 +105,7 @@ def verify_dleq(
     """Check a Chaum-Pedersen DLEQ proof."""
     g = group
     a = g.mul(
-        g.exp(g.generator, proof.response), g.exp(public_key, proof.challenge)
+        g.exp_gen(proof.response), g.exp(public_key, proof.challenge)
     )
     b = g.mul(
         g.exp(blinded_element, proof.response), g.exp(evaluated, proof.challenge)

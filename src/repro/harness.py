@@ -8,8 +8,11 @@ everywhere.
 
 from __future__ import annotations
 
+import multiprocessing
 import statistics
-from typing import Callable, Dict, List, Tuple
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.obs.tracing import get_tracer
 
@@ -43,8 +46,13 @@ from repro.tee import (
 from repro.vpn import PAPER_TABLE_T8, run_vpn
 
 __all__ = [
+    "TableSummary",
+    "SweepResult",
     "table_experiments",
     "table_reports",
+    "table_summaries",
+    "sweep_results",
+    "parallel_map",
     "figure_f1_series",
     "figure_f2_series",
     "sweep_relays",
@@ -83,11 +91,31 @@ def _run_experiment(experiment_id: str, title: str, runner: Callable[[], object]
     return run
 
 
-def table_experiments() -> List[Tuple[str, str, Dict[str, str], object]]:
-    """(id, title, paper table, completed run) for every table."""
-    specs: List[Tuple[str, str, Dict[str, str], Callable[[], object]]] = [
+def _run_sso_global():
+    return run_sso("global")
+
+
+def _run_sso_pairwise():
+    return run_sso("pairwise")
+
+
+def _run_sso_anonymous():
+    return run_sso("anonymous")
+
+
+def _run_mixnet_t2():
+    return run_mixnet(mixes=3, senders=4)
+
+
+def _table_specs() -> List[Tuple[str, str, Dict[str, str], Callable[[], object]]]:
+    """The T/E-series experiment specs in the paper's presentation order.
+
+    Runners are module-level functions (not lambdas) so a spec index is
+    all a worker process needs to rebuild and run one experiment.
+    """
+    return [
         ("T1", "Blind-signature digital cash (3.1.1)", PAPER_TABLE_T1, run_digital_cash),
-        ("T2", "Mix-net, 3 mixes (3.1.2)", paper_table_t2(3), lambda: run_mixnet(mixes=3, senders=4)),
+        ("T2", "Mix-net, 3 mixes (3.1.2)", paper_table_t2(3), _run_mixnet_t2),
         ("T3", "Privacy Pass (3.2.1)", PAPER_TABLE_T3, run_privacy_pass),
         ("T4a", "Oblivious DNS -- ODNS (3.2.2)", PAPER_TABLE_T4_ODNS, run_odns),
         ("T4b", "Oblivious DNS -- ODoH (3.2.2)", PAPER_TABLE_T4_ODOH, run_odoh),
@@ -97,13 +125,17 @@ def table_experiments() -> List[Tuple[str, str, Dict[str, str], object]]:
         ("T8", "Centralized VPN, cautionary (3.3)", PAPER_TABLE_T8, run_vpn),
         ("E1a", "CACTI (4.3, extension)", EXPECTED_TABLE_CACTI, run_cacti),
         ("E1b", "Phoenix keyless CDN (4.3, extension)", EXPECTED_TABLE_PHOENIX, run_phoenix),
-        ("E2a", "SSO, global ids (2.2, extension)", EXPECTED_TABLES_SSO["global"], lambda: run_sso("global")),
-        ("E2b", "SSO, pairwise ids (2.2, extension)", EXPECTED_TABLES_SSO["pairwise"], lambda: run_sso("pairwise")),
-        ("E2c", "SSO, blind tickets (2.2, extension)", EXPECTED_TABLES_SSO["anonymous"], lambda: run_sso("anonymous")),
+        ("E2a", "SSO, global ids (2.2, extension)", EXPECTED_TABLES_SSO["global"], _run_sso_global),
+        ("E2b", "SSO, pairwise ids (2.2, extension)", EXPECTED_TABLES_SSO["pairwise"], _run_sso_pairwise),
+        ("E2c", "SSO, blind tickets (2.2, extension)", EXPECTED_TABLES_SSO["anonymous"], _run_sso_anonymous),
     ]
+
+
+def table_experiments() -> List[Tuple[str, str, Dict[str, str], object]]:
+    """(id, title, paper table, completed run) for every table."""
     return [
         (experiment_id, title, expected, _run_experiment(experiment_id, title, runner))
-        for experiment_id, title, expected, runner in specs
+        for experiment_id, title, expected, runner in _table_specs()
     ]
 
 
@@ -113,6 +145,192 @@ def table_reports() -> List[Tuple[ExperimentReport, object]]:
         (compare_tables(experiment_id, title, expected, run.table()), run)
         for experiment_id, title, expected, run in table_experiments()
     ]
+
+
+# ----------------------------------------------------------------------
+# Parallel sweep/table runner
+# ----------------------------------------------------------------------
+#
+# ``table_summaries(jobs=N)`` and ``sweep_results(jobs=N)`` fan the
+# T/E-series experiments and D-series sweeps across worker processes.
+# Every run is deterministically seeded, workers are handed only a spec
+# index (picklable under fork and spawn alike), and results merge in
+# the fixed presentation order regardless of completion order -- so a
+# parallel run's report is byte-identical to a serial one.
+#
+# Observability degrades gracefully rather than silently: a worker
+# process cannot append spans to the parent's tracer, so each worker
+# runs under its own capture and ships back wall time, span counts, and
+# counter snapshots, which the parent folds into the report's trace
+# summary section.
+
+
+@dataclass
+class TableSummary:
+    """The picklable result of one table experiment.
+
+    Holds everything the CLI's text/JSON report paths need (the
+    paper-vs-measured report, verdict, coalitions, run totals) without
+    the run object itself, whose simulator and entity graph do not
+    survive pickling.
+    """
+
+    experiment_id: str
+    title: str
+    report: ExperimentReport
+    verdict_decoupled: bool
+    coalitions: Tuple[Tuple[str, ...], ...]
+    observations: int
+    sim_seconds: Optional[float] = None
+    events: Optional[int] = None
+    messages: Optional[int] = None
+    bytes: Optional[int] = None
+    wall_ms: float = 0.0
+    spans: int = 0
+    counters: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class SweepResult:
+    """One D-series sweep's payload plus worker-side trace metrics."""
+
+    key: str
+    payload: object
+    wall_ms: float = 0.0
+    points: int = 0
+    counters: Dict[str, int] = field(default_factory=dict)
+
+
+def _summarize_table_run(
+    experiment_id: str, title: str, expected: Dict[str, str], run: object
+) -> TableSummary:
+    report = compare_tables(experiment_id, title, expected, run.table())
+    analyzer = run.analyzer
+    coalitions = tuple(
+        tuple(sorted(coalition))
+        for coalition in analyzer.minimal_recoupling_coalitions()
+    )
+    summary = TableSummary(
+        experiment_id=experiment_id,
+        title=title,
+        report=report,
+        verdict_decoupled=analyzer.verdict().decoupled,
+        coalitions=coalitions,
+        observations=len(run.world.ledger),
+    )
+    network = getattr(run, "network", None)
+    if network is not None:
+        summary.sim_seconds = network.simulator.now
+        summary.events = network.simulator.events_processed
+        summary.messages = network.messages_delivered
+        summary.bytes = network.bytes_delivered
+    return summary
+
+
+def _counter_snapshot(registry) -> Dict[str, int]:
+    return {
+        row["name"]: row["value"]
+        for row in registry.snapshot()
+        if row["type"] == "counter"
+    }
+
+
+def _table_worker(index: int) -> TableSummary:
+    """Run one table experiment in a worker process, fully traced."""
+    from repro import obs
+
+    experiment_id, title, expected, runner = _table_specs()[index]
+    start = time.perf_counter()
+    with obs.capture() as (tracer, registry):
+        run = _run_experiment(experiment_id, title, runner)
+    summary = _summarize_table_run(experiment_id, title, expected, run)
+    summary.wall_ms = (time.perf_counter() - start) * 1000.0
+    summary.spans = max(len(tracer.spans) - 1, 0)
+    summary.counters = _counter_snapshot(registry)
+    return summary
+
+
+def parallel_map(fn: Callable, items: Sequence, jobs: int) -> List:
+    """Order-preserving map over worker processes.
+
+    ``jobs <= 1`` runs in-process (no pool, spans flow to the ambient
+    tracer).  Otherwise a pool of ``min(jobs, len(items))`` processes
+    maps ``fn`` with results returned in input order, independent of
+    worker completion order.
+    """
+    items = list(items)
+    if jobs <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with multiprocessing.Pool(processes=min(jobs, len(items))) as pool:
+        return pool.map(fn, items)
+
+
+def table_summaries(jobs: int = 1) -> List[TableSummary]:
+    """Every table experiment, summarized; parallel when ``jobs > 1``.
+
+    The serial path runs in-process so callers' ``obs.capture()`` sees
+    every span; the parallel path delegates to :func:`_table_worker`,
+    which captures per worker and returns folded metrics instead.
+    """
+    specs = _table_specs()
+    if jobs <= 1:
+        return [
+            _summarize_table_run(
+                experiment_id, title, expected, _run_experiment(experiment_id, title, runner)
+            )
+            for experiment_id, title, expected, runner in specs
+        ]
+    return parallel_map(_table_worker, range(len(specs)), jobs)
+
+
+def _sweep_batches_unpadded() -> List[Dict[str, float]]:
+    return sweep_batches(False)
+
+
+def _sweep_batches_padded() -> List[Dict[str, float]]:
+    return sweep_batches(True)
+
+
+def _sweep_specs() -> List[Tuple[str, Callable[[], object]]]:
+    """The D-series sweeps in presentation order, by stable key.
+
+    ``D3u``/``D3p`` are the unpadded/padded halves of the paper's D3
+    traffic-analysis sweep (one worker each).
+    """
+    return [
+        ("D1", sweep_relays),
+        ("D2", sweep_aggregators),
+        ("D3u", _sweep_batches_unpadded),
+        ("D3p", _sweep_batches_padded),
+        ("D4", sweep_striping),
+        ("D5", sweep_tracking),
+        ("D6", sweep_disclosure),
+    ]
+
+
+def _sweep_worker(index: int) -> SweepResult:
+    """Run one D-series sweep in a worker process, fully traced."""
+    from repro import obs
+
+    key, runner = _sweep_specs()[index]
+    start = time.perf_counter()
+    with obs.capture() as (tracer, registry):
+        payload = runner()
+    return SweepResult(
+        key=key,
+        payload=payload,
+        wall_ms=(time.perf_counter() - start) * 1000.0,
+        points=len(tracer.by_name("sweep-point")),
+        counters=_counter_snapshot(registry),
+    )
+
+
+def sweep_results(jobs: int = 1) -> List[SweepResult]:
+    """Every D-series sweep, in stable order; parallel when ``jobs > 1``."""
+    specs = _sweep_specs()
+    if jobs <= 1:
+        return [SweepResult(key=key, payload=runner()) for key, runner in specs]
+    return parallel_map(_sweep_worker, range(len(specs)), jobs)
 
 
 def figure_f1_series(max_steps: int = 10):

@@ -108,5 +108,6 @@ class TestAnalyzerOnRestoredLedger:
         run = run_digital_cash(coins=1)
         original = run.analyzer.verdict().decoupled
         restored_ledger = ledger_from_jsonl(ledger_to_jsonl(run.world.ledger))
-        run.world.ledger._observations = list(restored_ledger)
+        run.world.ledger.clear()
+        run.world.ledger.ingest(restored_ledger)
         assert DecouplingAnalyzer(run.world).verdict().decoupled == original
