@@ -13,7 +13,13 @@ Commands:
   appends a per-sweep timing section, ``--jobs N`` runs them parallel
 * ``demo NAME``   -- run one system's scenario and print its analysis
 * ``trace NAME``  -- run one demo with tracing on and export the span
-  tree plus metrics as JSONL (``--out spans.jsonl``)
+  tree, metrics, and provenance records as JSONL (``--out spans.jsonl``)
+* ``explain NAME --entity E [--subject S] [--fact F]`` -- run one demo
+  and print, for every (matching) sensitive fact the entity holds, the
+  causal chain from originating send through every forwarding hop to
+  the recorded observation
+* ``timeline NAME`` -- run one demo and print when each entity's
+  knowledge tuple grew, observation by observation
 * ``list``        -- list the available demos
 """
 
@@ -230,6 +236,35 @@ def _print_sweep_trace_section(tracer, registry, out) -> None:
     print(file=out)
 
 
+def _print_provenance_section(tracer, out) -> None:
+    """``report --trace``: span analytics plus wire-causality counts."""
+    from repro.obs import analyze
+
+    print("Provenance & trace analytics", file=out)
+    for line in analyze.render_span_stats(analyze.span_stats(tracer.spans)).splitlines():
+        print(" ", line, file=out)
+    delivers = [
+        s for s in tracer.by_name("deliver") if "packet_id" in s.attributes
+    ]
+    by_id = {span.span_id: span for span in tracer.spans}
+    forwards = 0
+    for span in delivers:
+        ancestor = by_id.get(span.parent_id)
+        while ancestor is not None:
+            if ancestor.name == "deliver" and "packet_id" in ancestor.attributes:
+                forwards += 1
+                break
+            ancestor = by_id.get(ancestor.parent_id)
+    print(
+        f"  packets delivered={len(delivers)} forwarding links={forwards}",
+        file=out,
+    )
+    path = analyze.critical_path(tracer.spans, "wall")
+    for line in analyze.render_critical_path(path, "wall").splitlines():
+        print(" ", line, file=out)
+    print(file=out)
+
+
 def _fold_counters(parts) -> Dict[str, int]:
     """Sum per-worker counter snapshots into one totals mapping."""
     totals: Dict[str, int] = {}
@@ -329,6 +364,7 @@ def _report_json(out, trace: bool = False, jobs: int = 1) -> int:
         for summary in summaries:
             row = experiment_report_to_dict(summary.report)
             row["verdict_decoupled"] = summary.verdict_decoupled
+            row["grade"] = summary.grade
             row["observations"] = summary.observations
             if summary.sim_seconds is not None:
                 row["sim_seconds"] = summary.sim_seconds
@@ -412,8 +448,11 @@ def _run_trace(name: str, out_path: str, out) -> int:
             world = getattr(run, "world", None)
             if world is not None:
                 root.set("observations", len(world.ledger))
+    from repro.obs import provenance
+
+    graph = provenance.build_provenance(run, tracer)
     try:
-        lines = obs_export.write_jsonl(out_path, tracer, registry)
+        lines = obs_export.write_jsonl(out_path, tracer, registry, graph)
     except OSError as error:
         print(f"cannot write {out_path}: {error}", file=out)
         return 1
@@ -421,12 +460,86 @@ def _run_trace(name: str, out_path: str, out) -> int:
         f"traced demo {name!r}: {len(tracer.spans)} spans,"
         f" {registry.counter_value('sim.events')} events,"
         f" {registry.counter_value('net.messages')} messages,"
-        f" {registry.counter_value('net.bytes')} bytes"
+        f" {registry.counter_value('net.bytes')} bytes,"
+        f" {len(graph.nodes)} provenance nodes"
         f" -> {lines} JSONL records in {out_path}",
         file=out,
     )
     print(file=out)
     print(obs_export.render_span_tree(tracer.spans), file=out)
+    return 0
+
+
+def _resolve_entity(graph, requested: str):
+    """Exact, then case-insensitive, then unique-substring match."""
+    names = graph.entities()
+    if requested in names:
+        return requested
+    lowered = requested.lower()
+    insensitive = [n for n in names if n.lower() == lowered]
+    if len(insensitive) == 1:
+        return insensitive[0]
+    partial = [n for n in names if lowered in n.lower()]
+    if len(partial) == 1:
+        return partial[0]
+    return None
+
+
+def _traced_run(name: str, out):
+    """Run one demo under capture; (run, tracer, graph) or None."""
+    _register_demos()
+    runner = _DEMOS.get(name)
+    if runner is None:
+        print(f"unknown demo {name!r}; try: {', '.join(sorted(_DEMOS))}", file=out)
+        return None
+    from repro.obs import provenance
+
+    with obs.capture() as (tracer, _registry):
+        run = runner()
+    return run, tracer, provenance.build_provenance(run, tracer)
+
+
+def _run_explain(name: str, entity: str, subject, fact, out) -> int:
+    """``explain NAME --entity E``: causal chains behind E's knowledge."""
+    from repro.obs.provenance import ProvenanceError
+
+    traced = _traced_run(name, out)
+    if traced is None:
+        return 2
+    _, _, graph = traced
+    resolved = _resolve_entity(graph, entity)
+    if resolved is None:
+        print(
+            f"unknown entity {entity!r} in demo {name!r};"
+            f" entities: {', '.join(graph.entities())}",
+            file=out,
+        )
+        return 2
+    try:
+        chains = graph.why(resolved, fact, subject=subject)
+    except ProvenanceError as error:
+        print(f"error: {error}", file=out)
+        return 1
+    what = f"fact {fact!r}" if fact is not None else "every sensitive fact"
+    print(f"why {resolved!r} holds {what} in demo {name!r}:", file=out)
+    print(file=out)
+    for chain in chains:
+        print(chain.render(), file=out)
+        print(file=out)
+    return 0
+
+
+def _run_timeline(name: str, out) -> int:
+    """``timeline NAME``: when each entity's knowledge tuple grew."""
+    traced = _traced_run(name, out)
+    if traced is None:
+        return 2
+    _, _, graph = traced
+    from repro.obs import provenance
+
+    events = graph.knowledge_timeline()
+    print(f"knowledge timeline of demo {name!r} ({len(events)} growth steps):", file=out)
+    print(provenance.render_timeline(events), file=out)
     return 0
 
 
@@ -513,6 +626,31 @@ def main(argv=None, out=None) -> int:
         dest="out_path",
         help="JSONL output path (default: spans.jsonl)",
     )
+    explain = sub.add_parser(
+        "explain",
+        help="trace one demo and explain an entity's knowledge from the wire up",
+    )
+    explain.add_argument("name", help="system name (see `list`)")
+    explain.add_argument(
+        "--entity",
+        required=True,
+        help="entity whose knowledge to explain (case-insensitive; unique substring ok)",
+    )
+    explain.add_argument(
+        "--subject",
+        default=None,
+        help="restrict to facts about one subject",
+    )
+    explain.add_argument(
+        "--fact",
+        default=None,
+        help="a glyph (▲, ●, ⊙/●), kind/facet word, or description substring"
+        " (default: every sensitive fact)",
+    )
+    timeline = sub.add_parser(
+        "timeline", help="trace one demo and print its knowledge-growth timeline"
+    )
+    timeline.add_argument("name", help="system name (see `list`)")
     sub.add_parser("list", help="list available demos")
     args = parser.parse_args(argv)
 
@@ -526,6 +664,7 @@ def main(argv=None, out=None) -> int:
                 _print_figures(out)
                 _print_sweeps(out)
             _print_trace_section(tracer, registry, out)
+            _print_provenance_section(tracer, out)
         elif args.trace:
             summaries = harness.table_summaries(jobs=jobs)
             ok = _print_table_summaries(summaries, out)
@@ -564,6 +703,10 @@ def main(argv=None, out=None) -> int:
         return _run_demo(args.name, out)
     if args.command == "trace":
         return _run_trace(args.name, args.out_path, out)
+    if args.command == "explain":
+        return _run_explain(args.name, args.entity, args.subject, args.fact, out)
+    if args.command == "timeline":
+        return _run_timeline(args.name, out)
     if args.command == "list":
         _register_demos()
         for name in sorted(_DEMOS):

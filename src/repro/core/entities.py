@@ -93,6 +93,7 @@ class Entity:
         time: float = 0.0,
         channel: str = "message",
         session: str = "",
+        packet_id: int | None = None,
     ) -> List[Observation]:
         """Record everything in ``item`` this entity can see.
 
@@ -101,7 +102,9 @@ class Entity:
         :class:`~repro.core.values.Aggregate`, or any nesting of those
         inside tuples/lists/dicts.  Envelopes open only if this
         entity's keyring holds the key.  ``session`` groups the
-        observations of one interaction for the linkage analysis.
+        observations of one interaction for the linkage analysis;
+        ``packet_id`` (set by the network on delivery) pins each
+        observation to the wire packet that caused it.
         """
         recorded = []
         for value in walk_values(item, self.keyring):
@@ -113,6 +116,7 @@ class Entity:
                     time=time,
                     channel=channel,
                     session=session,
+                    packet_id=packet_id,
                 )
             )
         return recorded

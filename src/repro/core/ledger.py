@@ -42,6 +42,12 @@ class Observation:
     ``channel`` records how the information arrived ("wire", "message",
     "attestation", "breach", ...) which the breach and collusion
     analyses use to slice the ledger.
+
+    ``packet_id`` pins the observation to the concrete wire packet
+    whose delivery produced it (``None`` for local acts: self
+    observations, attestations, breaches).  The provenance graph
+    (:mod:`repro.obs.provenance`) uses it to derive, rather than
+    guess, the packet behind every knowledge-table cell.
     """
 
     entity: str
@@ -55,10 +61,11 @@ class Observation:
     session: str = ""
     provenance: Tuple[str, ...] = ()
     share_info: Optional[ShareInfo] = None
+    packet_id: Optional[int] = None
 
     def __post_init__(self) -> None:
         # Observations live in sets and dict keys throughout the
-        # coupling analysis; hashing all eleven fields per lookup
+        # coupling analysis; hashing all twelve fields per lookup
         # dominated profiles, so the hash is computed once here.
         object.__setattr__(
             self,
@@ -76,6 +83,7 @@ class Observation:
                     self.session,
                     self.provenance,
                     self.share_info,
+                    self.packet_id,
                 )
             ),
         )
@@ -147,6 +155,7 @@ class Ledger:
         time: float = 0.0,
         channel: str = "message",
         session: str = "",
+        packet_id: Optional[int] = None,
     ) -> Observation:
         """Append one observation and return it.
 
@@ -155,6 +164,9 @@ class Ledger:
         entity in the same session are mutually *linkable*; across
         sessions, only a shared value digest (a pseudonym seen twice)
         links them.  The analyzer's coupling logic builds on this.
+
+        ``packet_id`` stamps the wire packet whose delivery caused the
+        observation, if any; the provenance graph joins on it.
         """
         observation = Observation(
             entity=entity,
@@ -168,6 +180,7 @@ class Ledger:
             session=session,
             provenance=value.provenance,
             share_info=value.share_info,
+            packet_id=packet_id,
         )
         self._observations.append(observation)
         self._index(observation)

@@ -13,7 +13,10 @@ from __future__ import annotations
 
 import json
 from dataclasses import asdict
-from typing import Any, Dict, Iterable, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .audit import AuditReport
 
 from .labels import Facet, Kind, Label, Sensitivity
 from .ledger import Ledger, Observation
@@ -32,6 +35,7 @@ __all__ = [
     "ledger_from_jsonl",
     "experiment_report_to_dict",
     "degree_sweep_to_dict",
+    "audit_report_to_dict",
 ]
 
 
@@ -66,6 +70,8 @@ def observation_to_dict(observation: Observation) -> Dict[str, Any]:
         "session": observation.session,
         "provenance": list(observation.provenance),
     }
+    if observation.packet_id is not None:
+        data["packet_id"] = observation.packet_id
     if observation.share_info is not None:
         data["share_info"] = {
             "group": observation.share_info.group,
@@ -94,6 +100,9 @@ def observation_from_dict(data: Dict[str, Any]) -> Observation:
         session=data.get("session", ""),
         provenance=tuple(data.get("provenance", ())),
         share_info=share_info,
+        packet_id=(
+            int(data["packet_id"]) if data.get("packet_id") is not None else None
+        ),
     )
 
 
@@ -137,6 +146,38 @@ def experiment_report_to_dict(report: ExperimentReport) -> Dict[str, Any]:
     if report.notes:
         data["notes"] = report.notes
     return data
+
+
+def audit_report_to_dict(report: "AuditReport") -> Dict[str, Any]:
+    """An :class:`~repro.core.audit.AuditReport` as a plain dict.
+
+    Carries the machine-comparable facts -- verdicts, grade, coalition
+    sets, breach exposure -- not the rendered narration text.
+    """
+    return {
+        "title": report.title,
+        "grade": report.grade,
+        "decoupled": report.verdict.decoupled,
+        "decoupled_trusting_attested": report.verdict_trusting_attested.decoupled,
+        "violations": [
+            {
+                "entity": v.entity,
+                "organization": v.organization,
+                "subject": v.subject.name,
+                "cell": v.cell.render(),
+            }
+            for v in report.verdict.violations
+        ],
+        "coalitions": [sorted(c) for c in report.coalitions],
+        "breaches": [
+            {
+                "organization": b.organization,
+                "breach_proof": b.breach_proof,
+                "coupled_subjects": [s.name for s in b.coupled_subjects],
+            }
+            for b in report.breaches
+        ],
+    }
 
 
 def degree_sweep_to_dict(sweep: DegreeSweep) -> Dict[str, Any]:

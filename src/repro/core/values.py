@@ -171,16 +171,26 @@ class Sealed:
         subject: Optional[Subject] = None,
         description: str = "",
     ) -> "Sealed":
-        """Seal ``contents`` under ``key_id`` with a default exterior."""
+        """Seal ``contents`` under ``key_id`` with a default exterior.
+
+        The exterior *extends* the derivation chain of the first value
+        visible inside (rather than starting a fresh ``("seal",)``
+        chain), so an observation of the ciphertext still records how
+        the enclosed value was produced -- the provenance graph depends
+        on this to connect an envelope seen in transit with the
+        plaintext derivations behind it.
+        """
         items = tuple(contents)
         if subject is None:
             subject = _first_subject(items)
+        source = next(walk_values(items, frozenset()), None)
+        prior = source.provenance if source is not None else ()
         exterior = LabeledValue(
             payload=f"ciphertext<{key_id}>",
             label=NONSENSITIVE_DATA,
             subject=subject or Subject("nobody"),
             description=description or f"ciphertext under {key_id}",
-            provenance=("seal",),
+            provenance=prior + ("seal",),
         )
         return Sealed(key_id=key_id, contents=items, exterior=exterior, description=description)
 
@@ -195,11 +205,17 @@ class Aggregate:
     Observing an aggregate reveals a non-sensitive datum about each
     contributing subject (their membership in the aggregate), never the
     individual contributions.  Used by the PPM / Prio models.
+
+    ``provenance`` carries the derivation chain of the contributions
+    that were folded in (e.g. ``("measurement", "share")``); the
+    exterior values extend it with the ``"aggregate"`` step instead of
+    overwriting it.
     """
 
     payload: Any
     contributors: Tuple[Subject, ...]
     description: str = "aggregate"
+    provenance: Tuple[str, ...] = ()
 
     def exterior_values(self) -> Tuple[LabeledValue, ...]:
         """One non-sensitive datum per contributor."""
@@ -209,7 +225,7 @@ class Aggregate:
                 label=NONSENSITIVE_DATA,
                 subject=subject,
                 description=self.description,
-                provenance=("aggregate",),
+                provenance=self.provenance + ("aggregate",),
             )
             for subject in self.contributors
         )

@@ -181,6 +181,9 @@ class TableSummary:
     verdict_decoupled: bool
     coalitions: Tuple[Tuple[str, ...], ...]
     observations: int
+    #: The audit grade (strong / decoupled / coupled), same semantics
+    #: as :attr:`repro.core.audit.AuditReport.grade`.
+    grade: str = ""
     sim_seconds: Optional[float] = None
     events: Optional[int] = None
     messages: Optional[int] = None
@@ -210,13 +213,19 @@ def _summarize_table_run(
         tuple(sorted(coalition))
         for coalition in analyzer.minimal_recoupling_coalitions()
     )
+    decoupled = analyzer.verdict().decoupled
+    if not decoupled:
+        grade = "coupled"
+    else:
+        grade = "strong" if not coalitions else "decoupled"
     summary = TableSummary(
         experiment_id=experiment_id,
         title=title,
         report=report,
-        verdict_decoupled=analyzer.verdict().decoupled,
+        verdict_decoupled=decoupled,
         coalitions=coalitions,
         observations=len(run.world.ledger),
+        grade=grade,
     )
     network = getattr(run, "network", None)
     if network is not None:

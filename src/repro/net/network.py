@@ -35,8 +35,6 @@ from .trace import PacketRecord, TrafficTrace
 
 __all__ = ["Network", "SimHost", "WireObserver"]
 
-_request_ids = itertools.count(1)
-
 Handler = Callable[[Packet], Any]
 
 
@@ -139,9 +137,14 @@ class WireObserver:
                 time=time,
                 channel="wire",
                 session=packet.session,
+                packet_id=packet.packet_id,
             )
         self.entity.observe(
-            packet.payload, time=time, channel="wire", session=packet.session
+            packet.payload,
+            time=time,
+            channel="wire",
+            session=packet.session,
+            packet_id=packet.packet_id,
         )
 
 
@@ -171,6 +174,12 @@ class Network:
         self._latencies: Dict[frozenset, float] = {}
         self._observers: List[WireObserver] = []
         self._responses: Dict[int, Any] = {}
+        # Per-network id counters: two identical runs on two Network
+        # instances assign identical packet/request ids, which keeps
+        # exported traces and provenance records byte-reproducible
+        # (a module-global counter would leak state between runs).
+        self._packet_ids = itertools.count(1)
+        self._request_ids = itertools.count(1)
         self.messages_delivered = 0
         self.bytes_delivered = 0
         #: Every delivered packet, in order -- simulation-side ground
@@ -245,6 +254,7 @@ class Network:
             response_to=response_to,
             sent_at=self.simulator.now,
             flow=flow,
+            packet_id=next(self._packet_ids),
         )
         if self.loss_rate > 0 and self._loss_rng.random() < self.loss_rate:
             self.packets_dropped += 1
@@ -336,9 +346,14 @@ class Network:
                 time=now,
                 channel="network-header",
                 session=packet.session,
+                packet_id=packet.packet_id,
             )
         host.entity.observe(
-            packet.payload, time=now, channel=packet.protocol, session=packet.session
+            packet.payload,
+            time=now,
+            channel=packet.protocol,
+            session=packet.session,
+            packet_id=packet.packet_id,
         )
         self.messages_delivered += 1
         self.bytes_delivered += packet.size
@@ -378,7 +393,7 @@ class Network:
         ``run_until`` is re-entrant), so a resolver may ``transact``
         upstream while serving a client's ``transact``.
         """
-        request_id = next(_request_ids)
+        request_id = next(self._request_ids)
         with get_tracer().span(
             "transact",
             kind="net",

@@ -1,6 +1,6 @@
 """``repro.obs`` -- observability for simulator and harness runs.
 
-Three pieces, all off by default:
+Five pieces, all off by default:
 
 * :mod:`repro.obs.tracing` -- span trees over both clocks (simulated
   and wall time), fed by instrumentation in ``repro.net`` and the
@@ -8,7 +8,17 @@ Three pieces, all off by default:
 * :mod:`repro.obs.metrics` -- counters, gauges, and fixed-bucket
   histograms (events processed, messages, bytes, packet sizes, hop
   latencies, ledger observations);
-* :mod:`repro.obs.export` -- JSONL and text-tree exporters.
+* :mod:`repro.obs.export` -- JSONL and text-tree exporters;
+* :mod:`repro.obs.provenance` -- the causal event graph joining
+  ledger observations, wire packets, and spans, with the
+  ``why`` / ``knowledge_timeline`` / ``breach_chain`` queries;
+* :mod:`repro.obs.analyze` -- per-span-name statistics and
+  critical-path extraction over a captured trace.
+
+``provenance`` and ``analyze`` are deliberately *not* imported here:
+they depend on :mod:`repro.core`, which imports this package at
+startup -- import them directly (``from repro.obs import provenance``)
+after the core is loaded.
 
 The usual entry point is :func:`capture`::
 

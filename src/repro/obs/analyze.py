@@ -1,0 +1,141 @@
+"""Trace analytics: aggregate statistics over a run's span tree.
+
+Spans record both clocks (simulated and wall); this module rolls them
+up per span name -- count, total, mean, max -- and extracts the
+critical path: the chain of spans, root to leaf, that dominates a
+run's duration.  The CLI's ``report --trace`` provenance section and
+the ``explain`` / ``timeline`` verbs render these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = [
+    "SpanStats",
+    "span_stats",
+    "critical_path",
+    "render_span_stats",
+    "render_critical_path",
+]
+
+
+@dataclass(frozen=True)
+class SpanStats:
+    """Per-span-name aggregates over both clocks.
+
+    Wall times are milliseconds; sim times are the simulator's seconds.
+    Spans missing a clock (never entered, no sim timestamps) count
+    toward ``count`` but contribute zero to that clock's totals.
+    """
+
+    name: str
+    count: int
+    wall_total_ms: float
+    wall_mean_ms: float
+    wall_max_ms: float
+    sim_total: float
+    sim_mean: float
+    sim_max: float
+
+
+def span_stats(spans: Sequence[Any]) -> List[SpanStats]:
+    """Aggregate ``spans`` per name, sorted by wall total, descending.
+
+    Ties (all-zero walls in replayed traces) fall back to name order so
+    output stays deterministic.
+    """
+    buckets: Dict[str, List[Any]] = {}
+    for span in spans:
+        buckets.setdefault(span.name, []).append(span)
+    stats: List[SpanStats] = []
+    for name, members in buckets.items():
+        walls = [s.wall_seconds or 0.0 for s in members]
+        sims = [s.sim_duration or 0.0 for s in members]
+        count = len(members)
+        wall_total = sum(walls) * 1000.0
+        sim_total = sum(sims)
+        stats.append(
+            SpanStats(
+                name=name,
+                count=count,
+                wall_total_ms=wall_total,
+                wall_mean_ms=wall_total / count,
+                wall_max_ms=max(walls) * 1000.0,
+                sim_total=sim_total,
+                sim_mean=sim_total / count,
+                sim_max=max(sims),
+            )
+        )
+    stats.sort(key=lambda s: (-s.wall_total_ms, s.name))
+    return stats
+
+
+def _duration(span: Any, clock: str) -> float:
+    if clock == "wall":
+        return span.wall_seconds or 0.0
+    return span.sim_duration or 0.0
+
+
+def critical_path(spans: Sequence[Any], clock: str = "wall") -> List[Any]:
+    """The heaviest root-to-leaf chain of the span tree.
+
+    Starts at the longest root (a span whose parent is absent from the
+    capture counts as a root) and greedily descends into the longest
+    child at each level.  ``clock`` is ``"wall"`` or ``"sim"``.
+    """
+    if clock not in ("wall", "sim"):
+        raise ValueError(f"clock must be 'wall' or 'sim', not {clock!r}")
+    if not spans:
+        return []
+    ids = {span.span_id for span in spans}
+    children: Dict[Optional[int], List[Any]] = {}
+    roots: List[Any] = []
+    for span in spans:
+        if span.parent_id is None or span.parent_id not in ids:
+            roots.append(span)
+        else:
+            children.setdefault(span.parent_id, []).append(span)
+    path: List[Any] = []
+    # Ties broken by span id so replays pick the same path.
+    current = max(roots, key=lambda s: (_duration(s, clock), -s.span_id))
+    while current is not None:
+        path.append(current)
+        below = children.get(current.span_id)
+        if not below:
+            break
+        current = max(below, key=lambda s: (_duration(s, clock), -s.span_id))
+    return path
+
+
+def render_span_stats(stats: Sequence[SpanStats]) -> str:
+    """A fixed-width table of per-name aggregates."""
+    if not stats:
+        return "(no spans recorded)"
+    header = (
+        f"{'span':<18} {'count':>6} {'wall total':>11} {'wall mean':>10}"
+        f" {'wall max':>9} {'sim total':>10} {'sim max':>9}"
+    )
+    lines = [header, "-" * len(header)]
+    for s in stats:
+        lines.append(
+            f"{s.name:<18} {s.count:>6} {s.wall_total_ms:>9.2f}ms"
+            f" {s.wall_mean_ms:>8.3f}ms {s.wall_max_ms:>7.3f}ms"
+            f" {s.sim_total:>9.4f}s {s.sim_max:>8.4f}s"
+        )
+    return "\n".join(lines)
+
+
+def render_critical_path(path: Sequence[Any], clock: str = "wall") -> str:
+    """The critical path as an indented chain with per-span durations."""
+    if not path:
+        return "(no spans recorded)"
+    lines = [f"critical path ({clock} clock):"]
+    for depth, span in enumerate(path):
+        duration = _duration(span, clock)
+        rendered = (
+            f"{duration * 1000.0:.3f}ms" if clock == "wall" else f"{duration:.4f}s"
+        )
+        lines.append(f"{'  ' * depth}-> {span.name} [{rendered}]")
+    return "\n".join(lines)

@@ -1,11 +1,14 @@
-"""Exporters: spans and metrics to JSONL and a human-readable tree.
+"""Exporters: spans, metrics, and provenance to JSONL and a text tree.
 
 The JSONL stream is line-delimited JSON, one record per line, each
-tagged with a ``"type"`` -- ``"span"``, ``"counter"``, ``"gauge"``, or
-``"histogram"`` -- so one file can archive a whole traced run.  Span
-records carry both clocks (``sim_start``/``sim_end`` in simulated
-seconds, ``wall_ms`` in host milliseconds) plus the parent link that
-reconstructs the tree.
+tagged with a ``"type"`` -- ``"span"``, ``"counter"``, ``"gauge"``,
+``"histogram"``, or ``"provenance"`` -- so one file can archive a
+whole traced run.  Span records carry both clocks
+(``sim_start``/``sim_end`` in simulated seconds, ``wall_ms`` in host
+milliseconds) plus the parent link that reconstructs the tree;
+provenance records are the nodes and edges of a
+:class:`repro.obs.provenance.ProvenanceGraph` and round-trip through
+:func:`provenance_from_jsonl`.
 """
 
 from __future__ import annotations
@@ -22,6 +25,7 @@ __all__ = [
     "to_jsonl",
     "write_jsonl",
     "render_span_tree",
+    "provenance_from_jsonl",
 ]
 
 
@@ -47,8 +51,17 @@ def spans_to_jsonl(spans: Iterable[Span]) -> str:
     )
 
 
-def to_jsonl(tracer: Tracer, registry: Optional[MetricsRegistry] = None) -> str:
-    """Spans (tree order) then metrics, one JSON object per line."""
+def to_jsonl(
+    tracer: Tracer,
+    registry: Optional[MetricsRegistry] = None,
+    graph: Optional[Any] = None,
+) -> str:
+    """Spans (tree order), metrics, then provenance, one object per line.
+
+    ``graph`` is a :class:`repro.obs.provenance.ProvenanceGraph` (or
+    anything with ``to_dicts()``); its typed records are appended so a
+    single file archives the complete causal account of a run.
+    """
     lines = [
         json.dumps(span_to_dict(span), ensure_ascii=False, sort_keys=True)
         for span in sorted(tracer.spans, key=lambda s: s.span_id)
@@ -58,18 +71,38 @@ def to_jsonl(tracer: Tracer, registry: Optional[MetricsRegistry] = None) -> str:
             json.dumps(row, ensure_ascii=False, sort_keys=True)
             for row in registry.snapshot()
         )
+    if graph is not None:
+        lines.extend(
+            json.dumps(row, ensure_ascii=False, sort_keys=True, default=str)
+            for row in graph.to_dicts()
+        )
     return "\n".join(lines)
 
 
 def write_jsonl(
-    path: str, tracer: Tracer, registry: Optional[MetricsRegistry] = None
+    path: str,
+    tracer: Tracer,
+    registry: Optional[MetricsRegistry] = None,
+    graph: Optional[Any] = None,
 ) -> int:
     """Write the JSONL export to ``path``; returns the line count."""
-    text = to_jsonl(tracer, registry)
+    text = to_jsonl(tracer, registry, graph)
     with open(path, "w", encoding="utf-8") as handle:
         if text:
             handle.write(text + "\n")
     return 0 if not text else text.count("\n") + 1
+
+
+def provenance_from_jsonl(text: str) -> Any:
+    """Rebuild the provenance graph embedded in a JSONL export.
+
+    Skips span/metric records; imports lazily because
+    :mod:`repro.obs.provenance` pulls in :mod:`repro.core`, which in
+    turn imports this package at startup.
+    """
+    from .provenance import ProvenanceGraph
+
+    return ProvenanceGraph.from_jsonl(text)
 
 
 def _format_span(span: Span) -> str:

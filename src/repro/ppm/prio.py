@@ -282,18 +282,22 @@ class PrioAggregator:
         """Sum this aggregator's shares over all valid scalar reports."""
         total = 0
         contributors: List[Subject] = []
+        provenance: tuple = ()
         for report, share in sorted(self._reports.items()):
             if "#e" in report:
                 continue  # histogram entries aggregate separately
             if not self._validity.get(report, False):
                 continue
             total = (total + int(share.x_share.payload)) % FIELD_PRIME
+            if not contributors:
+                provenance = share.x_share.provenance
             contributors.append(share.x_share.subject)
         return _SumContribution(
             aggregate=Aggregate(
                 payload=total,
                 contributors=tuple(contributors),
                 description=f"sum share from aggregator {self.index}",
+                provenance=provenance,
             ),
             valid_reports=len(contributors),
         )
@@ -305,11 +309,14 @@ class PrioAggregator:
         buckets = len(next(iter(self._hist_reports.values())).entry_shares)
         totals = [0] * buckets
         contributors: List[Subject] = []
+        provenance: tuple = ()
         for report, share in sorted(self._hist_reports.items()):
             if not self._hist_validity.get(report, False):
                 continue
             for index, entry in enumerate(share.entry_shares):
                 totals[index] = (totals[index] + int(entry.payload)) % FIELD_PRIME
+            if not contributors and share.entry_shares:
+                provenance = share.entry_shares[0].provenance
             contributors.append(share.report_id.subject)
         return _HistogramContribution(
             aggregates=tuple(
@@ -317,6 +324,7 @@ class PrioAggregator:
                     payload=totals[index],
                     contributors=tuple(contributors),
                     description=f"bucket {index} share from aggregator {self.index}",
+                    provenance=provenance,
                 )
                 for index in range(buckets)
             ),

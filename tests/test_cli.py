@@ -129,6 +129,66 @@ class TestReportJson:
         assert document["sweeps"]["D1"]["points"][0]["degree"] == 1
         assert document["figures"]["F1"]
 
+    def test_report_json_carries_audit_grades(self):
+        import json
+
+        code, output = _run(["report", "--json"])
+        assert code == 0
+        document = json.loads(output)
+        grades = {row["experiment_id"]: row["grade"]
+                  for row in document["experiments"]}
+        assert set(grades.values()) <= {"strong", "decoupled", "coupled"}
+        assert grades["T8"] == "coupled"  # the plain-VPN baseline couples
+        assert any(grade != "coupled" for grade in grades.values())
+
+
+class TestExplain:
+    def test_explain_prints_causal_chain(self):
+        code, output = _run(["explain", "odoh", "--entity", "Oblivious Target"])
+        assert code == 0
+        assert "why 'Oblivious Target' holds" in output
+        assert "pkt#" in output
+        assert "=> observed via" in output
+        assert "origin: sent from" in output
+
+    def test_entity_resolution_by_substring(self):
+        code, output = _run(["explain", "odoh", "--entity", "target"])
+        assert code == 0
+        assert "Oblivious Target" in output
+
+    def test_unknown_entity_lists_known_ones(self):
+        code, output = _run(["explain", "odoh", "--entity", "resolver"])
+        assert code == 2
+        assert "unknown entity" in output
+        assert "Oblivious Target" in output  # the helpful listing
+
+    def test_fact_not_held_is_a_clear_error(self):
+        code, output = _run(
+            ["explain", "odoh", "--entity", "Oblivious Proxy", "--fact", "●"]
+        )
+        assert code == 1
+        assert "error:" in output
+        assert "does not hold" in output
+
+    def test_unknown_demo_fails_gracefully(self):
+        code, output = _run(["explain", "nonexistent", "--entity", "x"])
+        assert code == 2
+        assert "unknown demo" in output
+
+
+class TestTimeline:
+    def test_timeline_prints_growth_steps(self):
+        code, output = _run(["timeline", "odns"])
+        assert code == 0
+        assert "knowledge timeline of demo 'odns'" in output
+        assert "growth steps" in output
+        assert "pkt#" in output
+
+    def test_unknown_demo_fails_gracefully(self):
+        code, output = _run(["timeline", "nonexistent"])
+        assert code == 2
+        assert "unknown demo" in output
+
 
 class TestSweepsTrace:
     def test_sweeps_trace_prints_per_sweep_timing(self):

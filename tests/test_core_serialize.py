@@ -61,6 +61,7 @@ class TestObservationRoundtrip:
             time=1.25,
             channel="wire",
             session="pkt:7",
+            packet_id=7,
         )
         ledger.record(
             "Agg",
@@ -97,6 +98,44 @@ class TestObservationRoundtrip:
 
     def test_empty_ledger(self):
         assert list(ledger_from_jsonl(ledger_to_jsonl(Ledger()))) == []
+
+    def test_packet_id_roundtrips_and_is_omitted_for_local_acts(self):
+        ledger = self._ledger()
+        rows = ledger_to_dicts(ledger)
+        assert rows[0]["packet_id"] == 7
+        assert "packet_id" not in rows[1]  # local act: no packet
+        restored = list(ledger_from_jsonl(ledger_to_jsonl(ledger)))
+        assert restored[0].packet_id == 7
+        assert restored[1].packet_id is None
+
+
+class TestAuditReportSerialization:
+    def test_audit_report_to_dict_carries_grade(self):
+        from repro.blindsig import run_digital_cash
+        from repro.core.audit import audit
+        from repro.core.serialize import audit_report_to_dict
+
+        report = audit(run_digital_cash(coins=1).world, title="digital cash")
+        data = audit_report_to_dict(report)
+        assert data["title"] == "digital cash"
+        assert data["grade"] == report.grade
+        assert data["grade"] in ("strong", "decoupled", "coupled")
+        assert data["decoupled"] == report.verdict.decoupled
+        assert isinstance(data["coalitions"], list)
+        breach_orgs = {b["organization"] for b in data["breaches"]}
+        assert breach_orgs == {b.organization for b in report.breaches}
+
+    def test_coupled_run_grades_coupled_with_violations(self):
+        from repro.core.audit import audit
+        from repro.core.serialize import audit_report_to_dict
+        from repro.vpn import run_vpn
+
+        data = audit_report_to_dict(audit(run_vpn().world, title="vpn"))
+        assert data["grade"] == "coupled"
+        assert data["decoupled"] is False
+        assert data["violations"], "coupled run must name its violations"
+        violation = data["violations"][0]
+        assert {"entity", "organization", "subject", "cell"} <= set(violation)
 
 
 class TestAnalyzerOnRestoredLedger:

@@ -70,6 +70,26 @@ class TestSealed:
         envelope = Sealed.wrap("k1", ["just bytes"])
         assert envelope.exterior.subject == Subject("nobody")
 
+    def test_wrap_exterior_extends_inner_provenance(self):
+        """Regression: sealing must not drop the inner derivation chain.
+
+        An observer of the ciphertext should still see how the enclosed
+        value was produced -- the provenance graph relies on the
+        exterior carrying ``inner + ("seal",)``.
+        """
+        inner = _value().derived("encoded", step="encode")
+        envelope = Sealed.wrap("k1", [inner])
+        assert envelope.exterior.provenance == ("encode", "seal")
+
+    def test_wrap_of_unlabeled_contents_starts_fresh_seal_chain(self):
+        envelope = Sealed.wrap("k1", ["just bytes"])
+        assert envelope.exterior.provenance == ("seal",)
+
+    def test_nested_wrap_accumulates_seal_steps(self):
+        inner = Sealed.wrap("k2", [_value().derived("x", step="encode")])
+        outer = Sealed.wrap("k1", [inner])
+        assert outer.exterior.provenance == ("encode", "seal", "seal")
+
 
 class TestWalkValues:
     def test_without_key_only_exterior_is_visible(self):
@@ -117,6 +137,21 @@ class TestWalkValues:
         assert len(seen) == 2
         assert all(v.label == NONSENSITIVE_DATA for v in seen)
         assert {v.subject for v in seen} == {ALICE, Subject("bob")}
+
+    def test_aggregate_exterior_extends_contribution_provenance(self):
+        """Regression: aggregation must not drop the contributions' chain."""
+        agg = Aggregate(
+            payload=17,
+            contributors=(ALICE,),
+            provenance=("measurement", "share"),
+        )
+        (exterior,) = agg.exterior_values()
+        assert exterior.provenance == ("measurement", "share", "aggregate")
+
+    def test_aggregate_without_provenance_yields_bare_aggregate_step(self):
+        agg = Aggregate(payload=17, contributors=(ALICE,))
+        (exterior,) = agg.exterior_values()
+        assert exterior.provenance == ("aggregate",)
 
 
 class TestShareInfo:

@@ -320,3 +320,75 @@ class TestExport:
         assert obs_export.write_jsonl(str(path), tracer) == 0
         assert path.read_text() == ""
         assert obs_export.render_span_tree([]) == ""
+
+
+class TestMetricsEdgeCases:
+    def test_empty_registry_snapshot_and_export(self):
+        registry = MetricsRegistry()
+        assert registry.snapshot() == []
+        assert len(registry) == 0
+        tracer = Tracer(enabled=True)
+        assert obs_export.to_jsonl(tracer, registry) == ""
+
+    def test_histogram_value_exactly_on_bucket_boundary(self):
+        """A value equal to a bound lands in that bound's bucket."""
+        histogram = Histogram("sizes", buckets=(10, 100))
+        histogram.observe(10)
+        histogram.observe(100)
+        histogram.observe(101)
+        assert histogram.counts == [1, 1, 1]
+        assert histogram.min == 10 and histogram.max == 101
+
+    def test_counter_merge_across_workers(self):
+        """Per-worker counter snapshots fold into one totals mapping,
+
+        the way ``--jobs`` workers report back to the parent process.
+        """
+        from types import SimpleNamespace
+
+        from repro.cli import _fold_counters
+
+        parts = [
+            SimpleNamespace(counters={"net.packets_sent": 3, "obs.records": 7}),
+            SimpleNamespace(counters={"net.packets_sent": 5}),
+            SimpleNamespace(counters={}),
+        ]
+        assert _fold_counters(parts) == {
+            "net.packets_sent": 8,
+            "obs.records": 7,
+        }
+        assert _fold_counters([]) == {}
+
+
+def _strip_wall_clock(text):
+    """Drop host-clock fields so runs can be compared byte-for-byte."""
+    rows = []
+    for line in text.splitlines():
+        row = json.loads(line)
+        row.pop("wall_ms", None)
+        rows.append(json.dumps(row, ensure_ascii=False, sort_keys=True))
+    return "\n".join(rows)
+
+
+class TestDeterminism:
+    def test_identical_runs_export_identical_jsonl(self):
+        """Two identical demo runs yield byte-identical span, metric,
+
+        and provenance JSONL once wall-clock fields are stripped.
+        Packet/request/span ids are per-instance counters, so nothing
+        leaks between runs.
+        """
+        from repro.mixnet import run_mixnet
+        from repro.obs.provenance import build_provenance
+
+        exports = []
+        for _ in range(2):
+            with obs.capture() as (tracer, registry):
+                run = run_mixnet(mixes=2, senders=3)
+            graph = build_provenance(run, tracer)
+            exports.append(obs_export.to_jsonl(tracer, registry, graph))
+        assert _strip_wall_clock(exports[0]) == _strip_wall_clock(exports[1])
+        # The comparison is not vacuous: the export carries all three
+        # record families.
+        types = {json.loads(line)["type"] for line in exports[0].splitlines()}
+        assert {"span", "counter", "provenance"} <= types
