@@ -8,14 +8,19 @@ paper's expected knowledge table for comparison.
 
 from __future__ import annotations
 
-import random as _random
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.core.analysis import DecouplingAnalyzer
-from repro.core.entities import World
 from repro.core.values import Subject
-from repro.net.network import Network
+from repro.scenario import (
+    Param,
+    ScenarioProgram,
+    ScenarioRun,
+    ScenarioSpec,
+    register,
+    run_scenario,
+)
 
 from .cash import Bank, Buyer, Seller
 
@@ -31,63 +36,96 @@ PAPER_TABLE_T1: Dict[str, str] = {
 
 
 @dataclass
-class DigitalCashRun:
+class DigitalCashRun(ScenarioRun):
     """Everything produced by one digital-cash scenario run."""
 
-    world: World
-    network: Network
-    bank: Bank
-    buyer: Buyer
-    seller: Seller
-    analyzer: DecouplingAnalyzer
-    coins_spent: int
+    bank: Bank = None  # type: ignore[assignment]
+    buyer: Buyer = None  # type: ignore[assignment]
+    seller: Seller = None  # type: ignore[assignment]
+    coins_spent: int = 0
 
-    def table(self):
-        return self.analyzer.table(
-            entities=["Buyer", "Signer (Bank)", "Verifier (Bank)", "Seller"],
-            title="T1: blind-signature digital cash",
-        )
+    table_title = "T1: blind-signature digital cash"
 
 
-def run_digital_cash(
-    coins: int = 3,
-    seed: Optional[int] = 20221114,
-    key_bits: int = 512,
-    blind_withdrawals: bool = True,
-) -> DigitalCashRun:
-    """Withdraw and spend ``coins`` coins; return the analyzed run.
+class DigitalCashProgram(ScenarioProgram):
+    """Withdraw and spend coins over the simulated network.
 
     ``blind_withdrawals=False`` runs the ablation: identical protocol
     minus the blinding, so the bank's two roles share a serial and can
     re-couple (the A-series benchmarks quantify this).
     """
-    rng = _random.Random(seed) if seed is not None else None
-    world = World()
-    network = Network()
 
-    buyer_entity = world.entity("Buyer", "buyer-device", trusted_by_user=True)
-    signer_entity = world.entity("Signer (Bank)", "bank")
-    verifier_entity = world.entity("Verifier (Bank)", "bank")
-    seller_entity = world.entity("Seller", "seller")
+    def build(self) -> None:
+        buyer_entity = self.world.entity("Buyer", "buyer-device", trusted_by_user=True)
+        signer_entity = self.world.entity("Signer (Bank)", "bank")
+        verifier_entity = self.world.entity("Verifier (Bank)", "bank")
+        seller_entity = self.world.entity("Seller", "seller")
 
-    bank = Bank(network, signer_entity, verifier_entity, key_bits=key_bits, rng=rng)
-    buyer = Buyer(network, buyer_entity, Subject("alice"), "alice-account-7", rng=rng)
-    seller = Seller(network, seller_entity, bank)
+        self.bank = Bank(
+            self.network,
+            signer_entity,
+            verifier_entity,
+            key_bits=self.param("key_bits"),
+            rng=self.rng,
+        )
+        self.buyer = Buyer(
+            self.network, buyer_entity, Subject("alice"), "alice-account-7", rng=self.rng
+        )
+        self.seller = Seller(self.network, seller_entity, self.bank)
 
-    spent = 0
-    for index in range(coins):
-        coin = buyer.withdraw(bank, blind_withdrawal=blind_withdrawals)
-        receipt = buyer.pay(seller, coin, f"book #{index}")
-        if receipt.accepted:
-            spent += 1
-    network.run()
+    def drive(self) -> None:
+        self.spent = 0
+        for index in range(self.param("coins")):
+            coin = self.buyer.withdraw(
+                self.bank, blind_withdrawal=self.param("blind_withdrawals")
+            )
+            receipt = self.buyer.pay(self.seller, coin, f"book #{index}")
+            if receipt.accepted:
+                self.spent += 1
 
-    return DigitalCashRun(
-        world=world,
-        network=network,
-        bank=bank,
-        buyer=buyer,
-        seller=seller,
-        analyzer=DecouplingAnalyzer(world),
-        coins_spent=spent,
+    def analyze(self) -> DigitalCashRun:
+        return DigitalCashRun(
+            world=self.world,
+            network=self.network,
+            analyzer=DecouplingAnalyzer(self.world),
+            bank=self.bank,
+            buyer=self.buyer,
+            seller=self.seller,
+            coins_spent=self.spent,
+        )
+
+
+register(
+    ScenarioSpec(
+        id="digital-cash",
+        title="Blind-signature digital cash (3.1.1)",
+        program=DigitalCashProgram,
+        params=(
+            Param("coins", 3, "coins withdrawn and spent"),
+            Param("seed", 20221114, "per-run RNG seed (None: system entropy)"),
+            Param("key_bits", 512, "RSA modulus size for the bank keypair"),
+            Param("blind_withdrawals", True, "False runs the unblinded ablation"),
+        ),
+        expected=PAPER_TABLE_T1,
+        entities=("Buyer", "Signer (Bank)", "Verifier (Bank)", "Seller"),
+        table_constant="PAPER_TABLE_T1",
+        experiment_id="T1",
+        order=10.0,
+    )
+)
+
+
+def run_digital_cash(
+    coins: int = 3,
+    seed: int = 20221114,
+    key_bits: int = 512,
+    blind_withdrawals: bool = True,
+) -> DigitalCashRun:
+    """Withdraw and spend ``coins`` coins; return the analyzed run."""
+    return run_scenario(
+        "digital-cash",
+        coins=coins,
+        seed=seed,
+        key_bits=key_bits,
+        blind_withdrawals=blind_withdrawals,
     )

@@ -12,6 +12,9 @@ Commands:
 * ``sweeps``      -- just the degree sweeps (D-series); ``--trace``
   appends a per-sweep timing section, ``--jobs N`` runs them parallel
 * ``demo NAME``   -- run one system's scenario and print its analysis
+  (``--json`` emits the run as a machine-readable document instead)
+* ``demos``       -- list every registered scenario with its title and
+  parameter schema (the registry behind ``demo``/``trace``/``explain``)
 * ``trace NAME``  -- run one demo with tracing on and export the span
   tree, metrics, and provenance records as JSONL (``--out spans.jsonl``)
 * ``explain NAME --entity E [--subject S] [--fact F]`` -- run one demo
@@ -26,54 +29,37 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import functools
 import json
 import sys
 from typing import Callable, Dict
 
 from repro import harness, obs
 from repro.obs import export as obs_export
+from repro.scenario import all_specs, run_scenario
 
 
 __all__ = ["main"]
 
+#: Back-compat view of the scenario registry: demo name -> runner.
+#: Populated by :func:`_register_demos`; both survive from the
+#: pre-registry CLI because tests and downstream scripts import them.
 _DEMOS: Dict[str, Callable[[], object]] = {}
 
 
 def _register_demos() -> None:
-    from repro.blindsig import run_digital_cash
-    from repro.mixnet import run_mixnet
-    from repro.mpr import run_mpr
-    from repro.odns import run_doh, run_odns, run_odoh, run_plain_dns
-    from repro.pgpp import run_baseline_cellular, run_pgpp
-    from repro.ppm import run_naive_aggregation, run_ohttp_aggregation, run_prio
-    from repro.privacypass import run_privacy_pass
-    from repro.sso import run_sso
-    from repro.tee import run_cacti, run_phoenix
-    from repro.vpn import run_vpn
+    """Populate :data:`_DEMOS` from the scenario registry."""
+    for spec in all_specs():
+        _DEMOS.setdefault(spec.id, functools.partial(run_scenario, spec.id))
 
-    _DEMOS.update(
-        {
-            "digital-cash": run_digital_cash,
-            "mixnet": run_mixnet,
-            "privacy-pass": run_privacy_pass,
-            "plain-dns": run_plain_dns,
-            "doh": run_doh,
-            "odns": run_odns,
-            "odoh": run_odoh,
-            "pgpp-baseline": run_baseline_cellular,
-            "pgpp": run_pgpp,
-            "mpr": run_mpr,
-            "ppm-naive": run_naive_aggregation,
-            "ppm-ohttp": run_ohttp_aggregation,
-            "prio": run_prio,
-            "vpn": run_vpn,
-            "cacti": run_cacti,
-            "phoenix": run_phoenix,
-            "sso-global": lambda: run_sso("global"),
-            "sso-pairwise": lambda: run_sso("pairwise"),
-            "sso-anonymous": lambda: run_sso("anonymous"),
-        }
-    )
+
+def _resolve_demo(name: str, out):
+    """The runner registered under ``name``, or ``None`` (with a hint)."""
+    _register_demos()
+    runner = _DEMOS.get(name)
+    if runner is None:
+        print(f"unknown demo {name!r}; try: {', '.join(sorted(_DEMOS))}", file=out)
+    return runner
 
 
 def _print_table_summaries(summaries, out) -> bool:
@@ -431,10 +417,8 @@ def _report_json(out, trace: bool = False, jobs: int = 1) -> int:
 
 def _run_trace(name: str, out_path: str, out) -> int:
     """``trace NAME``: one traced demo run, exported as JSONL."""
-    _register_demos()
-    runner = _DEMOS.get(name)
+    runner = _resolve_demo(name, out)
     if runner is None:
-        print(f"unknown demo {name!r}; try: {', '.join(sorted(_DEMOS))}", file=out)
         return 2
     with obs.capture() as (tracer, registry):
         with tracer.span("demo", kind="demo", sim_time=0.0, demo=name) as root:
@@ -487,10 +471,8 @@ def _resolve_entity(graph, requested: str):
 
 def _traced_run(name: str, out):
     """Run one demo under capture; (run, tracer, graph) or None."""
-    _register_demos()
-    runner = _DEMOS.get(name)
+    runner = _resolve_demo(name, out)
     if runner is None:
-        print(f"unknown demo {name!r}; try: {', '.join(sorted(_DEMOS))}", file=out)
         return None
     from repro.obs import provenance
 
@@ -543,13 +525,17 @@ def _run_timeline(name: str, out) -> int:
     return 0
 
 
-def _run_demo(name: str, out) -> int:
-    _register_demos()
-    runner = _DEMOS.get(name)
+def _run_demo(name: str, out, as_json: bool = False) -> int:
+    runner = _resolve_demo(name, out)
     if runner is None:
-        print(f"unknown demo {name!r}; try: {', '.join(sorted(_DEMOS))}", file=out)
         return 2
     run = runner()
+    if as_json:
+        from repro.core.serialize import scenario_run_to_dict
+
+        json.dump(scenario_run_to_dict(run), out, ensure_ascii=False, indent=2)
+        print(file=out)
+        return 0
     print(run.table().render(), file=out)
     print(run.analyzer.verdict(), file=out)
     coalitions = run.analyzer.minimal_recoupling_coalitions()
@@ -564,6 +550,17 @@ def _run_demo(name: str, out) -> int:
     print(file=out)
     for entity_name in run.table().entities():
         print(run.analyzer.explain(entity_name, max_items=6), file=out)
+    return 0
+
+
+def _run_demos_listing(out) -> int:
+    """``demos``: every registered scenario, with schema and provenance."""
+    for spec in all_specs():
+        experiment = f"  [{spec.experiment_id}]" if spec.experiment_id else ""
+        print(f"{spec.id:<16} {spec.title}{experiment}", file=out)
+        for param in spec.params:
+            doc = f"  -- {param.doc}" if param.doc else ""
+            print(f"    {param.name}={param.default!r}{doc}", file=out)
     return 0
 
 
@@ -615,7 +612,15 @@ def main(argv=None, out=None) -> int:
         help="fan D-series sweeps across N worker processes",
     )
     demo = sub.add_parser("demo", help="run one system's scenario")
-    demo.add_argument("name", help="system name (see `list`)")
+    demo.add_argument("name", help="system name (see `demos`)")
+    demo.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the run as a machine-readable document",
+    )
+    sub.add_parser(
+        "demos", help="list registered scenarios with titles and parameters"
+    )
     trace = sub.add_parser(
         "trace", help="run one demo with tracing on; export spans+metrics as JSONL"
     )
@@ -700,7 +705,9 @@ def main(argv=None, out=None) -> int:
             _print_sweeps(out, jobs=jobs)
         return 0
     if args.command == "demo":
-        return _run_demo(args.name, out)
+        return _run_demo(args.name, out, as_json=args.json)
+    if args.command == "demos":
+        return _run_demos_listing(out)
     if args.command == "trace":
         return _run_trace(args.name, args.out_path, out)
     if args.command == "explain":

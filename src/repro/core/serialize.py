@@ -36,6 +36,8 @@ __all__ = [
     "experiment_report_to_dict",
     "degree_sweep_to_dict",
     "audit_report_to_dict",
+    "json_safe_value",
+    "scenario_run_to_dict",
 ]
 
 
@@ -178,6 +180,56 @@ def audit_report_to_dict(report: "AuditReport") -> Dict[str, Any]:
             for b in report.breaches
         ],
     }
+
+
+def json_safe_value(value: Any) -> Any:
+    """Coerce one value to something ``json.dump`` accepts.
+
+    Scenario parameters include bytes key seeds and the occasional
+    rich object; bytes become hex strings, containers recurse, and
+    anything else non-native falls back to ``repr``.
+    """
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    if isinstance(value, bytes):
+        return value.hex()
+    if isinstance(value, (list, tuple)):
+        return [json_safe_value(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): json_safe_value(item) for key, item in value.items()}
+    return repr(value)
+
+
+def scenario_run_to_dict(run: Any) -> Dict[str, Any]:
+    """A completed scenario run as a plain JSON-safe dict.
+
+    Accepts any run exposing the :class:`~repro.scenario.ScenarioRun`
+    surface (``table()``, ``analyzer``, ``world``, ``network``); the
+    ``scenario_id``/``params`` stamps are included when the runtime
+    produced the run.
+    """
+    table = run.table()
+    analyzer = run.analyzer
+    coalitions = analyzer.minimal_recoupling_coalitions()
+    data: Dict[str, Any] = {
+        "scenario_id": getattr(run, "scenario_id", ""),
+        "title": table.title,
+        "params": {
+            name: json_safe_value(value)
+            for name, value in getattr(run, "params", {}).items()
+        },
+        "table": dict(table.as_mapping()),
+        "verdict_decoupled": analyzer.verdict().decoupled,
+        "coalitions": [sorted(c) for c in coalitions],
+        "observations": len(run.world.ledger),
+    }
+    network = getattr(run, "network", None)
+    if network is not None:
+        data["sim_seconds"] = network.simulator.now
+        data["events"] = network.simulator.events_processed
+        data["messages"] = network.messages_delivered
+        data["bytes"] = network.bytes_delivered
+    return data
 
 
 def degree_sweep_to_dict(sweep: DegreeSweep) -> Dict[str, Any]:

@@ -8,6 +8,7 @@ everywhere.
 
 from __future__ import annotations
 
+import functools
 import multiprocessing
 import statistics
 import time
@@ -16,34 +17,24 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.obs.tracing import get_tracer
 
-from repro.blindsig import PAPER_TABLE_T1, run_digital_cash
 from repro.core.metrics import DegreePoint, DegreeSweep
 from repro.core.report import ExperimentReport, compare_tables, flow_series
-from repro.mixnet import paper_table_t2, run_mixnet
-from repro.mpr import PAPER_TABLE_T6, run_mpr
-from repro.odns import (
-    PAPER_TABLE_T4_ODNS,
-    PAPER_TABLE_T4_ODOH,
-    run_odns,
-    run_odoh,
-)
+from repro.mixnet import run_mixnet
+from repro.mpr import run_mpr
 from repro.pgpp import (
-    PAPER_TABLE_T5,
     TrajectoryLinker,
     extract_epoch_tracks,
     run_pgpp,
     tracking_accuracy,
 )
-from repro.ppm import PAPER_TABLE_T7, run_prio
-from repro.privacypass import PAPER_TABLE_T3, run_privacy_pass
-from repro.sso import EXPECTED_TABLES_SSO, run_sso
-from repro.tee import (
-    EXPECTED_TABLE_CACTI,
-    EXPECTED_TABLE_PHOENIX,
-    run_cacti,
-    run_phoenix,
+from repro.ppm import run_prio
+from repro.privacypass import run_privacy_pass
+from repro.scenario import (
+    register_sweep,
+    run_scenario,
+    experiment_specs,
+    sweep_specs,
 )
-from repro.vpn import PAPER_TABLE_T8, run_vpn
 
 __all__ = [
     "TableSummary",
@@ -91,43 +82,23 @@ def _run_experiment(experiment_id: str, title: str, runner: Callable[[], object]
     return run
 
 
-def _run_sso_global():
-    return run_sso("global")
-
-
-def _run_sso_pairwise():
-    return run_sso("pairwise")
-
-
-def _run_sso_anonymous():
-    return run_sso("anonymous")
-
-
-def _run_mixnet_t2():
-    return run_mixnet(mixes=3, senders=4)
-
-
 def _table_specs() -> List[Tuple[str, str, Dict[str, str], Callable[[], object]]]:
     """The T/E-series experiment specs in the paper's presentation order.
 
-    Runners are module-level functions (not lambdas) so a spec index is
-    all a worker process needs to rebuild and run one experiment.
+    A registry query: every spec carrying an ``experiment_id`` appears,
+    sorted by its declared presentation order, with its default
+    parameter binding as the runner.  Workers are handed only a spec
+    index and rebuild this list in-process, so the runners need not be
+    picklable.
     """
     return [
-        ("T1", "Blind-signature digital cash (3.1.1)", PAPER_TABLE_T1, run_digital_cash),
-        ("T2", "Mix-net, 3 mixes (3.1.2)", paper_table_t2(3), _run_mixnet_t2),
-        ("T3", "Privacy Pass (3.2.1)", PAPER_TABLE_T3, run_privacy_pass),
-        ("T4a", "Oblivious DNS -- ODNS (3.2.2)", PAPER_TABLE_T4_ODNS, run_odns),
-        ("T4b", "Oblivious DNS -- ODoH (3.2.2)", PAPER_TABLE_T4_ODOH, run_odoh),
-        ("T5", "Pretty Good Phone Privacy (3.2.3)", PAPER_TABLE_T5, run_pgpp),
-        ("T6", "Multi-Party Relay (3.2.4)", PAPER_TABLE_T6, run_mpr),
-        ("T7", "Private aggregate statistics -- Prio (3.2.5)", PAPER_TABLE_T7, run_prio),
-        ("T8", "Centralized VPN, cautionary (3.3)", PAPER_TABLE_T8, run_vpn),
-        ("E1a", "CACTI (4.3, extension)", EXPECTED_TABLE_CACTI, run_cacti),
-        ("E1b", "Phoenix keyless CDN (4.3, extension)", EXPECTED_TABLE_PHOENIX, run_phoenix),
-        ("E2a", "SSO, global ids (2.2, extension)", EXPECTED_TABLES_SSO["global"], _run_sso_global),
-        ("E2b", "SSO, pairwise ids (2.2, extension)", EXPECTED_TABLES_SSO["pairwise"], _run_sso_pairwise),
-        ("E2c", "SSO, blind tickets (2.2, extension)", EXPECTED_TABLES_SSO["anonymous"], _run_sso_anonymous),
+        (
+            spec.experiment_id,
+            spec.title,
+            spec.expected_table(),
+            functools.partial(run_scenario, spec.id),
+        )
+        for spec in experiment_specs()
     ]
 
 
@@ -292,10 +263,12 @@ def table_summaries(jobs: int = 1) -> List[TableSummary]:
     return parallel_map(_table_worker, range(len(specs)), jobs)
 
 
+@register_sweep("D3u", title="D3: batch sweep, unpadded", order=3.0)
 def _sweep_batches_unpadded() -> List[Dict[str, float]]:
     return sweep_batches(False)
 
 
+@register_sweep("D3p", title="D3: batch sweep, padded", order=3.5)
 def _sweep_batches_padded() -> List[Dict[str, float]]:
     return sweep_batches(True)
 
@@ -303,18 +276,11 @@ def _sweep_batches_padded() -> List[Dict[str, float]]:
 def _sweep_specs() -> List[Tuple[str, Callable[[], object]]]:
     """The D-series sweeps in presentation order, by stable key.
 
-    ``D3u``/``D3p`` are the unpadded/padded halves of the paper's D3
-    traffic-analysis sweep (one worker each).
+    A registry query over :func:`repro.scenario.register_sweep`
+    registrations.  ``D3u``/``D3p`` are the unpadded/padded halves of
+    the paper's D3 traffic-analysis sweep (one worker each).
     """
-    return [
-        ("D1", sweep_relays),
-        ("D2", sweep_aggregators),
-        ("D3u", _sweep_batches_unpadded),
-        ("D3p", _sweep_batches_padded),
-        ("D4", sweep_striping),
-        ("D5", sweep_tracking),
-        ("D6", sweep_disclosure),
-    ]
+    return [(spec.key, spec.runner) for spec in sweep_specs()]
 
 
 def _sweep_worker(index: int) -> SweepResult:
@@ -354,6 +320,7 @@ def figure_f2_series(max_steps: int = 10):
     return flow_series(run.world.ledger, ["Issuer", "Origin"], max_steps)
 
 
+@register_sweep("D1", title="D1: relays vs privacy/cost", order=1.0)
 def sweep_relays(degrees=(1, 2, 3, 4, 5)) -> DegreeSweep:
     """D1: relay count vs collusion resistance and latency."""
     sweep = DegreeSweep(name="D1: relays vs privacy/cost")
@@ -374,6 +341,7 @@ def sweep_relays(degrees=(1, 2, 3, 4, 5)) -> DegreeSweep:
     return sweep
 
 
+@register_sweep("D2", title="D2: aggregators vs privacy/cost", order=2.0)
 def sweep_aggregators(degrees=(2, 3, 4, 5), clients: int = 6) -> DegreeSweep:
     """D2: aggregator count vs collusion resistance and traffic."""
     sweep = DegreeSweep(name="D2: aggregators vs privacy/cost")
@@ -438,6 +406,7 @@ def sweep_batches(
     return series
 
 
+@register_sweep("D4", title="D4: resolver striping", order=4.0)
 def sweep_striping(resolver_counts=(1, 2, 4, 8)) -> List[Dict[str, float]]:
     """D4: resolver count vs per-resolver knowledge."""
     from repro.core.entities import World
@@ -495,6 +464,7 @@ def sweep_striping(resolver_counts=(1, 2, 4, 8)) -> List[Dict[str, float]]:
     return series
 
 
+@register_sweep("D6", title="D6: statistical disclosure", order=6.0)
 def sweep_disclosure(
     rounds=(2, 8, 32), seeds=range(8), recipients: int = 6
 ) -> List[Dict[str, float]]:
@@ -523,6 +493,7 @@ def sweep_disclosure(
     return series
 
 
+@register_sweep("D5", title="D5: PGPP tracking", order=5.0)
 def sweep_tracking(populations=(2, 4, 8, 16), seeds=range(5)) -> List[Dict[str, float]]:
     """D5 (extension): PGPP tracking accuracy vs population size."""
     series = []

@@ -10,11 +10,18 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.core.analysis import DecouplingAnalyzer
-from repro.core.entities import World
-from repro.core.labels import SENSITIVE_IDENTITY
-from repro.core.values import LabeledValue, Subject
-from repro.http.origin import OriginDirectory, OriginServer
+from repro.core.values import Subject
 from repro.net.network import Network
+from repro.scenario import (
+    Param,
+    ScenarioProgram,
+    ScenarioRun,
+    ScenarioSpec,
+    add_origin,
+    client_ip_identity,
+    register,
+    run_scenario,
+)
 
 from .relay import MprClient, build_relay_chain
 
@@ -36,24 +43,24 @@ def paper_table_t6(relays: int) -> Dict[str, str]:
 PAPER_TABLE_T6: Dict[str, str] = paper_table_t6(2)
 
 
+def _mpr_entities(params: Dict[str, object]) -> List[str]:
+    relays = params["relays"]
+    return ["User"] + [f"Relay {i}" for i in range(1, relays + 1)] + ["Origin"]
+
+
 @dataclass
-class MprRun:
+class MprRun(ScenarioRun):
     """Everything produced by one MPR scenario run."""
 
-    world: World
-    network: Network
-    client: MprClient
-    analyzer: DecouplingAnalyzer
-    relays: int
-    requests: int
-    mean_latency: float
+    client: MprClient = None  # type: ignore[assignment]
+    relays: int = 0
+    requests: int = 0
+    mean_latency: float = 0.0
     table_entities: List[str] = None  # type: ignore[assignment]
 
-    def table(self):
-        return self.analyzer.table(
-            entities=self.table_entities,
-            title=f"T6: multi-party relay ({self.relays} relays)",
-        )
+    @property
+    def table_title(self) -> str:
+        return f"T6: multi-party relay ({self.relays} relays)"
 
     def origin_knows_location(self) -> bool:
         """Did the origin learn a (coarse) location? (section 4.4)"""
@@ -63,6 +70,79 @@ class MprRun:
         )
 
 
+class MprProgram(ScenarioProgram):
+    """Fetch pages through a chain of decoupling relays."""
+
+    def validate(self) -> None:
+        if self.params["relays"] < 1:
+            raise ValueError("need at least one relay")
+
+    def make_network(self) -> Network:
+        return Network(default_latency=self.params["link_latency"])
+
+    def build(self) -> None:
+        relays = self.param("relays")
+        self.subject = Subject("alice")
+
+        user_entity = self.world.entity("User", "user-device", trusted_by_user=True)
+        relay_entities = [
+            self.world.entity(f"Relay {i}", f"relay-org-{i}")
+            for i in range(1, relays + 1)
+        ]
+        stack = add_origin(self.world, self.network)
+        self.origin = stack.server
+        chain = build_relay_chain(self.network, relay_entities, stack.directory)
+
+        identity = client_ip_identity(self.subject, "203.0.113.9")
+        host = self.network.add_host("mpr-client", user_entity, identity=identity)
+        user_entity.observe(identity, channel="self", session="self")
+        self.client = MprClient(host=host, relays=chain, subject=self.subject)
+
+    def drive(self) -> None:
+        start = self.network.simulator.now
+        for index in range(self.param("requests")):
+            response = self.client.fetch(
+                self.origin, f"/page/{index}", geo_hint=self.param("geo_hint")
+            )
+            if not response.ok:
+                raise RuntimeError("origin rejected a relayed request")
+        self.elapsed = self.network.simulator.now - start
+
+    def analyze(self) -> MprRun:
+        requests = self.param("requests")
+        return MprRun(
+            world=self.world,
+            network=self.network,
+            client=self.client,
+            analyzer=DecouplingAnalyzer(self.world),
+            relays=self.param("relays"),
+            requests=requests,
+            mean_latency=self.elapsed / max(1, requests),
+            table_entities=_mpr_entities(self.params),
+        )
+
+
+register(
+    ScenarioSpec(
+        id="mpr",
+        title="Multi-Party Relay (3.2.4)",
+        program=MprProgram,
+        params=(
+            Param("relays", 2, "relays in the chain"),
+            Param("requests", 3, "pages fetched through the chain"),
+            Param("geo_hint", None, "coarse geolocation hint sent to the origin"),
+            Param("link_latency", 0.010, "per-link latency in seconds"),
+            Param("seed", None, "unused: the scenario is deterministic"),
+        ),
+        expected=lambda params: paper_table_t6(params["relays"]),
+        entities=_mpr_entities,
+        table_constant="PAPER_TABLE_T6",
+        experiment_id="T6",
+        order=60.0,
+    )
+)
+
+
 def run_mpr(
     relays: int = 2,
     requests: int = 3,
@@ -70,49 +150,10 @@ def run_mpr(
     link_latency: float = 0.010,
 ) -> MprRun:
     """Fetch ``requests`` pages through a chain of ``relays``."""
-    if relays < 1:
-        raise ValueError("need at least one relay")
-    world = World()
-    network = Network(default_latency=link_latency)
-    subject = Subject("alice")
-
-    user_entity = world.entity("User", "user-device", trusted_by_user=True)
-    relay_entities = [
-        world.entity(f"Relay {i}", f"relay-org-{i}") for i in range(1, relays + 1)
-    ]
-    origin_entity = world.entity("Origin", "origin-org")
-
-    directory = OriginDirectory()
-    origin = OriginServer(network, origin_entity, "www.example.com", directory=directory)
-    chain = build_relay_chain(network, relay_entities, directory)
-
-    identity = LabeledValue(
-        payload="203.0.113.9",
-        label=SENSITIVE_IDENTITY,
-        subject=subject,
-        description="client ip",
-    )
-    host = network.add_host("mpr-client", user_entity, identity=identity)
-    user_entity.observe(identity, channel="self", session="self")
-    client = MprClient(host=host, relays=chain, subject=subject)
-
-    start = network.simulator.now
-    for index in range(requests):
-        response = client.fetch(origin, f"/page/{index}", geo_hint=geo_hint)
-        if not response.ok:
-            raise RuntimeError("origin rejected a relayed request")
-    elapsed = network.simulator.now - start
-    network.run()
-
-    return MprRun(
-        world=world,
-        network=network,
-        client=client,
-        analyzer=DecouplingAnalyzer(world),
+    return run_scenario(
+        "mpr",
         relays=relays,
         requests=requests,
-        mean_latency=elapsed / max(1, requests),
-        table_entities=["User"]
-        + [f"Relay {i}" for i in range(1, relays + 1)]
-        + ["Origin"],
+        geo_hint=geo_hint,
+        link_latency=link_latency,
     )

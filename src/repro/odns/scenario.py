@@ -15,14 +15,19 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.core.analysis import DecouplingAnalyzer
-from repro.core.entities import World
-from repro.core.labels import NONSENSITIVE_IDENTITY, SENSITIVE_IDENTITY
-from repro.core.values import LabeledValue, Sealed, Subject
+from repro.core.values import Subject
 from repro.dns.resolver import RecursiveResolver, StubResolver
 from repro.dns.zones import AuthoritativeServer, Zone, ZoneRegistry
-from repro.http.messages import make_request
-from repro.http.origin import OriginDirectory, OriginServer, TLS_HTTP_PROTOCOL
-from repro.net.network import Network
+from repro.scenario import (
+    Param,
+    ScenarioProgram,
+    ScenarioRun,
+    ScenarioSpec,
+    client_ip_identity,
+    fetch_via_anonymized,
+    register,
+    run_scenario,
+)
 
 from .doh import DohClient, DohResolver
 from .odns import ObliviousResolver, OdnsAwareResolver, OdnsClient
@@ -58,186 +63,231 @@ _NAMES = ["www.example.com", "mail.example.com", "news.example.com"]
 
 
 @dataclass
-class OdnsRun:
+class OdnsRun(ScenarioRun):
     """Everything produced by one DNS-privacy scenario run."""
 
-    world: World
-    network: Network
-    analyzer: DecouplingAnalyzer
-    variant: str
-    table_entities: List[str]
-    answers: List[str]
-    fetches: int
+    variant: str = ""
+    table_entities: List[str] = None  # type: ignore[assignment]
+    answers: List[str] = None  # type: ignore[assignment]
+    fetches: int = 0
     #: The protocol client (OdnsClient / OdohClient / StubResolver),
     #: kept so benchmarks can issue further queries against the run.
     client: Optional[object] = None
 
-    def table(self):
-        return self.analyzer.table(
-            entities=self.table_entities,
-            title=f"T4: {self.variant}",
+    @property
+    def table_title(self) -> str:
+        return f"T4: {self.variant}"
+
+
+class _DnsBase(ScenarioProgram):
+    """Shared authoritative zone, client host, and resolve-then-fetch loop.
+
+    Subclasses add the variant's resolution topology in
+    :meth:`build_resolution` and must set ``self.client`` (an object
+    with a ``lookup(name)`` method returning a DNS answer).
+    """
+
+    variant = ""
+    table_entities: List[str] = []
+
+    def build(self) -> None:
+        self.registry = ZoneRegistry()
+        zone = Zone("example.com")
+        for name in _NAMES:
+            zone.add(name, "93.184.216.34")
+        auth_entity = self.world.entity("Authoritative (example.com)", "dns-infra")
+        AuthoritativeServer(self.network, auth_entity, zone, self.registry)
+        self.subject = Subject("alice")
+        self.client_entity = self.world.entity(
+            "Client", "client-device", trusted_by_user=True
+        )
+        client_identity = client_ip_identity(self.subject, "198.51.100.7")
+        self.query_host = self.network.add_host(
+            "client", self.client_entity, identity=client_identity
+        )
+        self.client_entity.observe(client_identity, channel="self", session="self")
+        self.build_resolution()
+
+    def build_resolution(self) -> None:
+        raise NotImplementedError
+
+    def _lookup(self, name: str):
+        return self.client.lookup(name)
+
+    def drive(self) -> None:
+        names = _NAMES[: self.param("queries")]
+        self.answers = [self._lookup(name).rdata or "NXDOMAIN" for name in names]
+        self.fetches = fetch_via_anonymized(
+            self.world, self.network, self.subject, self.client_entity, names
+        )
+
+    def analyze(self) -> OdnsRun:
+        return OdnsRun(
+            world=self.world,
+            network=self.network,
+            analyzer=DecouplingAnalyzer(self.world),
+            variant=self.variant,
+            table_entities=list(self.table_entities),
+            answers=self.answers,
+            fetches=self.fetches,
+            client=self.client,
         )
 
 
-def _base_world(variant: str):
-    world = World()
-    network = Network()
-    registry = ZoneRegistry()
-    zone = Zone("example.com")
-    for name in _NAMES:
-        zone.add(name, "93.184.216.34")
-    auth_entity = world.entity("Authoritative (example.com)", "dns-infra")
-    AuthoritativeServer(network, auth_entity, zone, registry)
-    subject = Subject("alice")
-    client_entity = world.entity("Client", "client-device", trusted_by_user=True)
-    client_identity = LabeledValue(
-        payload="198.51.100.7",
-        label=SENSITIVE_IDENTITY,
-        subject=subject,
-        description="client ip",
-    )
-    query_host = network.add_host("client", client_entity, identity=client_identity)
-    client_entity.observe(client_identity, channel="self", session="self")
-    return world, network, registry, subject, client_entity, query_host, client_identity
-
-
-def _fetch_via_anonymized(world, network, subject, client_entity, names) -> int:
-    """Fetch each resolved name over an anonymized connection layer."""
-    origin_entity = world.entity("Origin", "origin-org")
-    directory = OriginDirectory()
-    origin = OriginServer(
-        network, origin_entity, "www.example.com", directory=directory
-    )
-    anonymized = LabeledValue(
-        payload="relay-egress-pool",
-        label=NONSENSITIVE_IDENTITY,
-        subject=subject,
-        description="anonymized network identity",
-        provenance=("address", "anonymize"),
-    )
-    fetch_host = network.add_host("client-anon", client_entity, identity=anonymized)
-    client_entity.grant_key(origin.tls_key_id)
-    fetches = 0
-    for name in names:
-        request = make_request("www.example.com", f"/{name}", subject)
-        client_entity.observe(request.content, channel="self", session="self")
-        sealed = Sealed.wrap(
-            origin.tls_key_id,
-            [request],
-            subject=subject,
-            description="tls request",
-        )
-        reply = fetch_host.transact(origin.address, sealed, TLS_HTTP_PROTOCOL)
-        if reply is not None:
-            fetches += 1
-    return fetches
-
-
-def run_plain_dns(queries: int = 3) -> OdnsRun:
+class PlainDnsProgram(_DnsBase):
     """The coupled baseline: a stock recursive resolver sees all."""
-    world, network, registry, subject, client_entity, host, _ = _base_world("plain")
-    resolver_entity = world.entity("Resolver", "resolver-org")
-    resolver = RecursiveResolver(network, resolver_entity, registry)
-    stub = StubResolver(host, resolver.address)
-    answers = []
-    for name in _NAMES[:queries]:
-        answers.append(stub.lookup(name, subject).rdata or "NXDOMAIN")
-    fetches = _fetch_via_anonymized(world, network, subject, client_entity, _NAMES[:queries])
-    network.run()
-    return OdnsRun(
-        world=world,
-        network=network,
-        analyzer=DecouplingAnalyzer(world),
-        variant="plain DNS (baseline)",
-        table_entities=["Client", "Resolver", "Origin"],
-        answers=answers,
-        fetches=fetches,
-        client=stub,
-    )
+
+    variant = "plain DNS (baseline)"
+    table_entities = ["Client", "Resolver", "Origin"]
+
+    def build_resolution(self) -> None:
+        resolver_entity = self.world.entity("Resolver", "resolver-org")
+        resolver = RecursiveResolver(self.network, resolver_entity, self.registry)
+        self.client = StubResolver(self.query_host, resolver.address)
+
+    def _lookup(self, name: str):
+        return self.client.lookup(name, self.subject)
 
 
-def run_doh(queries: int = 3, key_seed: Optional[bytes] = b"\x51" * 32) -> OdnsRun:
+class DohProgram(_DnsBase):
     """DNS over HTTPS: encrypted to the resolver, still coupled there.
 
     The rung between plain DNS and ODoH: a wire observer no longer sees
     query names, but the resolver's knowledge is unchanged -- the
     paper's motivation for *oblivious* designs.
     """
-    from repro.net.network import WireObserver
 
-    world, network, registry, subject, client_entity, host, _ = _base_world("doh")
-    # The observer is the client's access network (coffee-shop WiFi,
-    # ISP): it taps the client's links, not the resolver's upstream
-    # (where recursion to authoritatives is plaintext regardless).
-    observer_entity = world.entity("Network Observer", "access-isp")
-    network.add_observer(
-        WireObserver(observer_entity, prefixes=(host.address.prefix,))
+    variant = "DoH (encrypted, not oblivious)"
+    table_entities = ["Client", "Network Observer", "Resolver", "Origin"]
+
+    def build_resolution(self) -> None:
+        from repro.net.network import WireObserver
+
+        # The observer is the client's access network (coffee-shop WiFi,
+        # ISP): it taps the client's links, not the resolver's upstream
+        # (where recursion to authoritatives is plaintext regardless).
+        observer_entity = self.world.entity("Network Observer", "access-isp")
+        self.network.add_observer(
+            WireObserver(observer_entity, prefixes=(self.query_host.address.prefix,))
+        )
+        resolver_entity = self.world.entity("Resolver", "resolver-org")
+        resolver = DohResolver(
+            self.network, resolver_entity, self.registry,
+            key_seed=self.param("key_seed"),
+        )
+        self.client = DohClient(self.query_host, resolver, self.subject)
+
+
+class OdnsProgram(_DnsBase):
+    """The original ODNS protocol run."""
+
+    variant = "ODNS"
+    table_entities = ["Client", "Resolver", "Oblivious Resolver", "Origin"]
+
+    def build_resolution(self) -> None:
+        resolver_entity = self.world.entity("Resolver", "resolver-org")
+        oblivious_entity = self.world.entity("Oblivious Resolver", "oblivious-org")
+        resolver = OdnsAwareResolver(self.network, resolver_entity, self.registry)
+        oblivious = ObliviousResolver(self.network, oblivious_entity, self.registry)
+        self.client = OdnsClient(
+            self.query_host, resolver.address, oblivious, self.subject
+        )
+
+
+class OdohProgram(_DnsBase):
+    """The ODoH protocol run (real HPKE on the wire)."""
+
+    variant = "ODoH"
+    table_entities = ["Client", "Oblivious Proxy", "Oblivious Target", "Origin"]
+
+    def build_resolution(self) -> None:
+        proxy_entity = self.world.entity("Oblivious Proxy", "proxy-org")
+        target_entity = self.world.entity("Oblivious Target", "target-org")
+        target = ObliviousTarget(
+            self.network, target_entity, self.registry,
+            key_seed=self.param("key_seed"),
+        )
+        proxy = ObliviousProxy(self.network, proxy_entity, target.address)
+        self.client = OdohClient(self.query_host, proxy, target, self.subject)
+
+
+_QUERIES_PARAM = Param("queries", 3, "names resolved and fetched")
+_SEED_PARAM = Param("seed", None, "unused: the scenario is deterministic")
+
+register(
+    ScenarioSpec(
+        id="odns",
+        title="Oblivious DNS -- ODNS (3.2.2)",
+        program=OdnsProgram,
+        params=(_QUERIES_PARAM, _SEED_PARAM),
+        expected=PAPER_TABLE_T4_ODNS,
+        entities=("Client", "Resolver", "Oblivious Resolver", "Origin"),
+        table_constant="PAPER_TABLE_T4_ODNS",
+        experiment_id="T4a",
+        order=40.0,
     )
-    resolver_entity = world.entity("Resolver", "resolver-org")
-    resolver = DohResolver(network, resolver_entity, registry, key_seed=key_seed)
-    client = DohClient(host, resolver, subject)
-    answers = []
-    for name in _NAMES[:queries]:
-        answers.append(client.lookup(name).rdata or "NXDOMAIN")
-    fetches = _fetch_via_anonymized(world, network, subject, client_entity, _NAMES[:queries])
-    network.run()
-    return OdnsRun(
-        world=world,
-        network=network,
-        analyzer=DecouplingAnalyzer(world),
-        variant="DoH (encrypted, not oblivious)",
-        table_entities=["Client", "Network Observer", "Resolver", "Origin"],
-        answers=answers,
-        fetches=fetches,
-        client=client,
+)
+
+register(
+    ScenarioSpec(
+        id="odoh",
+        title="Oblivious DNS -- ODoH (3.2.2)",
+        program=OdohProgram,
+        params=(
+            _QUERIES_PARAM,
+            Param("key_seed", b"\x42" * 32, "HPKE key seed for the target"),
+            _SEED_PARAM,
+        ),
+        expected=PAPER_TABLE_T4_ODOH,
+        entities=("Client", "Oblivious Proxy", "Oblivious Target", "Origin"),
+        table_constant="PAPER_TABLE_T4_ODOH",
+        experiment_id="T4b",
+        order=41.0,
     )
+)
+
+register(
+    ScenarioSpec(
+        id="plain-dns",
+        title="Plain DNS, coupled baseline (3.2.2)",
+        program=PlainDnsProgram,
+        params=(_QUERIES_PARAM, _SEED_PARAM),
+        entities=("Client", "Resolver", "Origin"),
+        order=42.0,
+    )
+)
+
+register(
+    ScenarioSpec(
+        id="doh",
+        title="DNS over HTTPS, encrypted not oblivious (3.2.2)",
+        program=DohProgram,
+        params=(
+            _QUERIES_PARAM,
+            Param("key_seed", b"\x51" * 32, "TLS key seed for the resolver"),
+            _SEED_PARAM,
+        ),
+        entities=("Client", "Network Observer", "Resolver", "Origin"),
+        order=43.0,
+    )
+)
+
+
+def run_plain_dns(queries: int = 3) -> OdnsRun:
+    """The coupled baseline: a stock recursive resolver sees all."""
+    return run_scenario("plain-dns", queries=queries)
+
+
+def run_doh(queries: int = 3, key_seed: Optional[bytes] = b"\x51" * 32) -> OdnsRun:
+    """DNS over HTTPS: encrypted to the resolver, still coupled there."""
+    return run_scenario("doh", queries=queries, key_seed=key_seed)
 
 
 def run_odns(queries: int = 3) -> OdnsRun:
     """The original ODNS protocol run."""
-    world, network, registry, subject, client_entity, host, _ = _base_world("odns")
-    resolver_entity = world.entity("Resolver", "resolver-org")
-    oblivious_entity = world.entity("Oblivious Resolver", "oblivious-org")
-    resolver = OdnsAwareResolver(network, resolver_entity, registry)
-    oblivious = ObliviousResolver(network, oblivious_entity, registry)
-    client = OdnsClient(host, resolver.address, oblivious, subject)
-    answers = []
-    for name in _NAMES[:queries]:
-        answers.append(client.lookup(name).rdata or "NXDOMAIN")
-    fetches = _fetch_via_anonymized(world, network, subject, client_entity, _NAMES[:queries])
-    network.run()
-    return OdnsRun(
-        world=world,
-        network=network,
-        analyzer=DecouplingAnalyzer(world),
-        variant="ODNS",
-        table_entities=["Client", "Resolver", "Oblivious Resolver", "Origin"],
-        answers=answers,
-        fetches=fetches,
-        client=client,
-    )
+    return run_scenario("odns", queries=queries)
 
 
 def run_odoh(queries: int = 3, key_seed: Optional[bytes] = b"\x42" * 32) -> OdnsRun:
     """The ODoH protocol run (real HPKE on the wire)."""
-    world, network, registry, subject, client_entity, host, _ = _base_world("odoh")
-    proxy_entity = world.entity("Oblivious Proxy", "proxy-org")
-    target_entity = world.entity("Oblivious Target", "target-org")
-    target = ObliviousTarget(network, target_entity, registry, key_seed=key_seed)
-    proxy = ObliviousProxy(network, proxy_entity, target.address)
-    client = OdohClient(host, proxy, target, subject)
-    answers = []
-    for name in _NAMES[:queries]:
-        answers.append(client.lookup(name).rdata or "NXDOMAIN")
-    fetches = _fetch_via_anonymized(world, network, subject, client_entity, _NAMES[:queries])
-    network.run()
-    return OdnsRun(
-        world=world,
-        network=network,
-        analyzer=DecouplingAnalyzer(world),
-        variant="ODoH",
-        table_entities=["Client", "Oblivious Proxy", "Oblivious Target", "Origin"],
-        answers=answers,
-        fetches=fetches,
-        client=client,
-    )
+    return run_scenario("odoh", queries=queries, key_seed=key_seed)

@@ -21,6 +21,14 @@ from repro.core.labels import (
 )
 from repro.core.values import LabeledValue, Subject
 from repro.net.network import Network
+from repro.scenario import (
+    Param,
+    ScenarioProgram,
+    ScenarioRun,
+    ScenarioSpec,
+    register,
+    run_scenario,
+)
 
 from .cellular import BaseStation, CellularCore, UserEquipment
 from .gateway import AttachToken, PgppGateway, TokenPurchaser
@@ -49,34 +57,32 @@ BASELINE_TABLE_T5: Dict[str, str] = {
 
 
 @dataclass
-class PgppRun:
+class PgppRun(ScenarioRun):
     """Everything produced by one cellular scenario run."""
 
-    world: World
-    network: Network
-    core: CellularCore
-    ues: List[UserEquipment]
-    analyzer: DecouplingAnalyzer
-    variant: str
-    table_entities: List[str]
-    attaches: int
+    core: CellularCore = None  # type: ignore[assignment]
+    ues: List[UserEquipment] = None  # type: ignore[assignment]
+    variant: str = ""
+    table_entities: List[str] = None  # type: ignore[assignment]
+    attaches: int = 0
     gateway: Optional[PgppGateway] = None
     #: Ground truth for the tracking adversary: per user, the IMSI they
     #: broadcast in each epoch (simulation-side omniscience).
     imsi_history: Dict[Subject, List[str]] = None  # type: ignore[assignment]
+
+    @property
+    def table_title(self) -> str:
+        return f"T5: {self.variant}"
+
+    @property
+    def table_subject(self) -> Subject:
+        return self.ues[0].subject
 
     def imsi_truth(self) -> Dict[str, List[str]]:
         """First-epoch imsi -> true imsi chain, for tracking_accuracy."""
         if not self.imsi_history:
             return {}
         return {chain[0]: list(chain) for chain in self.imsi_history.values()}
-
-    def table(self):
-        return self.analyzer.table(
-            entities=self.table_entities,
-            subject=self.ues[0].subject,
-            title=f"T5: {self.variant}",
-        )
 
     def mobility_entries(self) -> int:
         return len(self.core.mobility_log)
@@ -106,64 +112,53 @@ def _walk(
     return path
 
 
-def run_baseline_cellular(
-    users: int = 3,
-    cells: int = 4,
-    steps: int = 4,
-    seed: int = 20221114,
-) -> PgppRun:
+class BaselineCellularProgram(ScenarioProgram):
     """Traditional cellular: the core sees billing + IMSI + location."""
-    rng = _random.Random(seed)
-    world = World()
-    network = Network()
-    core_entity = world.entity("NGC", "operator")
-    core = CellularCore(network, core_entity)
-    stations = _build_cells(world, network, core, cells)
 
-    ues: List[UserEquipment] = []
-    attaches = 0
-    for index in range(users):
-        subject = Subject(f"user-{index}")
-        entity = world.entity(
-            "User" if index == 0 else f"User {index}",
-            f"phone-{index}",
-            trusted_by_user=True,
+    def build(self) -> None:
+        core_entity = self.world.entity("NGC", "operator")
+        self.core = CellularCore(self.network, core_entity)
+        self.stations = _build_cells(
+            self.world, self.network, self.core, self.param("cells")
         )
-        imsi = LabeledValue(
-            payload=f"imsi-90170-{1000 + index}",
-            label=SENSITIVE_NETWORK_IDENTITY,
-            subject=subject,
-            description="permanent IMSI",
+
+    def drive(self) -> None:
+        self.ues = []
+        self.attaches = 0
+        for index in range(self.param("users")):
+            subject = Subject(f"user-{index}")
+            entity = self.world.entity(
+                "User" if index == 0 else f"User {index}",
+                f"phone-{index}",
+                trusted_by_user=True,
+            )
+            imsi = LabeledValue(
+                payload=f"imsi-90170-{1000 + index}",
+                label=SENSITIVE_NETWORK_IDENTITY,
+                subject=subject,
+                description="permanent IMSI",
+            )
+            ue = UserEquipment(self.network, entity, subject, imsi, f"citizen-{index}")
+            self.core.register_subscriber(str(imsi.payload), ue.human_identity)
+            self.ues.append(ue)
+            for cell_index in _walk(self.rng, self.param("cells"), self.param("steps")):
+                result = ue.attach(self.stations[cell_index])
+                self.attaches += int(result.accepted)
+
+    def analyze(self) -> PgppRun:
+        return PgppRun(
+            world=self.world,
+            network=self.network,
+            core=self.core,
+            ues=self.ues,
+            analyzer=DecouplingAnalyzer(self.world),
+            variant="traditional cellular (baseline)",
+            table_entities=["User", "NGC"],
+            attaches=self.attaches,
         )
-        ue = UserEquipment(network, entity, subject, imsi, f"citizen-{index}")
-        core.register_subscriber(str(imsi.payload), ue.human_identity)
-        ues.append(ue)
-        for cell_index in _walk(rng, cells, steps):
-            result = ue.attach(stations[cell_index])
-            attaches += int(result.accepted)
-    network.run()
-    return PgppRun(
-        world=world,
-        network=network,
-        core=core,
-        ues=ues,
-        analyzer=DecouplingAnalyzer(world),
-        variant="traditional cellular (baseline)",
-        table_entities=["User", "NGC"],
-        attaches=attaches,
-    )
 
 
-def run_pgpp(
-    users: int = 3,
-    cells: int = 4,
-    steps: int = 4,
-    epochs: int = 2,
-    seed: int = 20221114,
-    purchase_over_cellular: bool = False,
-    imsi_mode: str = "shuffled",
-    mobility: str = "walk",
-) -> PgppRun:
+class PgppProgram(ScenarioProgram):
     """PGPP: gateway billing, token attach, rotating IMSIs.
 
     ``purchase_over_cellular=True`` routes token purchases through the
@@ -172,90 +167,109 @@ def run_pgpp(
     assumption the paper discusses.  The default (out-of-band purchase)
     keeps even collusion fruitless.
     """
-    if imsi_mode not in ("shuffled", "identical", "static"):
-        raise ValueError("imsi_mode must be 'shuffled', 'identical', or 'static'")
-    rng = _random.Random(seed)
-    world = World()
-    network = Network()
-    core_entity = world.entity("NGC", "operator")
-    core = CellularCore(network, core_entity)
-    stations = _build_cells(world, network, core, cells)
 
-    gw_entity = world.entity("PGPP-GW", "pgpp-org")
-    gateway = PgppGateway(network, gw_entity, rng=rng)
-    core.credential_validator = gateway.validate
-    core.register_upstream("pgpp-gw", gateway.address)
+    def validate(self) -> None:
+        if self.params["imsi_mode"] not in ("shuffled", "identical", "static"):
+            raise ValueError(
+                "imsi_mode must be 'shuffled', 'identical', or 'static'"
+            )
 
-    subjects = [Subject(f"user-{i}") for i in range(users)]
-    ues: List[UserEquipment] = []
-    purchasers: List[TokenPurchaser] = []
-    oob_hosts = []
-    for index, subject in enumerate(subjects):
-        entity = world.entity(
-            "User" if index == 0 else f"User {index}",
-            f"phone-{index}",
-            trusted_by_user=True,
+    def build(self) -> None:
+        users = self.param("users")
+        imsi_mode = self.param("imsi_mode")
+        core_entity = self.world.entity("NGC", "operator")
+        self.core = CellularCore(self.network, core_entity)
+        self.stations = _build_cells(
+            self.world, self.network, self.core, self.param("cells")
         )
-        device_identity = LabeledValue(
-            payload=f"device-{subject}",
-            label=SENSITIVE_NETWORK_IDENTITY,
-            subject=subject,
-            description="device network identity",
-        )
-        pseudonym = _epoch_imsi(imsi_mode, 0, index, users, subject)
-        ue = UserEquipment(
-            network,
-            entity,
-            subject,
-            pseudonym,
-            f"citizen-{index}",
-            true_network_identity=device_identity,
-        )
-        ues.append(ue)
-        purchasers.append(
-            TokenPurchaser(entity, subject, ue.human_identity, rng=rng)
-        )
-        # Out-of-band purchase path (e.g. home WiFi).
-        oob_hosts.append(network.add_host(f"wifi:{subject}", entity))
 
-    attaches = 0
-    imsi_history: Dict[Subject, List[str]] = {
-        ue.subject: [str(ue.imsi_value.payload)] for ue in ues
-    }
-    for epoch in range(epochs):
-        order = list(range(users))
-        rng.shuffle(order)  # the epoch's IMSI shuffle
-        for index, ue in enumerate(ues):
-            # Buy the epoch's token first: over the (still attached)
-            # previous session when configured, else out of band.
-            if purchase_over_cellular and ue.attached_cell is not None:
-                token = purchasers[index].purchase_over_cellular(ue, gateway)
-            else:
-                token = purchasers[index].purchase_direct(oob_hosts[index], gateway)
-            if epoch > 0:
-                ue.set_imsi(
-                    _epoch_imsi(imsi_mode, epoch, order[index], users, ue.subject)
-                )
-                imsi_history[ue.subject].append(str(ue.imsi_value.payload))
-            first = True
-            for cell_index in make_mobility(mobility)(rng, cells, steps, index):
-                credential: Optional[AttachToken] = token if first else None
-                result = ue.attach(stations[cell_index], credential=credential)
-                attaches += int(result.accepted)
-                first = False
-    network.run()
-    return PgppRun(
-        world=world,
-        network=network,
-        core=core,
-        ues=ues,
-        analyzer=DecouplingAnalyzer(world),
-        variant="PGPP",
-        table_entities=["User", "PGPP-GW", "NGC"],
-        attaches=attaches,
-        gateway=gateway,
-        imsi_history=imsi_history,
-    )
+        gw_entity = self.world.entity("PGPP-GW", "pgpp-org")
+        self.gateway = PgppGateway(self.network, gw_entity, rng=self.rng)
+        self.core.credential_validator = self.gateway.validate
+        self.core.register_upstream("pgpp-gw", self.gateway.address)
+
+        subjects = [Subject(f"user-{i}") for i in range(users)]
+        self.ues = []
+        self.purchasers: List[TokenPurchaser] = []
+        self.oob_hosts = []
+        for index, subject in enumerate(subjects):
+            entity = self.world.entity(
+                "User" if index == 0 else f"User {index}",
+                f"phone-{index}",
+                trusted_by_user=True,
+            )
+            device_identity = LabeledValue(
+                payload=f"device-{subject}",
+                label=SENSITIVE_NETWORK_IDENTITY,
+                subject=subject,
+                description="device network identity",
+            )
+            pseudonym = _epoch_imsi(imsi_mode, 0, index, users, subject)
+            ue = UserEquipment(
+                self.network,
+                entity,
+                subject,
+                pseudonym,
+                f"citizen-{index}",
+                true_network_identity=device_identity,
+            )
+            self.ues.append(ue)
+            self.purchasers.append(
+                TokenPurchaser(entity, subject, ue.human_identity, rng=self.rng)
+            )
+            # Out-of-band purchase path (e.g. home WiFi).
+            self.oob_hosts.append(self.network.add_host(f"wifi:{subject}", entity))
+
+    def drive(self) -> None:
+        users = self.param("users")
+        imsi_mode = self.param("imsi_mode")
+        purchase_over_cellular = self.param("purchase_over_cellular")
+        mobility = make_mobility(self.param("mobility"))
+        self.attaches = 0
+        self.imsi_history = {
+            ue.subject: [str(ue.imsi_value.payload)] for ue in self.ues
+        }
+        for epoch in range(self.param("epochs")):
+            order = list(range(users))
+            self.rng.shuffle(order)  # the epoch's IMSI shuffle
+            for index, ue in enumerate(self.ues):
+                # Buy the epoch's token first: over the (still attached)
+                # previous session when configured, else out of band.
+                if purchase_over_cellular and ue.attached_cell is not None:
+                    token = self.purchasers[index].purchase_over_cellular(
+                        ue, self.gateway
+                    )
+                else:
+                    token = self.purchasers[index].purchase_direct(
+                        self.oob_hosts[index], self.gateway
+                    )
+                if epoch > 0:
+                    ue.set_imsi(
+                        _epoch_imsi(imsi_mode, epoch, order[index], users, ue.subject)
+                    )
+                    self.imsi_history[ue.subject].append(str(ue.imsi_value.payload))
+                first = True
+                for cell_index in mobility(
+                    self.rng, self.param("cells"), self.param("steps"), index
+                ):
+                    credential: Optional[AttachToken] = token if first else None
+                    result = ue.attach(self.stations[cell_index], credential=credential)
+                    self.attaches += int(result.accepted)
+                    first = False
+
+    def analyze(self) -> PgppRun:
+        return PgppRun(
+            world=self.world,
+            network=self.network,
+            core=self.core,
+            ues=self.ues,
+            analyzer=DecouplingAnalyzer(self.world),
+            variant="PGPP",
+            table_entities=["User", "PGPP-GW", "NGC"],
+            attaches=self.attaches,
+            gateway=self.gateway,
+            imsi_history=self.imsi_history,
+        )
 
 
 def _epoch_imsi(
@@ -275,4 +289,86 @@ def _epoch_imsi(
         subject=subject,
         description="rotating pgpp imsi",
         provenance=("imsi", "rotate"),
+    )
+
+
+register(
+    ScenarioSpec(
+        id="pgpp",
+        title="Pretty Good Phone Privacy (3.2.3)",
+        program=PgppProgram,
+        params=(
+            Param("users", 3, "phones in the population"),
+            Param("cells", 4, "cells in the coverage grid"),
+            Param("steps", 4, "mobility steps per epoch"),
+            Param("epochs", 2, "IMSI-rotation epochs"),
+            Param("seed", 20221114, "per-run RNG seed (None: system entropy)"),
+            Param(
+                "purchase_over_cellular",
+                False,
+                "buy tokens over the data plane (collusion handle)",
+            ),
+            Param("imsi_mode", "shuffled", "shuffled/identical/static rotation"),
+            Param("mobility", "walk", "mobility model name"),
+        ),
+        expected=PAPER_TABLE_T5,
+        entities=("User", "PGPP-GW", "NGC"),
+        table_constant="PAPER_TABLE_T5",
+        experiment_id="T5",
+        order=50.0,
+    )
+)
+
+register(
+    ScenarioSpec(
+        id="pgpp-baseline",
+        title="Traditional cellular, coupled baseline (3.2.3)",
+        program=BaselineCellularProgram,
+        params=(
+            Param("users", 3, "phones in the population"),
+            Param("cells", 4, "cells in the coverage grid"),
+            Param("steps", 4, "mobility steps per walk"),
+            Param("seed", 20221114, "per-run RNG seed (None: system entropy)"),
+        ),
+        expected=BASELINE_TABLE_T5,
+        entities=("User", "NGC"),
+        table_constant="BASELINE_TABLE_T5",
+        order=51.0,
+    )
+)
+
+
+def run_baseline_cellular(
+    users: int = 3,
+    cells: int = 4,
+    steps: int = 4,
+    seed: int = 20221114,
+) -> PgppRun:
+    """Traditional cellular: the core sees billing + IMSI + location."""
+    return run_scenario(
+        "pgpp-baseline", users=users, cells=cells, steps=steps, seed=seed
+    )
+
+
+def run_pgpp(
+    users: int = 3,
+    cells: int = 4,
+    steps: int = 4,
+    epochs: int = 2,
+    seed: int = 20221114,
+    purchase_over_cellular: bool = False,
+    imsi_mode: str = "shuffled",
+    mobility: str = "walk",
+) -> PgppRun:
+    """PGPP: gateway billing, token attach, rotating IMSIs."""
+    return run_scenario(
+        "pgpp",
+        users=users,
+        cells=cells,
+        steps=steps,
+        epochs=epochs,
+        seed=seed,
+        purchase_over_cellular=purchase_over_cellular,
+        imsi_mode=imsi_mode,
+        mobility=mobility,
     )

@@ -2,14 +2,19 @@
 
 from __future__ import annotations
 
-import random as _random
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.core.analysis import DecouplingAnalyzer
-from repro.core.entities import World
 from repro.core.values import Subject
-from repro.net.network import Network
+from repro.scenario import (
+    Param,
+    ScenarioProgram,
+    ScenarioRun,
+    ScenarioSpec,
+    register,
+    run_scenario,
+)
 
 from .tokens import Issuer, PrivacyPassClient, ProtectedOrigin
 
@@ -24,57 +29,71 @@ PAPER_TABLE_T3: Dict[str, str] = {
 
 
 @dataclass
-class PrivacyPassRun:
+class PrivacyPassRun(ScenarioRun):
     """Everything produced by one Privacy Pass scenario run."""
 
-    world: World
-    network: Network
-    client: PrivacyPassClient
-    issuer: Issuer
-    origin: ProtectedOrigin
-    analyzer: DecouplingAnalyzer
-    tokens_redeemed: int
+    client: PrivacyPassClient = None  # type: ignore[assignment]
+    issuer: Issuer = None  # type: ignore[assignment]
+    origin: ProtectedOrigin = None  # type: ignore[assignment]
+    tokens_redeemed: int = 0
 
-    def table(self):
-        return self.analyzer.table(
-            entities=["Client", "Issuer", "Origin"],
-            title="T3: Privacy Pass",
+    table_title = "T3: Privacy Pass"
+
+
+class PrivacyPassProgram(ScenarioProgram):
+    """Issue and redeem tokens; analyze the settled world."""
+
+    def build(self) -> None:
+        client_entity = self.world.entity("Client", "client-device", trusted_by_user=True)
+        issuer_entity = self.world.entity("Issuer", "issuer-org")
+        origin_entity = self.world.entity("Origin", "origin-org")
+
+        self.issuer = Issuer(self.network, issuer_entity, rng=self.rng)
+        self.client = PrivacyPassClient(
+            self.network, client_entity, Subject("alice"), "alice@example.com", rng=self.rng
+        )
+        self.origin = ProtectedOrigin(self.network, origin_entity, self.issuer)
+
+    def drive(self) -> None:
+        self.redeemed = 0
+        for index in range(self.param("tokens")):
+            token = self.client.request_token(self.issuer)
+            outcome = self.client.redeem(
+                self.origin, token, f"GET /challenge-gated/{index}"
+            )
+            if outcome.accepted:
+                self.redeemed += 1
+
+    def analyze(self) -> PrivacyPassRun:
+        return PrivacyPassRun(
+            world=self.world,
+            network=self.network,
+            analyzer=DecouplingAnalyzer(self.world),
+            client=self.client,
+            issuer=self.issuer,
+            origin=self.origin,
+            tokens_redeemed=self.redeemed,
         )
 
 
-def run_privacy_pass(
-    tokens: int = 3,
-    seed: Optional[int] = 20221114,
-) -> PrivacyPassRun:
+register(
+    ScenarioSpec(
+        id="privacy-pass",
+        title="Privacy Pass (3.2.1)",
+        program=PrivacyPassProgram,
+        params=(
+            Param("tokens", 3, "tokens issued and redeemed"),
+            Param("seed", 20221114, "per-run RNG seed (None: system entropy)"),
+        ),
+        expected=PAPER_TABLE_T3,
+        entities=("Client", "Issuer", "Origin"),
+        table_constant="PAPER_TABLE_T3",
+        experiment_id="T3",
+        order=30.0,
+    )
+)
+
+
+def run_privacy_pass(tokens: int = 3, seed: int = 20221114) -> PrivacyPassRun:
     """Issue and redeem ``tokens`` tokens; return the analyzed run."""
-    rng = _random.Random(seed) if seed is not None else None
-    world = World()
-    network = Network()
-
-    client_entity = world.entity("Client", "client-device", trusted_by_user=True)
-    issuer_entity = world.entity("Issuer", "issuer-org")
-    origin_entity = world.entity("Origin", "origin-org")
-
-    issuer = Issuer(network, issuer_entity, rng=rng)
-    client = PrivacyPassClient(
-        network, client_entity, Subject("alice"), "alice@example.com", rng=rng
-    )
-    origin = ProtectedOrigin(network, origin_entity, issuer)
-
-    redeemed = 0
-    for index in range(tokens):
-        token = client.request_token(issuer)
-        outcome = client.redeem(origin, token, f"GET /challenge-gated/{index}")
-        if outcome.accepted:
-            redeemed += 1
-    network.run()
-
-    return PrivacyPassRun(
-        world=world,
-        network=network,
-        client=client,
-        issuer=issuer,
-        origin=origin,
-        analyzer=DecouplingAnalyzer(world),
-        tokens_redeemed=redeemed,
-    )
+    return run_scenario("privacy-pass", tokens=tokens, seed=seed)

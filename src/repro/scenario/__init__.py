@@ -1,0 +1,68 @@
+"""repro.scenario: the declarative scenario runtime.
+
+One registry, one run loop, one run base -- every system the paper
+analyzes (and every extension) is a :class:`ScenarioSpec` registered
+here, executed by :func:`run_scenario` through the uniform
+``build -> drive -> settle -> analyze`` lifecycle with phase hooks.
+
+The harness derives its experiment list from :func:`experiment_specs`,
+the CLI resolves its ``demo``/``trace``/``explain``/``timeline`` verbs
+through :func:`get_spec`, and new scenarios join every one of those
+surfaces with a single :func:`register` call -- no parallel lists.
+"""
+
+from .run import ScenarioRun
+from .runtime import (
+    PHASES,
+    PhaseHook,
+    ScenarioProgram,
+    execute,
+    run_scenario,
+)
+from .spec import (
+    Param,
+    ScenarioError,
+    ScenarioSpec,
+    SweepSpec,
+    all_specs,
+    discover,
+    experiment_specs,
+    find_spec,
+    get_spec,
+    register,
+    register_sweep,
+    sweep_specs,
+)
+from .topology import (
+    OriginStack,
+    add_origin,
+    anonymized_identity,
+    client_ip_identity,
+    fetch_via_anonymized,
+)
+
+__all__ = [
+    "PHASES",
+    "Param",
+    "PhaseHook",
+    "ScenarioError",
+    "ScenarioProgram",
+    "ScenarioRun",
+    "ScenarioSpec",
+    "SweepSpec",
+    "OriginStack",
+    "add_origin",
+    "anonymized_identity",
+    "client_ip_identity",
+    "fetch_via_anonymized",
+    "all_specs",
+    "discover",
+    "execute",
+    "experiment_specs",
+    "find_spec",
+    "get_spec",
+    "register",
+    "register_sweep",
+    "run_scenario",
+    "sweep_specs",
+]

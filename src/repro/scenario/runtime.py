@@ -1,0 +1,138 @@
+"""The declarative scenario runtime: one run loop for every scenario.
+
+A scenario executes in four phases:
+
+* ``build``   -- create the world, the network, every entity and
+  protocol endpoint (no traffic yet);
+* ``drive``   -- inject the workload (queries, purchases, logins);
+* ``settle``  -- let the simulator drain (default: ``network.run()``);
+* ``analyze`` -- construct the analyzer and the scenario's
+  :class:`~repro.scenario.run.ScenarioRun`.
+
+:func:`run_scenario` steps a :class:`ScenarioProgram` through those
+phases, calling every registered :data:`PhaseHook` before and after
+each one.  Hooks are how later layers extend *every* scenario at once
+-- fault injection flips network knobs before ``drive``, sharding
+splits the workload, tracing wraps phases in spans -- without touching
+scenario code.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, Iterable, Optional, Sequence
+
+from repro.core.entities import World
+from repro.net.network import Network
+
+from .run import ScenarioRun
+from .spec import ScenarioSpec, get_spec
+
+__all__ = [
+    "PHASES",
+    "PhaseHook",
+    "ScenarioProgram",
+    "run_scenario",
+    "execute",
+]
+
+#: The lifecycle, in order.  ``analyze`` is the only phase with a
+#: return value (the finished run).
+PHASES = ("build", "drive", "settle", "analyze")
+
+#: ``hook(event, phase, program)`` with ``event`` in {"before",
+#: "after"}; called around every phase of every run it is passed to.
+PhaseHook = Callable[[str, str, "ScenarioProgram"], None]
+
+
+class ScenarioProgram:
+    """One scenario's lifecycle implementation.
+
+    Subclasses implement :meth:`build`, :meth:`drive`, and
+    :meth:`analyze`; :meth:`settle` defaults to draining the network.
+    The base constructor provides the world, the network (see
+    :meth:`make_network` for latency knobs), and -- when the spec's
+    schema declares a ``seed`` -- a per-run ``self.rng``
+    (``random.Random(seed)``, or ``None`` for ``seed=None``), so no
+    scenario ever draws from module-level randomness.
+    """
+
+    def __init__(self, spec: ScenarioSpec, params: Dict[str, Any]) -> None:
+        self.spec = spec
+        self.params = params
+        self.validate()
+        self.world = World()
+        self.network = self.make_network()
+        seed = params.get("seed")
+        self.rng: Optional[random.Random] = (
+            random.Random(seed) if seed is not None else None
+        )
+
+    # -- overridable lifecycle ----------------------------------------
+
+    def validate(self) -> None:
+        """Reject bad parameter bindings before any state exists."""
+
+    def make_network(self) -> Network:
+        """The scenario's network; override for latency/loss knobs."""
+        return Network()
+
+    def build(self) -> None:
+        raise NotImplementedError
+
+    def drive(self) -> None:
+        raise NotImplementedError
+
+    def settle(self) -> None:
+        self.network.run()
+
+    def analyze(self) -> ScenarioRun:
+        raise NotImplementedError
+
+    # -- conveniences shared by every program -------------------------
+
+    def param(self, name: str) -> Any:
+        return self.params[name]
+
+
+def execute(
+    program: ScenarioProgram, hooks: Sequence[PhaseHook] = ()
+) -> ScenarioRun:
+    """Step ``program`` through the lifecycle; return the stamped run."""
+    run: Optional[ScenarioRun] = None
+    for phase in PHASES:
+        for hook in hooks:
+            hook("before", phase, program)
+        result = getattr(program, phase)()
+        if phase == "analyze":
+            run = result
+        for hook in hooks:
+            hook("after", phase, program)
+    if not isinstance(run, ScenarioRun):
+        raise TypeError(
+            f"scenario {program.spec.id!r} analyze() returned"
+            f" {type(run).__name__}, not a ScenarioRun"
+        )
+    run.scenario_id = program.spec.id
+    run.params = dict(program.params)
+    if run.table_entities is None:
+        run.table_entities = program.spec.entity_order(program.params)
+    return run
+
+
+def run_scenario(
+    scenario_id: str,
+    overrides: Optional[Dict[str, Any]] = None,
+    hooks: Iterable[PhaseHook] = (),
+    **params: Any,
+) -> ScenarioRun:
+    """Run one registered scenario by id.
+
+    Keyword arguments (or the ``overrides`` mapping) overlay the
+    spec's parameter schema; unknown names raise
+    :class:`~repro.scenario.spec.ScenarioError`.
+    """
+    spec = get_spec(scenario_id)
+    bound = spec.bind({**(overrides or {}), **params})
+    program = spec.program(spec, bound)
+    return execute(program, tuple(hooks))

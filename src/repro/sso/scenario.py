@@ -2,14 +2,19 @@
 
 from __future__ import annotations
 
-import random as _random
 from dataclasses import dataclass
 from typing import Dict
 
 from repro.core.analysis import DecouplingAnalyzer
-from repro.core.entities import World
 from repro.core.values import Subject
-from repro.net.network import Network
+from repro.scenario import (
+    Param,
+    ScenarioProgram,
+    ScenarioRun,
+    ScenarioSpec,
+    register,
+    run_scenario,
+)
 
 from .provider import IdentityProvider, ServiceProvider, SsoUser
 
@@ -38,50 +43,93 @@ EXPECTED_TABLES_SSO: Dict[str, Dict[str, str]] = {
     },
 }
 
+_SSO_ENTITIES = ("User", "IdP", "Service A", "Service B")
+
 
 @dataclass
-class SsoRun:
-    world: World
-    network: Network
-    analyzer: DecouplingAnalyzer
-    mode: str
-    logins: int
-    idp: IdentityProvider
+class SsoRun(ScenarioRun):
+    mode: str = "global"
+    logins: int = 0
+    idp: IdentityProvider = None  # type: ignore[assignment]
 
-    def table(self):
-        return self.analyzer.table(
-            entities=["User", "IdP", "Service A", "Service B"],
-            title=f"SSO ({self.mode} identifiers)",
+    @property
+    def table_title(self) -> str:
+        return f"SSO ({self.mode} identifiers)"
+
+
+class SsoProgram(ScenarioProgram):
+    """One user logging into two services under the chosen design."""
+
+    def validate(self) -> None:
+        if self.params["mode"] not in EXPECTED_TABLES_SSO:
+            raise ValueError(
+                "mode must be global, pairwise, or anonymous"
+            )
+
+    def build(self) -> None:
+        user_entity = self.world.entity("User", "user-device", trusted_by_user=True)
+        idp_entity = self.world.entity("IdP", "idp-org")
+        service_a_entity = self.world.entity("Service A", "service-a-org")
+        service_b_entity = self.world.entity("Service B", "service-b-org")
+
+        self.idp = IdentityProvider(
+            self.network, idp_entity, mode=self.param("mode"), rng=self.rng
         )
+        self.service_a = ServiceProvider(self.network, service_a_entity, "service-a", self.idp)
+        self.service_b = ServiceProvider(self.network, service_b_entity, "service-b", self.idp)
+        self.user = SsoUser(
+            self.network, user_entity, Subject("alice"), "alice@idp.example", rng=self.rng
+        )
+
+    def drive(self) -> None:
+        self.logins = 0
+        for index in range(self.param("logins_per_service")):
+            for service in (self.service_a, self.service_b):
+                outcome = self.user.login(
+                    self.idp, service, f"activity {index} at {service.name}"
+                )
+                self.logins += int(outcome == "welcome")
+
+    def analyze(self) -> SsoRun:
+        return SsoRun(
+            world=self.world,
+            network=self.network,
+            analyzer=DecouplingAnalyzer(self.world),
+            mode=self.param("mode"),
+            logins=self.logins,
+            idp=self.idp,
+        )
+
+
+def _register_sso(mode: str, experiment_id: str, label: str, order: float) -> None:
+    register(
+        ScenarioSpec(
+            id=f"sso-{mode}",
+            title=f"SSO, {label} (2.2, extension)",
+            program=SsoProgram,
+            params=(
+                Param("mode", mode, "assertion design: global/pairwise/anonymous"),
+                Param("logins_per_service", 2, "logins per service"),
+                Param("seed", 20221114, "per-run RNG seed (None: system entropy)"),
+            ),
+            expected=EXPECTED_TABLES_SSO[mode],
+            entities=_SSO_ENTITIES,
+            table_constant=f"EXPECTED_TABLES_SSO[{mode!r}]",
+            experiment_id=experiment_id,
+            order=order,
+        )
+    )
+
+
+_register_sso("global", "E2a", "global ids", 120.0)
+_register_sso("pairwise", "E2b", "pairwise ids", 121.0)
+_register_sso("anonymous", "E2c", "blind tickets", 122.0)
 
 
 def run_sso(mode: str = "global", logins_per_service: int = 2, seed: int = 20221114) -> SsoRun:
     """One user logging into two services under the chosen design."""
-    rng = _random.Random(seed)
-    world = World()
-    network = Network()
-
-    user_entity = world.entity("User", "user-device", trusted_by_user=True)
-    idp_entity = world.entity("IdP", "idp-org")
-    service_a_entity = world.entity("Service A", "service-a-org")
-    service_b_entity = world.entity("Service B", "service-b-org")
-
-    idp = IdentityProvider(network, idp_entity, mode=mode, rng=rng)
-    service_a = ServiceProvider(network, service_a_entity, "service-a", idp)
-    service_b = ServiceProvider(network, service_b_entity, "service-b", idp)
-    user = SsoUser(network, user_entity, Subject("alice"), "alice@idp.example", rng=rng)
-
-    logins = 0
-    for index in range(logins_per_service):
-        for service in (service_a, service_b):
-            outcome = user.login(idp, service, f"activity {index} at {service.name}")
-            logins += int(outcome == "welcome")
-    network.run()
-    return SsoRun(
-        world=world,
-        network=network,
-        analyzer=DecouplingAnalyzer(world),
-        mode=mode,
-        logins=logins,
-        idp=idp,
+    if mode not in EXPECTED_TABLES_SSO:
+        raise ValueError("mode must be global, pairwise, or anonymous")
+    return run_scenario(
+        f"sso-{mode}", logins_per_service=logins_per_service, seed=seed
     )

@@ -2,16 +2,22 @@
 
 from __future__ import annotations
 
-import random as _random
 from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.core.analysis import DecouplingAnalyzer
-from repro.core.entities import World
-from repro.core.labels import NONSENSITIVE_IDENTITY, SENSITIVE_IDENTITY
-from repro.core.values import LabeledValue, Subject
+from repro.core.values import Subject
 from repro.http.messages import make_request
-from repro.net.network import Network
+from repro.scenario import (
+    Param,
+    ScenarioProgram,
+    ScenarioRun,
+    ScenarioSpec,
+    anonymized_identity,
+    client_ip_identity,
+    register,
+    run_scenario,
+)
 
 from .cacti import CactiOrigin, CactiTee, request_via_cacti
 from .enclave import AttestationAuthority
@@ -44,92 +50,142 @@ EXPECTED_TABLE_PHOENIX: Dict[str, str] = {
 
 
 @dataclass
-class TeeRun:
-    world: World
-    network: Network
-    analyzer: DecouplingAnalyzer
-    variant: str
-    table_entities: List[str]
-    served: int
+class TeeRun(ScenarioRun):
+    variant: str = ""
+    table_entities: List[str] = None  # type: ignore[assignment]
+    served: int = 0
 
-    def table(self):
-        return self.analyzer.table(
-            entities=self.table_entities, title=f"TEE: {self.variant}"
+    @property
+    def table_title(self) -> str:
+        return f"TEE: {self.variant}"
+
+
+class CactiProgram(ScenarioProgram):
+    """Gated requests with client-side attested rate proofs."""
+
+    def build(self) -> None:
+        authority = AttestationAuthority(rng=self.rng)
+        self.subject = Subject("alice")
+
+        client_entity = self.world.entity("Client", "client-device", trusted_by_user=True)
+        origin_entity = self.world.entity("Origin", "origin-org")
+        self.tee = CactiTee(
+            self.world, authority, self.subject, rate_limit=self.param("rate_limit")
         )
+        self.origin = CactiOrigin(
+            self.network,
+            origin_entity,
+            vendor_key=authority.public_key,
+            expected_measurement=self.tee.enclave.measurement,
+        )
+        # Requests ride an anonymized channel, as with Privacy Pass.
+        anonymized = anonymized_identity(
+            self.subject, payload="anonymized-exit", provenance=()
+        )
+        client_entity.observe(
+            client_ip_identity(self.subject, "198.51.100.4"),
+            channel="self",
+            session="self",
+        )
+        self.host = self.network.add_host(
+            "cacti-client", client_entity, identity=anonymized
+        )
+
+    def drive(self) -> None:
+        self.served = 0
+        for index in range(self.param("requests")):
+            outcome = request_via_cacti(
+                self.host, self.tee, self.origin, f"GET /gated/{index}"
+            )
+            self.served += int(outcome == "served")
+
+    def analyze(self) -> TeeRun:
+        return TeeRun(
+            world=self.world,
+            network=self.network,
+            analyzer=DecouplingAnalyzer(self.world),
+            variant="CACTI",
+            table_entities=["Client", "Origin"],
+            served=self.served,
+        )
+
+
+class PhoenixProgram(ScenarioProgram):
+    """Keyless-CDN fetches through an attested enclave."""
+
+    def build(self) -> None:
+        authority = AttestationAuthority(rng=self.rng)
+        self.subject = Subject("alice")
+
+        client_entity = self.world.entity("Client", "client-device", trusted_by_user=True)
+        operator_entity = self.world.entity("CDN Operator", "cdn-operator")
+        pop = PhoenixPop(self.world, self.network, operator_entity, authority)
+
+        identity = client_ip_identity(self.subject, "198.51.100.5")
+        client_entity.observe(identity, channel="self", session="self")
+        host = self.network.add_host("phoenix-client", client_entity, identity=identity)
+        self.client = PhoenixClient(host, pop, authority.public_key, self.subject)
+
+    def drive(self) -> None:
+        self.served = 0
+        for index in range(self.param("requests")):
+            response = self.client.fetch(
+                make_request("cdn.example", f"/asset/{index % 2}", self.subject)
+            )
+            self.served += int(response.ok)
+
+    def analyze(self) -> TeeRun:
+        return TeeRun(
+            world=self.world,
+            network=self.network,
+            analyzer=DecouplingAnalyzer(self.world),
+            variant="Phoenix keyless CDN",
+            table_entities=["Client", "CDN Operator", "CDN Enclave"],
+            served=self.served,
+        )
+
+
+register(
+    ScenarioSpec(
+        id="cacti",
+        title="CACTI (4.3, extension)",
+        program=CactiProgram,
+        params=(
+            Param("requests", 3, "gated requests issued"),
+            Param("rate_limit", 5, "enclave rate-proof limit"),
+            Param("seed", 20221114, "per-run RNG seed (None: system entropy)"),
+        ),
+        expected=EXPECTED_TABLE_CACTI,
+        entities=("Client", "Origin"),
+        table_constant="EXPECTED_TABLE_CACTI",
+        experiment_id="E1a",
+        order=110.0,
+    )
+)
+
+register(
+    ScenarioSpec(
+        id="phoenix",
+        title="Phoenix keyless CDN (4.3, extension)",
+        program=PhoenixProgram,
+        params=(
+            Param("requests", 4, "CDN asset fetches"),
+            Param("seed", 20221114, "per-run RNG seed (None: system entropy)"),
+        ),
+        expected=EXPECTED_TABLE_PHOENIX,
+        entities=("Client", "CDN Operator", "CDN Enclave"),
+        table_constant="EXPECTED_TABLE_PHOENIX",
+        experiment_id="E1b",
+        order=111.0,
+    )
+)
 
 
 def run_cacti(requests: int = 3, rate_limit: int = 5, seed: int = 20221114) -> TeeRun:
     """Gated requests with client-side attested rate proofs."""
-    rng = _random.Random(seed)
-    world = World()
-    network = Network()
-    authority = AttestationAuthority(rng=rng)
-    subject = Subject("alice")
-
-    client_entity = world.entity("Client", "client-device", trusted_by_user=True)
-    origin_entity = world.entity("Origin", "origin-org")
-    tee = CactiTee(world, authority, subject, rate_limit=rate_limit)
-    origin = CactiOrigin(
-        network,
-        origin_entity,
-        vendor_key=authority.public_key,
-        expected_measurement=tee.enclave.measurement,
-    )
-    # Requests ride an anonymized channel, as with Privacy Pass.
-    anonymized = LabeledValue(
-        "anonymized-exit", NONSENSITIVE_IDENTITY, subject, "anonymized network identity"
-    )
-    client_entity.observe(
-        LabeledValue("198.51.100.4", SENSITIVE_IDENTITY, subject, "client ip"),
-        channel="self",
-        session="self",
-    )
-    host = network.add_host("cacti-client", client_entity, identity=anonymized)
-
-    served = 0
-    for index in range(requests):
-        outcome = request_via_cacti(host, tee, origin, f"GET /gated/{index}")
-        served += int(outcome == "served")
-    network.run()
-    return TeeRun(
-        world=world,
-        network=network,
-        analyzer=DecouplingAnalyzer(world),
-        variant="CACTI",
-        table_entities=["Client", "Origin"],
-        served=served,
-    )
+    return run_scenario("cacti", requests=requests, rate_limit=rate_limit, seed=seed)
 
 
 def run_phoenix(requests: int = 4, seed: int = 20221114) -> TeeRun:
     """Keyless-CDN fetches through an attested enclave."""
-    rng = _random.Random(seed)
-    world = World()
-    network = Network()
-    authority = AttestationAuthority(rng=rng)
-    subject = Subject("alice")
-
-    client_entity = world.entity("Client", "client-device", trusted_by_user=True)
-    operator_entity = world.entity("CDN Operator", "cdn-operator")
-    pop = PhoenixPop(world, network, operator_entity, authority)
-
-    identity = LabeledValue("198.51.100.5", SENSITIVE_IDENTITY, subject, "client ip")
-    client_entity.observe(identity, channel="self", session="self")
-    host = network.add_host("phoenix-client", client_entity, identity=identity)
-    client = PhoenixClient(host, pop, authority.public_key, subject)
-
-    served = 0
-    for index in range(requests):
-        response = client.fetch(
-            make_request("cdn.example", f"/asset/{index % 2}", subject)
-        )
-        served += int(response.ok)
-    network.run()
-    return TeeRun(
-        world=world,
-        network=network,
-        analyzer=DecouplingAnalyzer(world),
-        variant="Phoenix keyless CDN",
-        table_entities=["Client", "CDN Operator", "CDN Enclave"],
-        served=served,
-    )
+    return run_scenario("phoenix", requests=requests, seed=seed)

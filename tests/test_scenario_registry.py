@@ -1,0 +1,181 @@
+"""The scenario registry: completeness, parameter binding, goldens.
+
+Two invariants guard the declarative runtime against drift:
+
+* **Completeness** -- every paper-table constant defined anywhere in
+  ``repro.*.scenario`` is claimed by exactly one registered spec, the
+  spec's ``expected_table()`` reproduces the constant verbatim, and the
+  spec's entity display order matches the table's keys.  Adding a new
+  paper table without registering its scenario (or vice versa) fails
+  here.
+
+* **Golden parity** -- the registry-driven ``tables`` and ``report
+  --json`` CLI paths must emit byte-identical output to the pinned
+  pre-refactor goldens in ``tests/golden/``.
+"""
+
+import importlib
+import importlib.util
+import io
+import pkgutil
+import re
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.cli import main
+from repro.scenario import (
+    Param,
+    ScenarioError,
+    ScenarioSpec,
+    all_specs,
+    experiment_specs,
+    find_spec,
+    get_spec,
+    register,
+    sweep_specs,
+)
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: Module-level names that declare a paper knowledge table.
+_CONSTANT_PATTERN = re.compile(r"^(PAPER_TABLE_|BASELINE_TABLE_|EXPECTED_TABLE)")
+
+
+def _paper_table_constants():
+    """Every paper-table constant in ``repro.*.scenario``, flattened.
+
+    Returns ``{reference: table}`` where ``reference`` is the string a
+    spec's ``table_constant`` field uses: the bare constant name, or
+    ``NAME['mode']`` for dict-of-dict constants like the SSO family.
+    """
+    constants = {}
+    for info in pkgutil.iter_modules(repro.__path__):
+        if not info.ispkg:
+            continue
+        name = f"repro.{info.name}.scenario"
+        if importlib.util.find_spec(name) is None:
+            continue
+        module = importlib.import_module(name)
+        for attr in dir(module):
+            if not _CONSTANT_PATTERN.match(attr):
+                continue
+            value = getattr(module, attr)
+            if not isinstance(value, dict):
+                continue
+            if value and all(isinstance(cell, dict) for cell in value.values()):
+                for mode, table in value.items():
+                    constants[f"{attr}[{mode!r}]"] = table
+            else:
+                constants[attr] = value
+    return constants
+
+
+class TestCompleteness:
+    def test_every_constant_has_exactly_one_spec(self):
+        constants = _paper_table_constants()
+        assert constants, "no paper-table constants found"
+        for reference, table in constants.items():
+            claimants = [
+                spec for spec in all_specs() if spec.table_constant == reference
+            ]
+            assert len(claimants) == 1, (
+                f"{reference} should be claimed by exactly one spec,"
+                f" got {[spec.id for spec in claimants]}"
+            )
+            assert claimants[0].expected_table() == table, (
+                f"spec {claimants[0].id!r} does not reproduce {reference}"
+            )
+
+    def test_every_paper_row_names_its_constant(self):
+        # T2's table generalizes with the mix count, so it is a callable
+        # reference rather than a module constant; everything else in
+        # the report points at a real constant.
+        constants = _paper_table_constants()
+        for spec in experiment_specs():
+            assert spec.table_constant, f"{spec.id} has no table_constant"
+            if spec.id == "mixnet":
+                assert spec.table_constant == "paper_table_t2(mixes)"
+            else:
+                assert spec.table_constant in constants
+
+    def test_entity_order_matches_table_keys(self):
+        for spec in all_specs():
+            expected = spec.expected_table()
+            if expected is None:
+                continue
+            assert spec.entity_order() == list(expected), (
+                f"spec {spec.id!r}: entity order diverges from table keys"
+            )
+
+    def test_every_spec_declares_a_seed_param(self):
+        for spec in all_specs():
+            names = [param.name for param in spec.params]
+            assert "seed" in names, f"spec {spec.id!r} has no seed parameter"
+
+    def test_report_rows_in_paper_order(self):
+        assert [spec.experiment_id for spec in experiment_specs()] == [
+            "T1", "T2", "T3", "T4a", "T4b", "T5", "T6", "T7", "T8",
+            "E1a", "E1b", "E2a", "E2b", "E2c",
+        ]
+
+    def test_sweeps_in_paper_order(self):
+        assert [spec.key for spec in sweep_specs()] == [
+            "D1", "D2", "D3u", "D3p", "D4", "D5", "D6",
+        ]
+
+
+class TestRegistry:
+    def test_all_specs_sorted_by_id(self):
+        ids = [spec.id for spec in all_specs()]
+        assert ids == sorted(ids)
+        assert len(ids) == len(set(ids))
+
+    def test_unknown_id_raises_with_hint(self):
+        with pytest.raises(ScenarioError, match="unknown scenario 'nope'"):
+            get_spec("nope")
+        assert find_spec("nope") is None
+
+    def test_find_spec_returns_registered(self):
+        assert find_spec("mixnet") is get_spec("mixnet")
+
+    def test_duplicate_registration_rejected(self):
+        spec = get_spec("mixnet")
+        clone = ScenarioSpec(id="mixnet", title="imposter", program=spec.program)
+        with pytest.raises(ScenarioError, match="registered twice"):
+            register(clone)
+        assert get_spec("mixnet") is spec  # original untouched
+
+    def test_bind_rejects_unknown_parameter(self):
+        spec = get_spec("digital-cash")
+        with pytest.raises(ScenarioError, match="no parameter 'coinz'"):
+            spec.bind({"coinz": 5})
+
+    def test_bind_overlays_defaults(self):
+        spec = get_spec("digital-cash")
+        bound = spec.bind({"coins": 7})
+        assert bound["coins"] == 7
+        assert bound["seed"] == spec.defaults()["seed"]
+
+    def test_param_docs_present(self):
+        for spec in all_specs():
+            for param in spec.params:
+                assert isinstance(param, Param)
+                assert param.doc, f"{spec.id}.{param.name} is undocumented"
+
+
+class TestGoldenParity:
+    def _run(self, argv):
+        out = io.StringIO()
+        code = main(argv, out=out)
+        assert code == 0
+        return out.getvalue()
+
+    def test_tables_byte_identical(self):
+        golden = (GOLDEN_DIR / "tables.txt").read_text(encoding="utf-8")
+        assert self._run(["tables"]) == golden
+
+    def test_report_json_byte_identical(self):
+        golden = (GOLDEN_DIR / "report.json").read_text(encoding="utf-8")
+        assert self._run(["report", "--json"]) == golden
