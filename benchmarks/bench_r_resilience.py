@@ -1,0 +1,40 @@
+"""R: decoupling verdicts under failure (the resilience sweep).
+
+Expected shape: at zero loss every verdict matches its fault-free
+anchor; under injected faults delivery degrades but verdict *flips*
+stay rare -- the known exception is ODoH's direct-DoH fallback, which
+trades the decoupling guarantee for availability (docs/ROBUSTNESS.md).
+"""
+
+from repro.faults import FaultPlan
+from repro.harness import resilience_point, resilience_sweep
+from repro.scenario import run_scenario
+
+
+def test_r_zero_rate_anchors_verdicts(benchmark):
+    points = benchmark(
+        resilience_sweep, rates=(0.0,), scenario_ids=["odoh", "odns", "vpn", "mpr"]
+    )
+    assert all(point.verdict_stable for point in points)
+    assert all(point.delivery_rate == 1.0 for point in points)
+    benchmark.extra_info["points"] = [point.to_dict() for point in points]
+
+
+def test_r_lossy_point_conserves_packets(benchmark):
+    point = benchmark(resilience_point, "odns", 0.35, 3)
+    assert point.packets_dropped > 0
+    assert (
+        point.packets_sent + point.packets_duplicated
+        == point.packets_delivered + point.packets_dropped
+    )
+    benchmark.extra_info["point"] = point.to_dict()
+
+
+def test_r_odoh_proxy_crash_flips_verdict(benchmark):
+    """The headline failure mode: resilience buys back delivery at the
+    cost of the decoupling property itself."""
+    plan = FaultPlan.crash("oblivious-proxy", at=0.0, seed=1)
+    run = benchmark(run_scenario, "odoh", faults=plan)
+    assert not run.analyzer.verdict().decoupled
+    assert run.fault_summary["stats"]["fallbacks"] == 3
+    benchmark.extra_info["fault_stats"] = run.fault_summary["stats"]

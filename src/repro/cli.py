@@ -12,7 +12,9 @@ Commands:
 * ``sweeps``      -- just the degree sweeps (D-series); ``--trace``
   appends a per-sweep timing section, ``--jobs N`` runs them parallel
 * ``demo NAME``   -- run one system's scenario and print its analysis
-  (``--json`` emits the run as a machine-readable document instead)
+  (``--json`` emits the run as a machine-readable document instead;
+  ``--faults plan.json`` runs it under a fault plan, see
+  ``docs/ROBUSTNESS.md``)
 * ``demos``       -- list every registered scenario with its title and
   parameter schema (the registry behind ``demo``/``trace``/``explain``)
 * ``trace NAME``  -- run one demo with tracing on and export the span
@@ -20,10 +22,16 @@ Commands:
 * ``explain NAME --entity E [--subject S] [--fact F]`` -- run one demo
   and print, for every (matching) sensitive fact the entity holds, the
   causal chain from originating send through every forwarding hop to
-  the recorded observation
+  the recorded observation; ``--breach`` explains analyzer breaches
+  instead (identity chain + data chain meeting at their shared link)
 * ``timeline NAME`` -- run one demo and print when each entity's
   knowledge tuple grew, observation by observation
+* ``resilience``  -- the R-series sweep: every scenario under a ramp of
+  fault rates, reporting delivery and decoupling-verdict stability
 * ``list``        -- list the available demos
+
+``demo``, ``trace``, ``explain``, and ``timeline`` all accept
+``--faults plan.json``.
 """
 
 from __future__ import annotations
@@ -53,13 +61,37 @@ def _register_demos() -> None:
         _DEMOS.setdefault(spec.id, functools.partial(run_scenario, spec.id))
 
 
-def _resolve_demo(name: str, out):
-    """The runner registered under ``name``, or ``None`` (with a hint)."""
+def _resolve_demo(name: str, out, faults=None):
+    """The runner registered under ``name``, or ``None`` (with a hint).
+
+    ``faults`` (a :class:`repro.faults.FaultPlan`) rebinds the runner
+    to carry the plan into :func:`run_scenario`.
+    """
     _register_demos()
     runner = _DEMOS.get(name)
     if runner is None:
         print(f"unknown demo {name!r}; try: {', '.join(sorted(_DEMOS))}", file=out)
+        return None
+    if faults is not None:
+        return functools.partial(run_scenario, name, faults=faults)
     return runner
+
+
+def _load_fault_plan(path: str, out):
+    """Parse a JSON fault-plan file; ``None`` (with a message) on error."""
+    from repro.faults import FaultPlan, FaultPlanError
+
+    try:
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as error:
+        print(f"cannot read fault plan {path!r}: {error}", file=out)
+        return None
+    try:
+        return FaultPlan.from_json(text)
+    except FaultPlanError as error:
+        print(f"invalid fault plan {path!r}: {error}", file=out)
+        return None
 
 
 def _print_table_summaries(summaries, out) -> bool:
@@ -193,6 +225,7 @@ def _print_trace_section(tracer, registry, out) -> None:
         f"  totals: spans={len(tracer.spans)}"
         f" events={registry.counter_value('sim.events')}"
         f" messages={registry.counter_value('net.messages')}"
+        f" dropped={registry.counter_value('net.packets_dropped')}"
         f" bytes={registry.counter_value('net.bytes')}"
         f" observations={registry.counter_value('ledger.observations')}",
         file=out,
@@ -216,6 +249,7 @@ def _print_sweep_trace_section(tracer, registry, out) -> None:
     print(
         f"  totals: events={registry.counter_value('sim.events')}"
         f" messages={registry.counter_value('net.messages')}"
+        f" dropped={registry.counter_value('net.packets_dropped')}"
         f" bytes={registry.counter_value('net.bytes')}",
         file=out,
     )
@@ -288,6 +322,7 @@ def _print_folded_trace_section(summaries, sweep_results, out) -> None:
         f"  totals: spans={spans}"
         f" events={totals.get('sim.events', 0)}"
         f" messages={totals.get('net.messages', 0)}"
+        f" dropped={totals.get('net.packets_dropped', 0)}"
         f" bytes={totals.get('net.bytes', 0)}"
         f" observations={totals.get('ledger.observations', 0)}",
         file=out,
@@ -313,6 +348,7 @@ def _print_folded_sweep_trace_section(sweep_results, out) -> None:
     print(
         f"  totals: events={totals.get('sim.events', 0)}"
         f" messages={totals.get('net.messages', 0)}"
+        f" dropped={totals.get('net.packets_dropped', 0)}"
         f" bytes={totals.get('net.bytes', 0)}",
         file=out,
     )
@@ -415,9 +451,9 @@ def _report_json(out, trace: bool = False, jobs: int = 1) -> int:
     return 0 if all_match else 1
 
 
-def _run_trace(name: str, out_path: str, out) -> int:
+def _run_trace(name: str, out_path: str, out, faults=None) -> int:
     """``trace NAME``: one traced demo run, exported as JSONL."""
-    runner = _resolve_demo(name, out)
+    runner = _resolve_demo(name, out, faults=faults)
     if runner is None:
         return 2
     with obs.capture() as (tracer, registry):
@@ -469,9 +505,9 @@ def _resolve_entity(graph, requested: str):
     return None
 
 
-def _traced_run(name: str, out):
+def _traced_run(name: str, out, faults=None):
     """Run one demo under capture; (run, tracer, graph) or None."""
-    runner = _resolve_demo(name, out)
+    runner = _resolve_demo(name, out, faults=faults)
     if runner is None:
         return None
     from repro.obs import provenance
@@ -481,11 +517,46 @@ def _traced_run(name: str, out):
     return run, tracer, provenance.build_provenance(run, tracer)
 
 
-def _run_explain(name: str, entity: str, subject, fact, out) -> int:
+def _run_breach_explain(name: str, entity, out, faults=None) -> int:
+    """``explain NAME --breach``: identity+data chains behind breaches.
+
+    For every organization whose single-party breach couples a subject
+    (no re-coupling coalition needed), render the provenance chains --
+    how the identity fact and the data fact each reached it, and the
+    shared link that couples them.  Under ``--faults`` this is how a
+    fallback-induced breach is attributed to the degraded path.
+    """
+    traced = _traced_run(name, out, faults=faults)
+    if traced is None:
+        return 2
+    run, _, graph = traced
+    reports = [r for r in run.analyzer.breach_reports() if not r.breach_proof]
+    if entity:
+        lowered = entity.lower()
+        reports = [r for r in reports if lowered in r.organization.lower()]
+    if not reports:
+        scope = f" matching {entity!r}" if entity else ""
+        print(
+            f"no breachable organization{scope} in demo {name!r}:"
+            " every single-party breach leaves identity and data decoupled",
+            file=out,
+        )
+        return 0
+    for report in reports:
+        subjects = ", ".join(s.name for s in report.coupled_subjects)
+        print(f"breach of {report.organization} couples: {subjects}", file=out)
+        print(file=out)
+        for chain in graph.breach_chain(report):
+            print(chain.render(), file=out)
+            print(file=out)
+    return 0
+
+
+def _run_explain(name: str, entity: str, subject, fact, out, faults=None) -> int:
     """``explain NAME --entity E``: causal chains behind E's knowledge."""
     from repro.obs.provenance import ProvenanceError
 
-    traced = _traced_run(name, out)
+    traced = _traced_run(name, out, faults=faults)
     if traced is None:
         return 2
     _, _, graph = traced
@@ -511,9 +582,9 @@ def _run_explain(name: str, entity: str, subject, fact, out) -> int:
     return 0
 
 
-def _run_timeline(name: str, out) -> int:
+def _run_timeline(name: str, out, faults=None) -> int:
     """``timeline NAME``: when each entity's knowledge tuple grew."""
-    traced = _traced_run(name, out)
+    traced = _traced_run(name, out, faults=faults)
     if traced is None:
         return 2
     _, _, graph = traced
@@ -525,8 +596,8 @@ def _run_timeline(name: str, out) -> int:
     return 0
 
 
-def _run_demo(name: str, out, as_json: bool = False) -> int:
-    runner = _resolve_demo(name, out)
+def _run_demo(name: str, out, as_json: bool = False, faults=None) -> int:
+    runner = _resolve_demo(name, out, faults=faults)
     if runner is None:
         return 2
     run = runner()
@@ -547,9 +618,138 @@ def _run_demo(name: str, out, as_json: bool = False) -> int:
     for report in run.analyzer.breach_reports():
         status = "breach-proof" if report.breach_proof else "EXPOSED"
         print(f"breach of {report.organization}: {status}", file=out)
+    _print_fault_summary(run, out)
     print(file=out)
     for entity_name in run.table().entities():
         print(run.analyzer.explain(entity_name, max_items=6), file=out)
+    return 0
+
+
+def _print_fault_summary(run, out) -> None:
+    """The fault-injection section of a faulted ``demo`` run's output."""
+    summary = getattr(run, "fault_summary", None)
+    if summary is None:
+        return
+    stats = summary["stats"]
+    network = summary["network"]
+    print("fault injection:", file=out)
+    print(
+        f"  packets: sent={network['packets_sent']}"
+        f" delivered={network['packets_delivered']}"
+        f" dropped={network['packets_dropped']}"
+        f" duplicated={network['packets_duplicated']}",
+        file=out,
+    )
+    print(
+        f"  attempts={stats['attempts']} retries={stats['retries']}"
+        f" timeouts={stats['timeouts']} fallbacks={stats['fallbacks']}"
+        f" failures={stats['failures']}",
+        file=out,
+    )
+    for label in stats["fallback_labels"]:
+        print(f"  fallback taken: {label}", file=out)
+    for error in stats["phase_errors"]:
+        print(f"  phase error: {error}", file=out)
+
+
+def _resilience_document(points, rates, seed: int) -> Dict[str, object]:
+    """The R-series sweep as a machine-readable document."""
+    return {
+        "series": "R",
+        "seed": seed,
+        "rates": list(rates),
+        "points": [point.to_dict() for point in points],
+        "verdict_flips": [
+            {"scenario": p.scenario, "rate": p.rate}
+            for p in points
+            if not p.verdict_stable
+        ],
+    }
+
+
+def _print_resilience(points, rates, seed: int, out) -> None:
+    """Render the R-series table: delivery and verdict stability."""
+    print(
+        f"R-series: decoupling verdicts under failure"
+        f" (uniform loss ramp, seed={seed})",
+        file=out,
+    )
+    header = (
+        f"  {'scenario':<16} {'rate':>5} {'delivery':>9} {'verdict':<14}"
+        f" {'stable':<7} {'fallbacks':>9} {'failures':>8} {'errors':>6}"
+    )
+    print(header, file=out)
+    for point in points:
+        verdict = "DECOUPLED" if point.decoupled else "NOT DECOUPLED"
+        print(
+            f"  {point.scenario:<16} {point.rate:>5.2f}"
+            f" {point.delivery_rate:>9.3f} {verdict:<14}"
+            f" {'yes' if point.verdict_stable else 'NO':<7}"
+            f" {point.fallbacks:>9} {point.failures:>8} {point.phase_errors:>6}",
+            file=out,
+        )
+    flips = [p for p in points if not p.verdict_stable]
+    stable = len(points) - len(flips)
+    print(file=out)
+    print(
+        f"  {stable}/{len(points)} points kept their fault-free verdict;"
+        f" {len(flips)} fault-induced verdict flip(s)"
+        + (
+            ": " + ", ".join(f"{p.scenario}@{p.rate:.2f}" for p in flips)
+            if flips
+            else ""
+        ),
+        file=out,
+    )
+    print(file=out)
+
+
+def _run_resilience(
+    out,
+    rates,
+    scenarios,
+    seed: int,
+    jobs: int,
+    as_json: bool,
+    out_path,
+) -> int:
+    """``resilience``: the R-series sweep over the scenario registry."""
+    scenario_ids = None
+    if scenarios:
+        _register_demos()
+        scenario_ids = [name.strip() for name in scenarios.split(",") if name.strip()]
+        unknown = sorted(set(scenario_ids) - set(_DEMOS))
+        if unknown:
+            print(
+                f"unknown scenario(s): {', '.join(unknown)};"
+                f" try: {', '.join(sorted(_DEMOS))}",
+                file=out,
+            )
+            return 2
+    try:
+        rate_values = tuple(float(r) for r in rates.split(","))
+    except ValueError:
+        print(f"invalid --rates {rates!r}: expected comma-separated floats", file=out)
+        return 2
+    points = harness.resilience_sweep(
+        rates=rate_values, scenario_ids=scenario_ids, seed=seed, jobs=jobs
+    )
+    if out_path:
+        document = _resilience_document(points, rate_values, seed)
+        try:
+            with open(out_path, "w", encoding="utf-8") as handle:
+                json.dump(document, handle, ensure_ascii=False, indent=2)
+                handle.write("\n")
+        except OSError as error:
+            print(f"cannot write {out_path!r}: {error}", file=out)
+            return 1
+        print(f"resilience sweep: {len(points)} points -> {out_path}", file=out)
+    if as_json:
+        json.dump(_resilience_document(points, rate_values, seed), out,
+                  ensure_ascii=False, indent=2)
+        print(file=out)
+    elif not out_path:
+        _print_resilience(points, rate_values, seed, out)
     return 0
 
 
@@ -611,6 +811,11 @@ def main(argv=None, out=None) -> int:
         metavar="N",
         help="fan D-series sweeps across N worker processes",
     )
+    faults_kwargs = dict(
+        default=None,
+        metavar="PLAN",
+        help="run under a JSON fault plan (see docs/ROBUSTNESS.md)",
+    )
     demo = sub.add_parser("demo", help="run one system's scenario")
     demo.add_argument("name", help="system name (see `demos`)")
     demo.add_argument(
@@ -618,6 +823,7 @@ def main(argv=None, out=None) -> int:
         action="store_true",
         help="emit the run as a machine-readable document",
     )
+    demo.add_argument("--faults", **faults_kwargs)
     sub.add_parser(
         "demos", help="list registered scenarios with titles and parameters"
     )
@@ -631,6 +837,7 @@ def main(argv=None, out=None) -> int:
         dest="out_path",
         help="JSONL output path (default: spans.jsonl)",
     )
+    trace.add_argument("--faults", **faults_kwargs)
     explain = sub.add_parser(
         "explain",
         help="trace one demo and explain an entity's knowledge from the wire up",
@@ -638,8 +845,9 @@ def main(argv=None, out=None) -> int:
     explain.add_argument("name", help="system name (see `list`)")
     explain.add_argument(
         "--entity",
-        required=True,
-        help="entity whose knowledge to explain (case-insensitive; unique substring ok)",
+        default=None,
+        help="entity whose knowledge to explain (case-insensitive; unique"
+        " substring ok); required unless --breach",
     )
     explain.add_argument(
         "--subject",
@@ -652,12 +860,64 @@ def main(argv=None, out=None) -> int:
         help="a glyph (▲, ●, ⊙/●), kind/facet word, or description substring"
         " (default: every sensitive fact)",
     )
+    explain.add_argument(
+        "--breach",
+        action="store_true",
+        help="explain analyzer breaches instead: the identity and data"
+        " chains that meet at each breached organization"
+        " (--entity then filters by organization)",
+    )
+    explain.add_argument("--faults", **faults_kwargs)
     timeline = sub.add_parser(
         "timeline", help="trace one demo and print its knowledge-growth timeline"
     )
     timeline.add_argument("name", help="system name (see `list`)")
+    timeline.add_argument("--faults", **faults_kwargs)
+    resilience = sub.add_parser(
+        "resilience",
+        help="R-series: delivery and verdict stability under a fault-rate ramp",
+    )
+    resilience.add_argument(
+        "--rates",
+        default=",".join(str(r) for r in harness.DEFAULT_RESILIENCE_RATES),
+        help="comma-separated uniform loss rates"
+        f" (default: {','.join(str(r) for r in harness.DEFAULT_RESILIENCE_RATES)})",
+    )
+    resilience.add_argument(
+        "--scenarios",
+        default=None,
+        help="comma-separated scenario ids (default: every registered spec)",
+    )
+    resilience.add_argument(
+        "--seed", type=int, default=0, help="fault-plan seed (default: 0)"
+    )
+    resilience.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan sweep cells across N worker processes",
+    )
+    resilience.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the sweep as a machine-readable document",
+    )
+    resilience.add_argument(
+        "--out",
+        default=None,
+        dest="out_path",
+        metavar="PATH",
+        help="also write the JSON document to PATH",
+    )
     sub.add_parser("list", help="list available demos")
     args = parser.parse_args(argv)
+
+    faults_plan = None
+    if getattr(args, "faults", None):
+        faults_plan = _load_fault_plan(args.faults, out)
+        if faults_plan is None:
+            return 2
 
     if args.command == "report":
         jobs = max(getattr(args, "jobs", 1), 1)
@@ -705,15 +965,32 @@ def main(argv=None, out=None) -> int:
             _print_sweeps(out, jobs=jobs)
         return 0
     if args.command == "demo":
-        return _run_demo(args.name, out, as_json=args.json)
+        return _run_demo(args.name, out, as_json=args.json, faults=faults_plan)
     if args.command == "demos":
         return _run_demos_listing(out)
     if args.command == "trace":
-        return _run_trace(args.name, args.out_path, out)
+        return _run_trace(args.name, args.out_path, out, faults=faults_plan)
     if args.command == "explain":
-        return _run_explain(args.name, args.entity, args.subject, args.fact, out)
+        if args.breach:
+            return _run_breach_explain(args.name, args.entity, out, faults=faults_plan)
+        if not args.entity:
+            print("explain requires --entity (or --breach)", file=out)
+            return 2
+        return _run_explain(
+            args.name, args.entity, args.subject, args.fact, out, faults=faults_plan
+        )
     if args.command == "timeline":
-        return _run_timeline(args.name, out)
+        return _run_timeline(args.name, out, faults=faults_plan)
+    if args.command == "resilience":
+        return _run_resilience(
+            out,
+            rates=args.rates,
+            scenarios=args.scenarios,
+            seed=args.seed,
+            jobs=max(args.jobs, 1),
+            as_json=args.json,
+            out_path=args.out_path,
+        )
     if args.command == "list":
         _register_demos()
         for name in sorted(_DEMOS):

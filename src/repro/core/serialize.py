@@ -229,6 +229,11 @@ def scenario_run_to_dict(run: Any) -> Dict[str, Any]:
         data["events"] = network.simulator.events_processed
         data["messages"] = network.messages_delivered
         data["bytes"] = network.bytes_delivered
+    faults = getattr(run, "fault_summary", None)
+    if faults is not None:
+        # Only faulted runs carry this key: fault-free output must
+        # remain byte-identical to the pinned goldens.
+        data["faults"] = json_safe_value(faults)
     return data
 
 

@@ -1,0 +1,29 @@
+"""Fault injection: decoupling verdicts under failure.
+
+The paper's argument is made on happy paths; this package asks what
+the knowledge tables look like when the infrastructure degrades.  A
+declarative, seeded :class:`FaultPlan` (link loss/duplication/
+reordering/jitter, host crashes, partitions, curious-relay
+promotions) compiles into network hooks via :class:`FaultRuntime`,
+and protocol-level :class:`ResiliencePolicy` drives timeout/retry/
+fallback -- the availability choice that silently re-couples identity
+and data.  ``run_scenario(..., faults=plan)`` applies a plan to any
+registered scenario; see ``docs/ROBUSTNESS.md``.
+"""
+
+from .plan import FaultPlan, FaultPlanError, HostCrash, LinkFault, Partition, coerce_plan
+from .policy import FaultStats, ResiliencePolicy
+from .runtime import FaultPlanHook, FaultRuntime
+
+__all__ = [
+    "FaultPlan",
+    "FaultPlanError",
+    "LinkFault",
+    "HostCrash",
+    "Partition",
+    "coerce_plan",
+    "ResiliencePolicy",
+    "FaultStats",
+    "FaultRuntime",
+    "FaultPlanHook",
+]

@@ -1,0 +1,259 @@
+"""Declarative fault plans: what goes wrong, where, and when.
+
+A :class:`FaultPlan` is pure data -- a seeded description of link
+impairments (loss, duplication, reordering, jitter), host crashes,
+network partitions, and curious-relay promotions.  Plans serialize to
+and from JSON so the CLI can load them from files
+(``repro demo odoh --faults plan.json``) and sweeps can construct them
+programmatically.  Compiling a plan into simulator behaviour is the
+job of :class:`~repro.faults.runtime.FaultRuntime`; this module never
+imports the network.
+
+Host references are glob patterns over ``SimHost.name`` (``"*"``,
+``"mix-*"``, ``"oblivious-proxy"``), matched case-sensitively with
+:func:`fnmatch.fnmatchcase`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = ["FaultPlanError", "LinkFault", "HostCrash", "Partition", "FaultPlan"]
+
+
+class FaultPlanError(ValueError):
+    """A structurally invalid fault plan."""
+
+
+def _check_rate(name: str, value: float) -> float:
+    value = float(value)
+    if not 0.0 <= value < 1.0:
+        raise FaultPlanError(f"{name} must be in [0, 1), got {value}")
+    return value
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """An impairment on every link matching ``src -> dst``.
+
+    ``loss``, ``duplicate``, and ``reorder`` are per-packet
+    probabilities in ``[0, 1)``; ``jitter`` is the maximum extra
+    one-way delay in simulated seconds (drawn uniformly).  A reordered
+    packet is delayed past later traffic on the same link rather than
+    swapped in place, which is how real queues misorder.
+    """
+
+    src: str = "*"
+    dst: str = "*"
+    loss: float = 0.0
+    duplicate: float = 0.0
+    reorder: float = 0.0
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        _check_rate("loss", self.loss)
+        _check_rate("duplicate", self.duplicate)
+        _check_rate("reorder", self.reorder)
+        if float(self.jitter) < 0.0:
+            raise FaultPlanError(f"jitter must be >= 0, got {self.jitter}")
+
+    def matches(self, src_name: str, dst_name: str) -> bool:
+        return fnmatchcase(src_name, self.src) and fnmatchcase(dst_name, self.dst)
+
+    def is_null(self) -> bool:
+        return (
+            self.loss == 0.0
+            and self.duplicate == 0.0
+            and self.reorder == 0.0
+            and self.jitter == 0.0
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "src": self.src,
+            "dst": self.dst,
+            "loss": self.loss,
+            "duplicate": self.duplicate,
+            "reorder": self.reorder,
+            "jitter": self.jitter,
+        }
+
+
+@dataclass(frozen=True)
+class HostCrash:
+    """Hosts matching ``host`` go silent at simulated time ``at``.
+
+    A crashed host neither receives packets nor sends new ones; its
+    in-flight traffic is dropped on arrival.  There is no recovery --
+    the plan models fail-stop, the interesting case for fallback.
+    """
+
+    host: str
+    at: float = 0.0
+
+    def __post_init__(self) -> None:
+        if float(self.at) < 0.0:
+            raise FaultPlanError(f"crash time must be >= 0, got {self.at}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"host": self.host, "at": self.at}
+
+
+@dataclass(frozen=True)
+class Partition:
+    """No traffic crosses between host groups ``a`` and ``b``.
+
+    Active from ``start`` until ``end`` (``None`` = forever).  Traffic
+    *within* a group is unaffected; packets caught mid-flight when the
+    partition begins are dropped on arrival.
+    """
+
+    a: Tuple[str, ...]
+    b: Tuple[str, ...]
+    start: float = 0.0
+    end: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "a", tuple(self.a))
+        object.__setattr__(self, "b", tuple(self.b))
+        if not self.a or not self.b:
+            raise FaultPlanError("both partition groups must be non-empty")
+        if float(self.start) < 0.0:
+            raise FaultPlanError(f"partition start must be >= 0, got {self.start}")
+        if self.end is not None and float(self.end) <= float(self.start):
+            raise FaultPlanError("partition end must be after start")
+
+    def active(self, now: float) -> bool:
+        if now < self.start:
+            return False
+        return self.end is None or now < self.end
+
+    def severs(self, src_name: str, dst_name: str) -> bool:
+        src_a = any(fnmatchcase(src_name, pat) for pat in self.a)
+        src_b = any(fnmatchcase(src_name, pat) for pat in self.b)
+        dst_a = any(fnmatchcase(dst_name, pat) for pat in self.a)
+        dst_b = any(fnmatchcase(dst_name, pat) for pat in self.b)
+        return (src_a and dst_b) or (src_b and dst_a)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "a": list(self.a),
+            "b": list(self.b),
+            "start": self.start,
+            "end": self.end,
+        }
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """The full failure scenario for one run.
+
+    ``seed`` drives every probabilistic draw the runtime makes, so the
+    same plan against the same scenario reproduces the faulty run
+    byte-for-byte.  ``curious`` promotes matching hosts to
+    honest-but-curious relays: each gains a wire tap on its own
+    network prefix, feeding extra observations into the decoupling
+    analysis without changing delivery at all.
+    """
+
+    seed: int = 0
+    links: Tuple[LinkFault, ...] = ()
+    crashes: Tuple[HostCrash, ...] = ()
+    partitions: Tuple[Partition, ...] = ()
+    curious: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "links", tuple(self.links))
+        object.__setattr__(self, "crashes", tuple(self.crashes))
+        object.__setattr__(self, "partitions", tuple(self.partitions))
+        object.__setattr__(self, "curious", tuple(self.curious))
+
+    def is_null(self) -> bool:
+        """True when the plan cannot change a run in any way."""
+        return (
+            all(link.is_null() for link in self.links)
+            and not self.crashes
+            and not self.partitions
+            and not self.curious
+        )
+
+    def can_drop(self) -> bool:
+        """True when the plan can make a request go unanswered."""
+        return (
+            any(link.loss > 0.0 for link in self.links)
+            or bool(self.crashes)
+            or bool(self.partitions)
+        )
+
+    # -- constructors --------------------------------------------------
+
+    @classmethod
+    def uniform_loss(cls, rate: float, seed: int = 0) -> "FaultPlan":
+        """Every link loses ``rate`` of its packets."""
+        return cls(seed=seed, links=(LinkFault(loss=rate),))
+
+    @classmethod
+    def crash(cls, host: str, at: float = 0.0, seed: int = 0) -> "FaultPlan":
+        """One host fail-stops at ``at``."""
+        return cls(seed=seed, crashes=(HostCrash(host=host, at=at),))
+
+    # -- serialization -------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "links": [link.to_dict() for link in self.links],
+            "crashes": [crash.to_dict() for crash in self.crashes],
+            "partitions": [part.to_dict() for part in self.partitions],
+            "curious": list(self.curious),
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        if not isinstance(data, dict):
+            raise FaultPlanError(f"fault plan must be an object, got {type(data).__name__}")
+        known = {"seed", "links", "crashes", "partitions", "curious"}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise FaultPlanError(f"unknown fault-plan keys: {', '.join(unknown)}")
+        try:
+            links = tuple(LinkFault(**item) for item in data.get("links", ()))
+            crashes = tuple(HostCrash(**item) for item in data.get("crashes", ()))
+            partitions = tuple(Partition(**item) for item in data.get("partitions", ()))
+        except TypeError as error:
+            raise FaultPlanError(f"malformed fault plan: {error}") from None
+        curious = data.get("curious", ())
+        if not all(isinstance(name, str) for name in curious):
+            raise FaultPlanError("curious entries must be host-name patterns")
+        return cls(
+            seed=int(data.get("seed", 0)),
+            links=links,
+            crashes=crashes,
+            partitions=partitions,
+            curious=tuple(curious),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise FaultPlanError(f"fault plan is not valid JSON: {error}") from None
+        return cls.from_dict(data)
+
+
+def coerce_plan(faults: Any) -> FaultPlan:
+    """Accept a :class:`FaultPlan` or a plain mapping (parsed JSON)."""
+    if isinstance(faults, FaultPlan):
+        return faults
+    if isinstance(faults, dict):
+        return FaultPlan.from_dict(faults)
+    raise FaultPlanError(
+        f"faults must be a FaultPlan or a mapping, got {type(faults).__name__}"
+    )

@@ -1,0 +1,96 @@
+"""Resilience policies and fault-run accounting.
+
+A :class:`ResiliencePolicy` is the protocol-level answer to the
+network-level failures a :class:`~repro.faults.plan.FaultPlan`
+injects: how long a synchronous request waits, how many times it
+retries with what backoff, and whether an explicit *fallback* runs
+after the retries are exhausted.  The fallback is the interesting
+part for the decoupling analysis -- real deployments fall back from
+the decoupled path to a direct one (ODoH proxy down -> direct DoH),
+and that availability choice silently re-couples identity and data.
+
+:class:`FaultStats` accumulates what actually happened during a
+faulted run; it becomes the ``faults`` section of the run's JSON.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+__all__ = ["ResiliencePolicy", "FaultStats"]
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Timeout/retry/backoff parameters for faulted ``transact`` calls.
+
+    ``timeout`` bounds each attempt in simulated seconds (link
+    latencies default to 10 ms, so 250 ms is ~12 round trips of
+    headroom).  ``retries`` counts *re*-tries after the first attempt;
+    backoff before retry ``n`` (1-based) is
+    ``backoff * backoff_factor ** (n - 1)`` simulated seconds.
+    """
+
+    timeout: float = 0.25
+    retries: int = 2
+    backoff: float = 0.05
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.timeout <= 0.0:
+            raise ValueError(f"timeout must be > 0, got {self.timeout}")
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.backoff < 0.0:
+            raise ValueError(f"backoff must be >= 0, got {self.backoff}")
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+
+    def backoff_before_retry(self, retry: int) -> float:
+        """Backoff preceding 1-based retry number ``retry``."""
+        return self.backoff * self.backoff_factor ** (retry - 1)
+
+
+@dataclass
+class FaultStats:
+    """What the fault runtime did to one run."""
+
+    attempts: int = 0
+    successes: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    fallbacks: int = 0
+    failures: int = 0
+    loss_drops: int = 0
+    crash_drops: int = 0
+    partition_drops: int = 0
+    duplicates: int = 0
+    reordered: int = 0
+    jittered: int = 0
+    crashes: int = 0
+    curious_taps: int = 0
+    fallback_labels: List[str] = field(default_factory=list)
+    phase_errors: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "attempts": self.attempts,
+            "successes": self.successes,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "fallbacks": self.fallbacks,
+            "failures": self.failures,
+            "loss_drops": self.loss_drops,
+            "crash_drops": self.crash_drops,
+            "partition_drops": self.partition_drops,
+            "duplicates": self.duplicates,
+            "reordered": self.reordered,
+            "jittered": self.jittered,
+            "crashes": self.crashes,
+            "curious_taps": self.curious_taps,
+            "fallback_labels": list(self.fallback_labels),
+            "phase_errors": list(self.phase_errors),
+        }

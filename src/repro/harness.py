@@ -39,10 +39,14 @@ from repro.scenario import (
 __all__ = [
     "TableSummary",
     "SweepResult",
+    "ResiliencePoint",
     "table_experiments",
     "table_reports",
     "table_summaries",
     "sweep_results",
+    "resilience_point",
+    "resilience_sweep",
+    "DEFAULT_RESILIENCE_RATES",
     "parallel_map",
     "figure_f1_series",
     "figure_f2_series",
@@ -306,6 +310,130 @@ def sweep_results(jobs: int = 1) -> List[SweepResult]:
     if jobs <= 1:
         return [SweepResult(key=key, payload=runner()) for key, runner in specs]
     return parallel_map(_sweep_worker, range(len(specs)), jobs)
+
+
+# ----------------------------------------------------------------------
+# R-series: resilience sweep (decoupling verdicts under failure)
+# ----------------------------------------------------------------------
+#
+# The paper's tables are happy-path artifacts.  The R-series ramps a
+# uniform link-loss fault plan over every registered scenario and
+# reports two things per (scenario, rate) point: how much of the
+# workload still completes (delivery), and whether the decoupling
+# verdict survives (stability).  A verdict that flips under faults --
+# odoh's proxy-down fallback to direct resolution is the canonical
+# case -- is the quantified form of "fallback is a privacy breach".
+
+
+@dataclass
+class ResiliencePoint:
+    """One (scenario, fault rate) cell of the R-series sweep."""
+
+    scenario: str
+    rate: float
+    packets_sent: int
+    packets_delivered: int
+    packets_dropped: int
+    packets_duplicated: int
+    delivery_rate: float
+    decoupled: bool
+    baseline_decoupled: bool
+    verdict_stable: bool
+    attempts: int
+    retries: int
+    fallbacks: int
+    failures: int
+    phase_errors: int
+    observations: int
+
+    def to_dict(self) -> Dict[str, object]:
+        from dataclasses import asdict
+
+        return asdict(self)
+
+
+#: The default loss ramp: fault-free anchor, mild, and heavy loss.
+DEFAULT_RESILIENCE_RATES: Tuple[float, ...] = (0.0, 0.15, 0.35)
+
+
+def resilience_point(
+    scenario_id: str, rate: float, seed: int = 0
+) -> ResiliencePoint:
+    """Run one scenario fault-free and under ``rate`` uniform loss.
+
+    The fault-free run anchors the verdict; ``rate == 0`` reuses it as
+    the measured run, so the sweep's first column doubles as a
+    differential check that the fault machinery is inert when null.
+    """
+    from repro.faults import FaultPlan
+
+    with get_tracer().span(
+        "resilience-point", kind="harness", sim_time=0.0,
+        scenario=scenario_id, rate=rate,
+    ) as span:
+        baseline = run_scenario(scenario_id)
+        baseline_decoupled = baseline.analyzer.verdict().decoupled
+        if rate <= 0.0:
+            run = baseline
+            stats = {}
+        else:
+            run = run_scenario(
+                scenario_id, faults=FaultPlan.uniform_loss(rate, seed=seed)
+            )
+            stats = run.fault_summary["stats"]
+        network = run.network
+        span.end_sim(network.simulator.now)
+        decoupled = run.analyzer.verdict().decoupled
+        sent = network.packets_sent + network.packets_duplicated
+        return ResiliencePoint(
+            scenario=scenario_id,
+            rate=rate,
+            packets_sent=network.packets_sent,
+            packets_delivered=network.messages_delivered,
+            packets_dropped=network.packets_dropped,
+            packets_duplicated=network.packets_duplicated,
+            delivery_rate=network.messages_delivered / max(1, sent),
+            decoupled=decoupled,
+            baseline_decoupled=baseline_decoupled,
+            verdict_stable=decoupled == baseline_decoupled,
+            attempts=stats.get("attempts", 0),
+            retries=stats.get("retries", 0),
+            fallbacks=stats.get("fallbacks", 0),
+            failures=stats.get("failures", 0),
+            phase_errors=len(stats.get("phase_errors", ())),
+            observations=len(run.world.ledger),
+        )
+
+
+def _resilience_worker(item: Tuple[str, float, int]) -> ResiliencePoint:
+    """One sweep cell in a worker process (items are picklable)."""
+    scenario_id, rate, seed = item
+    return resilience_point(scenario_id, rate, seed=seed)
+
+
+def resilience_sweep(
+    rates: Sequence[float] = DEFAULT_RESILIENCE_RATES,
+    scenario_ids: Optional[Sequence[str]] = None,
+    seed: int = 0,
+    jobs: int = 1,
+) -> List[ResiliencePoint]:
+    """The R-series: every scenario under a ramp of fault rates.
+
+    Returns points in (scenario, rate) order -- all registered specs
+    by default.  ``jobs > 1`` fans cells across worker processes; the
+    per-cell runs are seeded, so the merged result is identical to a
+    serial sweep.
+    """
+    if scenario_ids is None:
+        from repro.scenario import all_specs
+
+        scenario_ids = [spec.id for spec in all_specs()]
+    items = [
+        (scenario_id, float(rate), seed)
+        for scenario_id in scenario_ids
+        for rate in rates
+    ]
+    return parallel_map(_resilience_worker, items, jobs)
 
 
 def figure_f1_series(max_steps: int = 10):

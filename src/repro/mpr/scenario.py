@@ -99,12 +99,16 @@ class MprProgram(ScenarioProgram):
         self.client = MprClient(host=host, relays=chain, subject=self.subject)
 
     def drive(self) -> None:
+        self.elapsed = 0.0
         start = self.network.simulator.now
         for index in range(self.param("requests")):
-            response = self.client.fetch(
-                self.origin, f"/page/{index}", geo_hint=self.param("geo_hint")
+            response = self.attempt(
+                lambda index=index: self.client.fetch(
+                    self.origin, f"/page/{index}", geo_hint=self.param("geo_hint")
+                ),
+                label=f"fetch /page/{index}",
             )
-            if not response.ok:
+            if response is not None and not response.ok:
                 raise RuntimeError("origin rejected a relayed request")
         self.elapsed = self.network.simulator.now - start
 

@@ -33,9 +33,18 @@ from .packets import Packet, estimate_size
 from .sim import Simulator
 from .trace import PacketRecord, TrafficTrace
 
-__all__ = ["Network", "SimHost", "WireObserver"]
+__all__ = ["Network", "SimHost", "TransactTimeout", "WireObserver"]
 
 Handler = Callable[[Packet], Any]
+
+
+class TransactTimeout(RuntimeError):
+    """A ``transact`` deadline expired with no response.
+
+    Subclasses :class:`RuntimeError` so callers that treated a lost
+    request as a generic simulator stall keep working; resilience
+    policies catch this precisely to drive retry/fallback.
+    """
 
 
 class SimHost:
@@ -182,6 +191,22 @@ class Network:
         self._request_ids = itertools.count(1)
         self.messages_delivered = 0
         self.bytes_delivered = 0
+        # Conservation accounting: at every instant,
+        #   packets_sent + packets_duplicated
+        #     == messages_delivered + packets_dropped + packets_in_flight
+        # (property-tested in tests/test_properties_network.py).
+        self.packets_sent = 0
+        self.packets_duplicated = 0
+        self.packets_in_flight = 0
+        #: Optional fault injector (see :mod:`repro.faults.runtime`):
+        #: consulted on every send (loss/duplication/reordering/jitter)
+        #: and every delivery (crashes, partitions).  ``None`` -- the
+        #: default -- is a zero-overhead pass-through.
+        self._fault_injector: Optional[Any] = None
+        #: When set, ``transact`` raises :class:`TransactTimeout` after
+        #: this many simulated seconds without a response instead of
+        #: stalling until the queue drains.
+        self.transact_timeout: Optional[float] = None
         #: Every delivered packet, in order -- simulation-side ground
         #: truth for adversary evaluations (not adversary-visible; the
         #: adversary gets only the metadata in ``trace``).
@@ -222,6 +247,16 @@ class Network:
     def add_observer(self, observer: WireObserver) -> None:
         self._observers.append(observer)
 
+    def hosts(self) -> List[SimHost]:
+        """Every host, in address-allocation order."""
+        return list(self._hosts.values())
+
+    def set_fault_injector(self, injector: Any) -> None:
+        """Install the (single) fault injector for this network."""
+        if self._fault_injector is not None:
+            raise RuntimeError("network already has a fault injector")
+        self._fault_injector = injector
+
     # ------------------------------------------------------------------
     # Delivery
     # ------------------------------------------------------------------
@@ -256,23 +291,50 @@ class Network:
             flow=flow,
             packet_id=next(self._packet_ids),
         )
+        self.packets_sent += 1
         if self.loss_rate > 0 and self._loss_rng.random() < self.loss_rate:
-            self.packets_dropped += 1
-            if _obs.ENABLED:
-                get_registry().counter("net.packets_dropped").inc()
+            self._count_dropped()
             return packet  # lost in transit: never delivered
         delay = self.latency(src_host.address, dst)
+        delays = [delay]
+        if self._fault_injector is not None:
+            impaired = self._fault_injector.on_send(packet, delay)
+            if impaired is not None:
+                if not impaired:
+                    self._count_dropped()
+                    return packet  # injected loss / crash / partition
+                delays = impaired
+                self.packets_duplicated += len(delays) - 1
         if _obs.ENABLED:
             # Capture the span active *now* so the delivery -- which
             # fires later, outside any ``with`` block -- still links
             # causally to whatever sent it.
             origin = get_tracer().current_span()
-            self.simulator.schedule(delay, lambda: self._deliver(packet, origin))
+            for copy_delay in delays:
+                self.packets_in_flight += 1
+                self.simulator.schedule(
+                    copy_delay, lambda: self._deliver(packet, origin)
+                )
         else:
-            self.simulator.schedule(delay, lambda: self._deliver(packet))
+            for copy_delay in delays:
+                self.packets_in_flight += 1
+                self.simulator.schedule(copy_delay, lambda: self._deliver(packet))
         return packet
 
+    def _count_dropped(self) -> None:
+        self.packets_dropped += 1
+        if _obs.ENABLED:
+            get_registry().counter("net.packets_dropped").inc()
+
     def _deliver(self, packet: Packet, origin_span=None) -> None:
+        self.packets_in_flight -= 1
+        if self._fault_injector is not None and not self._fault_injector.on_deliver(
+            packet
+        ):
+            # The destination crashed (or the link partitioned) while
+            # this packet was on the wire.
+            self._count_dropped()
+            return
         if not _obs.ENABLED:
             return self._deliver_inner(packet)
         tracer = get_tracer()
@@ -386,14 +448,22 @@ class Network:
         protocol: str,
         size: Optional[int] = None,
         flow: Optional[str] = None,
+        timeout: Optional[float] = None,
     ) -> Any:
         """Send a request and pump the simulation until its response.
 
         Nested calls from inside handlers are fine (the simulator's
         ``run_until`` is re-entrant), so a resolver may ``transact``
         upstream while serving a client's ``transact``.
+
+        ``timeout`` (or, when ``None``, the network-wide
+        ``transact_timeout``) bounds the wait in simulated seconds;
+        expiry raises :class:`TransactTimeout`.  With no timeout a
+        lost request stalls until the queue drains, which raises the
+        simulator's generic idle error.
         """
         request_id = next(self._request_ids)
+        effective = timeout if timeout is not None else self.transact_timeout
         with get_tracer().span(
             "transact",
             kind="net",
@@ -411,7 +481,24 @@ class Network:
                 request_id=request_id,
                 flow=flow,
             )
-            self.simulator.run_until(lambda: request_id in self._responses)
+            if effective is None:
+                self.simulator.run_until(lambda: request_id in self._responses)
+            else:
+                deadline = self.simulator.now + effective
+                # The deadline marker keeps the queue non-empty up to
+                # the deadline, so ``run_until`` times out instead of
+                # raising its generic idle error.
+                self.simulator.at(deadline, lambda: None)
+                self.simulator.run_until(
+                    lambda: request_id in self._responses
+                    or self.simulator.now >= deadline
+                )
+                if request_id not in self._responses:
+                    span.end_sim(self.simulator.now)
+                    raise TransactTimeout(
+                        f"no response to {protocol!r} request from {dst}"
+                        f" within {effective:g}s"
+                    )
             span.end_sim(self.simulator.now)
             return self._responses.pop(request_id)
 

@@ -114,11 +114,30 @@ class _DnsBase(ScenarioProgram):
     def _lookup(self, name: str):
         return self.client.lookup(name)
 
+    def _fallback_for(self, name: str):
+        """The variant's availability fallback for one lookup, or ``None``.
+
+        Only consulted under fault injection, after retries are
+        exhausted -- the degraded path a real deployment would take.
+        """
+        return None
+
     def drive(self) -> None:
         names = _NAMES[: self.param("queries")]
-        self.answers = [self._lookup(name).rdata or "NXDOMAIN" for name in names]
+        self.answers = []
+        self.fetches = 0
+        for name in names:
+            answer = self.attempt(
+                lambda name=name: self._lookup(name),
+                fallback=self._fallback_for(name),
+                label=f"resolve {name}",
+            )
+            self.answers.append(
+                "DROPPED" if answer is None else answer.rdata or "NXDOMAIN"
+            )
         self.fetches = fetch_via_anonymized(
-            self.world, self.network, self.subject, self.client_entity, names
+            self.world, self.network, self.subject, self.client_entity, names,
+            attempt=self.attempt,
         )
 
     def analyze(self) -> OdnsRun:
@@ -209,6 +228,26 @@ class OdohProgram(_DnsBase):
         )
         proxy = ObliviousProxy(self.network, proxy_entity, target.address)
         self.client = OdohClient(self.query_host, proxy, target, self.subject)
+        self.target = target
+        self._direct_stub: Optional[StubResolver] = None
+
+    def _fallback_for(self, name: str):
+        """Proxy down -> query the target directly, as deployed DoH does.
+
+        This is the paper's unstated failure mode: the target now sees
+        the client's network identity next to the plaintext query name
+        on one connection, re-coupling exactly what the oblivious
+        layering decoupled.  The analyzer's verdict flips accordingly.
+        """
+
+        def direct_doh():
+            if self._direct_stub is None:
+                self._direct_stub = StubResolver(
+                    self.query_host, self.target.address
+                )
+            return self._direct_stub.lookup(name, self.subject)
+
+        return direct_doh
 
 
 _QUERIES_PARAM = Param("queries", 3, "names resolved and fetched")

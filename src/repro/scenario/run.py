@@ -49,6 +49,12 @@ class ScenarioRun:
     table_title = ""
     table_subject = None
 
+    #: Fault accounting (:meth:`repro.faults.FaultRuntime.summary`),
+    #: stamped by the runtime when the run carried a fault plan;
+    #: ``None`` for fault-free runs, and then absent from
+    #: :meth:`to_dict` so fault-free output stays byte-identical.
+    fault_summary = None
+
     def __post_init__(self) -> None:
         #: Stamped by the runtime (empty for hand-built runs).
         self.scenario_id: str = ""

@@ -57,6 +57,11 @@ class ScenarioProgram:
     scenario ever draws from module-level randomness.
     """
 
+    #: Per-scenario resilience-policy override consulted when a fault
+    #: plan is installed (``None`` -> the runtime's default policy).
+    #: Class-level so a scenario can declare it declaratively.
+    resilience = None
+
     def __init__(self, spec: ScenarioSpec, params: Dict[str, Any]) -> None:
         self.spec = spec
         self.params = params
@@ -67,6 +72,9 @@ class ScenarioProgram:
         self.rng: Optional[random.Random] = (
             random.Random(seed) if seed is not None else None
         )
+        #: Set by :class:`repro.faults.FaultPlanHook` before ``drive``
+        #: when the run carries a fault plan; ``None`` otherwise.
+        self.fault_runtime: Optional[Any] = None
 
     # -- overridable lifecycle ----------------------------------------
 
@@ -94,6 +102,43 @@ class ScenarioProgram:
     def param(self, name: str) -> Any:
         return self.params[name]
 
+    def attempt(
+        self,
+        op: Callable[[], Any],
+        fallback: Optional[Callable[[], Any]] = None,
+        label: str = "",
+    ) -> Any:
+        """Run one workload operation with fault-aware resilience.
+
+        Under a fault plan this is the policy's timeout/retry/backoff
+        loop with an optional explicit fallback (see
+        :meth:`repro.faults.FaultRuntime.attempt`); without one it is
+        a zero-overhead direct call.  Scenarios route each driven
+        operation through here so every spec runs under
+        ``run_scenario(..., faults=plan)`` unchanged.
+        """
+        if self.fault_runtime is None:
+            return op()
+        return self.fault_runtime.attempt(op, fallback=fallback, label=label)
+
+    def run_phase(self, phase: str) -> Any:
+        """Execute one lifecycle phase (fault-guarded when armed).
+
+        ``drive`` and ``settle`` run inside the fault runtime's guard:
+        a fault-induced error there is recorded and the run still
+        reaches ``analyze``, because a half-driven world *is* the
+        datum for resilience analysis.
+        """
+        fn = getattr(self, phase)
+        if self.fault_runtime is not None and phase in ("drive", "settle"):
+            return self.fault_runtime.guard_phase(phase, fn)
+        return fn()
+
+    def finalize_run(self, run: ScenarioRun) -> None:
+        """Stamp fault accounting onto the finished run."""
+        if self.fault_runtime is not None:
+            run.fault_summary = self.fault_runtime.summary()
+
 
 def execute(
     program: ScenarioProgram, hooks: Sequence[PhaseHook] = ()
@@ -103,7 +148,7 @@ def execute(
     for phase in PHASES:
         for hook in hooks:
             hook("before", phase, program)
-        result = getattr(program, phase)()
+        result = program.run_phase(phase)
         if phase == "analyze":
             run = result
         for hook in hooks:
@@ -117,6 +162,7 @@ def execute(
     run.params = dict(program.params)
     if run.table_entities is None:
         run.table_entities = program.spec.entity_order(program.params)
+    program.finalize_run(run)
     return run
 
 
@@ -124,6 +170,7 @@ def run_scenario(
     scenario_id: str,
     overrides: Optional[Dict[str, Any]] = None,
     hooks: Iterable[PhaseHook] = (),
+    faults: Optional[Any] = None,
     **params: Any,
 ) -> ScenarioRun:
     """Run one registered scenario by id.
@@ -131,8 +178,22 @@ def run_scenario(
     Keyword arguments (or the ``overrides`` mapping) overlay the
     spec's parameter schema; unknown names raise
     :class:`~repro.scenario.spec.ScenarioError`.
+
+    ``faults`` -- a :class:`repro.faults.FaultPlan` (or its mapping
+    form) -- runs the scenario under fault injection.  A null plan
+    installs nothing at all, so the run stays byte-identical to a
+    fault-free one.
     """
     spec = get_spec(scenario_id)
     bound = spec.bind({**(overrides or {}), **params})
     program = spec.program(spec, bound)
-    return execute(program, tuple(hooks))
+    hook_list = tuple(hooks)
+    if faults is not None:
+        # Imported lazily: repro.faults depends on the network layer,
+        # and fault-free runs must not pay for (or be changed by) it.
+        from repro.faults import FaultPlanHook, coerce_plan
+
+        plan = coerce_plan(faults)
+        if not plan.is_null():
+            hook_list += (FaultPlanHook(plan),)
+    return execute(program, hook_list)

@@ -12,7 +12,7 @@ so regenerated tables stay byte-identical.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional, Tuple
+from typing import Callable, Iterable, Optional, Tuple
 
 from repro.core.entities import Entity, World
 from repro.core.labels import NONSENSITIVE_IDENTITY, SENSITIVE_IDENTITY
@@ -95,6 +95,7 @@ def fetch_via_anonymized(
     names: Iterable[str],
     hostname: str = "www.example.com",
     host_name: str = "client-anon",
+    attempt: Optional[Callable[..., object]] = None,
 ) -> int:
     """Fetch each name from a fresh origin over an anonymized layer.
 
@@ -103,6 +104,10 @@ def fetch_via_anonymized(
     request per name; returns how many fetches got a reply.  This is
     the connection-level privacy layer the paper's section 2.1 layers
     under the T4 resolution analysis.
+
+    ``attempt`` (a :meth:`ScenarioProgram.attempt`-shaped callable)
+    routes each fetch through the caller's resilience policy, so the
+    loop survives fault injection; ``None`` transacts directly.
     """
     stack = add_origin(world, network, hostname=hostname)
     anonymized = anonymized_identity(subject)
@@ -118,7 +123,17 @@ def fetch_via_anonymized(
             subject=subject,
             description="tls request",
         )
-        reply = fetch_host.transact(stack.server.address, sealed, TLS_HTTP_PROTOCOL)
+        if attempt is None:
+            reply = fetch_host.transact(
+                stack.server.address, sealed, TLS_HTTP_PROTOCOL
+            )
+        else:
+            reply = attempt(
+                lambda sealed=sealed: fetch_host.transact(
+                    stack.server.address, sealed, TLS_HTTP_PROTOCOL
+                ),
+                label=f"fetch /{name}",
+            )
         if reply is not None:
             fetches += 1
     return fetches

@@ -1,4 +1,14 @@
-"""Shared pytest configuration: fast, deterministic hypothesis runs."""
+"""Shared pytest configuration: fast, deterministic hypothesis runs.
+
+Two profiles, both derandomized so a failure is a real regression and
+not a lottery draw:
+
+- ``repro`` (default): 25 examples per property, quick local loops.
+- ``ci``: 75 examples, selected via ``HYPOTHESIS_PROFILE=ci`` so the
+  pinned-seed battery in CI digs deeper without slowing local runs.
+"""
+
+import os
 
 from hypothesis import HealthCheck, settings
 
@@ -9,4 +19,12 @@ settings.register_profile(
     suppress_health_check=[HealthCheck.too_slow],
     derandomize=True,
 )
-settings.load_profile("repro")
+settings.register_profile(
+    "ci",
+    max_examples=75,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    derandomize=True,
+    print_blob=True,
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "repro"))

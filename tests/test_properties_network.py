@@ -1,4 +1,10 @@
-"""Property-based tests of network/simulator invariants."""
+"""Property-based tests of network/simulator invariants.
+
+The second half targets the fault runtime: packet conservation under
+arbitrary fault plans (checked at every simulator event, not just at
+quiescence), duplication bounds, and seed determinism down to the
+byte-exact wire trace.
+"""
 
 import random
 
@@ -7,9 +13,67 @@ from hypothesis import given, settings, strategies as st
 from repro.core.entities import World
 from repro.core.labels import SENSITIVE_DATA
 from repro.core.values import LabeledValue, Subject
+from repro.faults import FaultPlan, FaultRuntime, HostCrash, LinkFault, Partition
 from repro.net.network import Network
 
 ALICE = Subject("alice")
+
+_HOST_NAMES = ("h0", "h1", "h2")
+
+_rates = st.floats(min_value=0.0, max_value=0.9)
+
+_link_faults = st.builds(
+    LinkFault,
+    src=st.sampled_from(("*",) + _HOST_NAMES),
+    dst=st.sampled_from(("*",) + _HOST_NAMES),
+    loss=_rates,
+    duplicate=_rates,
+    reorder=_rates,
+    jitter=st.floats(min_value=0.0, max_value=0.05),
+)
+
+_crashes = st.builds(
+    HostCrash,
+    host=st.sampled_from(_HOST_NAMES),
+    at=st.floats(min_value=0.0, max_value=0.5),
+)
+
+_partitions = st.builds(
+    Partition,
+    a=st.just(("h0",)),
+    b=st.sampled_from((("h1",), ("h2",), ("h1", "h2"))),
+    start=st.floats(min_value=0.0, max_value=0.3),
+    end=st.just(None),
+)
+
+_plans = st.builds(
+    FaultPlan,
+    seed=st.integers(min_value=0, max_value=999),
+    links=st.lists(_link_faults, max_size=3).map(tuple),
+    crashes=st.lists(_crashes, max_size=2).map(tuple),
+    partitions=st.lists(_partitions, max_size=1).map(tuple),
+)
+
+
+def _run_under_plan(plan, messages, workload_seed, check_hook=None):
+    """Drive a 3-host one-way workload under ``plan``; return the network."""
+    world = World()
+    network = Network()
+    endpoints = []
+    for index, name in enumerate(_HOST_NAMES):
+        entity = world.entity(f"H{index}", f"org-{index}")
+        host = network.add_host(name, entity)
+        host.register("p", lambda pkt: None)
+        endpoints.append(host)
+    FaultRuntime(plan, network).install()
+    if check_hook is not None:
+        network.simulator.add_hook(check_hook(network))
+    rng = random.Random(workload_seed)
+    for message_index in range(messages):
+        src, dst = rng.sample(range(len(endpoints)), 2)
+        endpoints[src].send(endpoints[dst].address, f"m{message_index}", "p")
+    network.run()
+    return network
 
 
 class TestDeliveryInvariants:
@@ -96,3 +160,73 @@ class TestDeliveryInvariants:
         a.transact(b.address, "ping", "p")
         elapsed = network.simulator.now - start
         assert abs(elapsed - 2 * latency_ab) < 1e-9
+
+
+class TestFaultRuntimeInvariants:
+    """Conservation, bounds, and determinism under arbitrary fault plans."""
+
+    @given(plan=_plans, messages=st.integers(min_value=0, max_value=25))
+    @settings(max_examples=25)
+    def test_conservation_holds_at_every_event(self, plan, messages):
+        """sent + duplicated == delivered + dropped + in-flight, always.
+
+        The invariant is asserted before *every* simulator event, not
+        just at quiescence, so a counter that momentarily drifts (e.g. a
+        drop recorded without retiring the in-flight copy) fails fast.
+        """
+
+        def check_hook(network):
+            def check(time, callback):
+                assert (
+                    network.packets_sent + network.packets_duplicated
+                    == network.messages_delivered
+                    + network.packets_dropped
+                    + network.packets_in_flight
+                )
+
+            return check
+
+        network = _run_under_plan(plan, messages, workload_seed=7, check_hook=check_hook)
+        assert network.packets_in_flight == 0
+        assert (
+            network.packets_sent + network.packets_duplicated
+            == network.messages_delivered + network.packets_dropped
+        )
+
+    @given(plan=_plans, messages=st.integers(min_value=0, max_value=25))
+    @settings(max_examples=25)
+    def test_duplication_bounds(self, plan, messages):
+        """One send yields at most one extra copy; deliveries never exceed copies."""
+        network = _run_under_plan(plan, messages, workload_seed=11)
+        assert network.packets_sent == messages
+        assert network.packets_duplicated <= network.packets_sent
+        assert (
+            network.messages_delivered
+            <= network.packets_sent + network.packets_duplicated
+        )
+        if plan.is_null():
+            assert network.messages_delivered == messages
+            assert network.packets_dropped == 0
+            assert network.packets_duplicated == 0
+
+    @given(plan=_plans, messages=st.integers(min_value=1, max_value=25))
+    @settings(max_examples=20)
+    def test_same_seed_same_wire_trace(self, plan, messages):
+        """Identical plan + workload ⇒ byte-identical event order."""
+        first = _run_under_plan(plan, messages, workload_seed=13)
+        second = _run_under_plan(plan, messages, workload_seed=13)
+        assert first.trace.to_jsonl() == second.trace.to_jsonl()
+        assert first.messages_delivered == second.messages_delivered
+        assert first.packets_dropped == second.packets_dropped
+        assert first.packets_duplicated == second.packets_duplicated
+
+    @given(seed_a=st.integers(0, 500), seed_b=st.integers(501, 1000))
+    @settings(max_examples=10)
+    def test_plan_seed_is_independent_of_global_rng(self, seed_a, seed_b):
+        """The fault RNG is plan-owned: global random state cannot perturb it."""
+        plan = FaultPlan(seed=42, links=(LinkFault(loss=0.4, duplicate=0.3),))
+        random.seed(seed_a)
+        first = _run_under_plan(plan, 20, workload_seed=3)
+        random.seed(seed_b)
+        second = _run_under_plan(plan, 20, workload_seed=3)
+        assert first.trace.to_jsonl() == second.trace.to_jsonl()
