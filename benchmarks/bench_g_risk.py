@@ -1,0 +1,52 @@
+"""G: graded decoupling risk scores (the risk sweep).
+
+Expected shape: system risk falls monotonically as relay/aggregator
+degree grows, with diminishing returns (each added decoupled party
+buys less, docs/RISK.md); the full registry scores every scenario
+inside [0, 1]; and composing with the R-series fault plans shows the
+ODoH proxy-crash fallback as a positive risk delta, not just a
+verdict flip.
+"""
+
+from repro.faults import FaultPlan
+from repro.harness import (
+    risk_delta,
+    risk_diminishing_returns,
+    risk_monotone_non_increasing,
+    risk_summaries,
+    risk_sweep,
+)
+
+
+def test_g_relay_degree_sweep_is_monotone(benchmark):
+    sweeps = benchmark(risk_sweep)
+    for key, points in sweeps.items():
+        assert risk_monotone_non_increasing(points), key
+        assert risk_diminishing_returns(points), key
+    benchmark.extra_info["sweeps"] = {
+        key: [point.to_dict() for point in points]
+        for key, points in sweeps.items()
+    }
+
+
+def test_g_full_registry_scores_stay_bounded(benchmark):
+    summaries = benchmark(risk_summaries)
+    assert len(summaries) >= 21
+    for summary in summaries:
+        assert 0.0 <= summary.system_risk <= 1.0, summary.scenario
+        assert 0.0 <= summary.max_pair_risk <= 1.0, summary.scenario
+        assert (summary.coupled_pairs == 0) == summary.decoupled
+    benchmark.extra_info["grades"] = {
+        summary.scenario: summary.grade for summary in summaries
+    }
+
+
+def test_g_odoh_proxy_crash_risk_delta(benchmark):
+    """The graded form of the headline failure mode: the fallback's
+    verdict flip shows up as a quantified system-risk increase."""
+    plan = FaultPlan.crash("oblivious-proxy", at=0.0, seed=1)
+    delta = benchmark(risk_delta, "odoh", plan)
+    assert delta["system_risk_delta"] > 0
+    assert delta["fallbacks"] == 3
+    assert delta["baseline_decoupled"] and not delta["faulted_decoupled"]
+    benchmark.extra_info["delta"] = delta

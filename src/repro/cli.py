@@ -28,10 +28,16 @@ Commands:
   knowledge tuple grew, observation by observation
 * ``resilience``  -- the R-series sweep: every scenario under a ramp of
   fault rates, reporting delivery and decoupling-verdict stability
+* ``risk``        -- the G-series: graded decoupling risk scores for
+  every scenario plus risk-vs-degree sweeps (``--profile`` loads a
+  JSON sensitivity profile, ``--faults`` reports the risk delta when
+  a fault plan fires; see docs/RISK.md)
 * ``list``        -- list the available demos
 
 ``demo``, ``trace``, ``explain``, and ``timeline`` all accept
-``--faults plan.json``.
+``--faults plan.json``; ``report --risk`` appends the G-series risk
+section and ``explain NAME --entity E --risk`` prints the per-pair
+risk decomposition (sub-score terms pinned to provenance chains).
 """
 
 from __future__ import annotations
@@ -44,7 +50,7 @@ from typing import Callable, Dict
 
 from repro import harness, obs
 from repro.obs import export as obs_export
-from repro.scenario import all_specs, run_scenario
+from repro.scenario import all_specs, experiment_specs, run_scenario
 
 
 __all__ = ["main"]
@@ -375,7 +381,7 @@ def _experiment_timing_rows(tracer) -> list:
     return rows
 
 
-def _report_json(out, trace: bool = False, jobs: int = 1) -> int:
+def _report_json(out, trace: bool = False, jobs: int = 1, risk: bool = False) -> int:
     """``report --json``: machine-readable tables, sweeps, figures."""
     from repro.core.serialize import degree_sweep_to_dict, experiment_report_to_dict
 
@@ -445,6 +451,17 @@ def _report_json(out, trace: bool = False, jobs: int = 1) -> int:
         ]
     else:
         all_match, document, _, _ = build()
+    if risk:
+        from repro.risk import DEFAULT_PROFILE
+
+        document["risk"] = _risk_document(
+            harness.risk_summaries(
+                jobs=jobs,
+                scenario_ids=[spec.id for spec in experiment_specs()],
+            ),
+            harness.risk_sweep(jobs=jobs),
+            DEFAULT_PROFILE,
+        )
     document["all_match"] = all_match
     json.dump(document, out, ensure_ascii=False, indent=2)
     print(file=out)
@@ -753,6 +770,227 @@ def _run_resilience(
     return 0
 
 
+def _load_sensitivity_profile(path, out):
+    """Load a JSON sensitivity profile; ``None`` on error, with a message.
+
+    A missing ``path`` (no ``--profile``) returns the default profile.
+    """
+    from repro.risk import DEFAULT_PROFILE, ProfileError, load_profile
+
+    if not path:
+        return DEFAULT_PROFILE
+    try:
+        return load_profile(path)
+    except OSError as error:
+        print(f"cannot read profile {path!r}: {error}", file=out)
+        return None
+    except ProfileError as error:
+        print(f"invalid profile {path!r}: {error}", file=out)
+        return None
+
+
+def _risk_document(summaries, sweeps, profile, deltas=None) -> Dict[str, object]:
+    """The G-series as a machine-readable document."""
+    document: Dict[str, object] = {
+        "series": "G",
+        "profile": profile.to_dict(),
+        "scenarios": [summary.to_dict() for summary in summaries],
+    }
+    if sweeps is not None:
+        titles = {key: title for key, title, *_rest in harness.RISK_SWEEPS}
+        document["sweeps"] = {
+            key: {
+                "title": titles.get(key, key),
+                "points": [point.to_dict() for point in points],
+                "monotone_non_increasing": harness.risk_monotone_non_increasing(
+                    points
+                ),
+                "diminishing_returns": harness.risk_diminishing_returns(points),
+            }
+            for key, points in sweeps.items()
+        }
+    if deltas is not None:
+        document["fault_deltas"] = deltas
+    return document
+
+
+def _print_risk(summaries, sweeps, profile, out, deltas=None) -> None:
+    """Render the G-series: per-scenario risk plus degree curves."""
+    print(
+        f"G-series: graded decoupling risk (profile {profile.name!r}:"
+        f" sensitivity {profile.w_sensitivity:g},"
+        f" linkability {profile.w_linkability:g},"
+        f" inferability {profile.w_inferability:g})",
+        file=out,
+    )
+    print(
+        f"  {'scenario':<16} {'grade':<10} {'system':>7} {'max pair':>9}"
+        f" {'mean':>7} {'coupled':>8} {'resist':>7}  riskiest pair",
+        file=out,
+    )
+    for summary in summaries:
+        riskiest = (
+            f"{summary.max_pair_entity} -> {summary.max_pair_subject}"
+            if summary.max_pair_entity
+            else "-"
+        )
+        print(
+            f"  {summary.scenario:<16} {summary.grade:<10}"
+            f" {summary.system_risk:>7.4f} {summary.max_pair_risk:>9.4f}"
+            f" {summary.mean_pair_risk:>7.4f} {summary.coupled_pairs:>8}"
+            f" {summary.collusion_resistance:>7}  {riskiest}",
+            file=out,
+        )
+    print(file=out)
+    if sweeps:
+        titles = {key: title for key, title, *_rest in harness.RISK_SWEEPS}
+        for key, points in sweeps.items():
+            print(titles.get(key, key), file=out)
+            print(
+                f"  {'degree':>6} {'resist':>7} {'system':>7}"
+                f" {'max pair':>9} {'mean':>7} {'coupled':>8}",
+                file=out,
+            )
+            for point in points:
+                print(
+                    f"  {point.degree:>6} {point.collusion_resistance:>7}"
+                    f" {point.system_risk:>7.4f} {point.max_pair_risk:>9.4f}"
+                    f" {point.mean_pair_risk:>7.4f} {point.coupled_pairs:>8}",
+                    file=out,
+                )
+            monotone = harness.risk_monotone_non_increasing(points)
+            diminishing = harness.risk_diminishing_returns(points)
+            print(
+                f"  monotone non-increasing: {'yes' if monotone else 'NO'};"
+                f" diminishing returns: {'yes' if diminishing else 'NO'}",
+                file=out,
+            )
+            print(file=out)
+    if deltas is not None:
+        print("risk under faults:", file=out)
+        for delta in deltas:
+            sign = "+" if delta["system_risk_delta"] >= 0 else ""
+            print(
+                f"  {delta['scenario']}: system"
+                f" {delta['baseline_system_risk']:.4f} ->"
+                f" {delta['faulted_system_risk']:.4f}"
+                f" ({sign}{delta['system_risk_delta']:.4f}),"
+                f" fallbacks={delta['fallbacks']}"
+                f" failures={delta['failures']}",
+                file=out,
+            )
+            for pair in delta["pair_deltas"]:
+                pair_sign = "+" if pair["delta"] >= 0 else ""
+                print(
+                    f"    {pair['entity']} / {pair['subject']}:"
+                    f" {pair['before']:.4f} -> {pair['after']:.4f}"
+                    f" ({pair_sign}{pair['delta']:.4f})",
+                    file=out,
+                )
+        print(file=out)
+
+
+def _run_risk(
+    out,
+    scenarios,
+    jobs: int,
+    as_json: bool,
+    out_path,
+    faults_plan=None,
+    profile_path=None,
+) -> int:
+    """``risk``: the G-series over the scenario registry."""
+    profile = _load_sensitivity_profile(profile_path, out)
+    if profile is None:
+        return 2
+    scenario_ids = None
+    if scenarios:
+        _register_demos()
+        scenario_ids = [name.strip() for name in scenarios.split(",") if name.strip()]
+        unknown = sorted(set(scenario_ids) - set(_DEMOS))
+        if unknown:
+            print(
+                f"unknown scenario(s): {', '.join(unknown)};"
+                f" try: {', '.join(sorted(_DEMOS))}",
+                file=out,
+            )
+            return 2
+    summaries = harness.risk_summaries(
+        jobs=jobs, scenario_ids=scenario_ids, profile=profile
+    )
+    # The degree sweeps belong to the full G-series document; a
+    # --scenarios subset is a focused query, so they are skipped.
+    sweeps = harness.risk_sweep(jobs=jobs, profile=profile) if scenario_ids is None else None
+    deltas = None
+    if faults_plan is not None:
+        ids = scenario_ids or [summary.scenario for summary in summaries]
+        deltas = [
+            harness.risk_delta(scenario_id, faults_plan, profile)
+            for scenario_id in ids
+        ]
+    if out_path:
+        document = _risk_document(summaries, sweeps, profile, deltas)
+        try:
+            with open(out_path, "w", encoding="utf-8") as handle:
+                json.dump(document, handle, ensure_ascii=False, indent=2)
+                handle.write("\n")
+        except OSError as error:
+            print(f"cannot write {out_path!r}: {error}", file=out)
+            return 1
+        print(f"risk report: {len(summaries)} scenarios -> {out_path}", file=out)
+    if as_json:
+        json.dump(
+            _risk_document(summaries, sweeps, profile, deltas),
+            out,
+            ensure_ascii=False,
+            indent=2,
+        )
+        print(file=out)
+    elif not out_path:
+        _print_risk(summaries, sweeps, profile, out, deltas)
+    return 0
+
+
+def _run_risk_explain(name: str, entity, subject, out, faults=None) -> int:
+    """``explain NAME --entity E --risk``: per-pair risk decompositions."""
+    from repro.risk import RiskError, score_run
+
+    traced = _traced_run(name, out, faults=faults)
+    if traced is None:
+        return 2
+    run, _, graph = traced
+    if not entity:
+        print("explain --risk requires --entity", file=out)
+        return 2
+    resolved = _resolve_entity(graph, entity)
+    if resolved is None:
+        print(
+            f"unknown entity {entity!r} in demo {name!r};"
+            f" entities: {', '.join(graph.entities())}",
+            file=out,
+        )
+        return 2
+    report = score_run(run, graph=graph)
+    if subject is not None:
+        subjects = [subject]
+    else:
+        subjects = [p.subject for p in report.pairs if p.entity == resolved]
+    if not subjects:
+        print(f"{resolved} observed nothing; no pairs to decompose", file=out)
+        return 0
+    print(f"risk decomposition for {resolved!r} in demo {name!r}:", file=out)
+    print(file=out)
+    for subject_name in subjects:
+        try:
+            decomposition = report.why(resolved, subject_name)
+        except RiskError as error:
+            print(f"error: {error}", file=out)
+            return 1
+        print(decomposition.render(), file=out)
+        print(file=out)
+    return 0
+
+
 def _run_demos_listing(out) -> int:
     """``demos``: every registered scenario, with schema and provenance."""
     for spec in all_specs():
@@ -788,6 +1026,11 @@ def main(argv=None, out=None) -> int:
         default=1,
         metavar="N",
         help="fan experiments and sweeps across N worker processes",
+    )
+    report.add_argument(
+        "--risk",
+        action="store_true",
+        help="append the G-series graded-decoupling risk section",
     )
     tables = sub.add_parser("tables", help="the T-series knowledge tables")
     tables.add_argument(
@@ -867,6 +1110,12 @@ def main(argv=None, out=None) -> int:
         " chains that meet at each breached organization"
         " (--entity then filters by organization)",
     )
+    explain.add_argument(
+        "--risk",
+        action="store_true",
+        help="print the entity's per-pair risk decomposition instead:"
+        " sub-score terms pinned to provenance chains (see docs/RISK.md)",
+    )
     explain.add_argument("--faults", **faults_kwargs)
     timeline = sub.add_parser(
         "timeline", help="trace one demo and print its knowledge-growth timeline"
@@ -910,6 +1159,43 @@ def main(argv=None, out=None) -> int:
         metavar="PATH",
         help="also write the JSON document to PATH",
     )
+    risk = sub.add_parser(
+        "risk",
+        help="G-series: graded decoupling risk scores and degree sweeps",
+    )
+    risk.add_argument(
+        "--scenarios",
+        default=None,
+        help="comma-separated scenario ids (default: every registered spec,"
+        " plus the G1/G2 degree sweeps)",
+    )
+    risk.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan scenarios and sweep cells across N worker processes",
+    )
+    risk.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the risk report as a machine-readable document",
+    )
+    risk.add_argument(
+        "--out",
+        default=None,
+        dest="out_path",
+        metavar="PATH",
+        help="also write the JSON document to PATH",
+    )
+    risk.add_argument(
+        "--profile",
+        default=None,
+        dest="profile_path",
+        metavar="PATH",
+        help="JSON sensitivity profile (default: the built-in weights)",
+    )
+    risk.add_argument("--faults", **faults_kwargs)
     sub.add_parser("list", help="list available demos")
     args = parser.parse_args(argv)
 
@@ -922,7 +1208,7 @@ def main(argv=None, out=None) -> int:
     if args.command == "report":
         jobs = max(getattr(args, "jobs", 1), 1)
         if args.json:
-            return _report_json(out, trace=args.trace, jobs=jobs)
+            return _report_json(out, trace=args.trace, jobs=jobs, risk=args.risk)
         if args.trace and jobs <= 1:
             with obs.capture() as (tracer, registry):
                 ok = _print_tables(out)
@@ -941,6 +1227,18 @@ def main(argv=None, out=None) -> int:
             ok = _print_tables(out, jobs=jobs)
             _print_figures(out)
             _print_sweeps(out, jobs=jobs)
+        if args.risk:
+            from repro.risk import DEFAULT_PROFILE
+
+            _print_risk(
+                harness.risk_summaries(
+                    jobs=jobs,
+                    scenario_ids=[spec.id for spec in experiment_specs()],
+                ),
+                harness.risk_sweep(jobs=jobs),
+                DEFAULT_PROFILE,
+                out,
+            )
         print(
             "ALL PAPER TABLES REPRODUCED EXACTLY" if ok else "SOME TABLES MISMATCHED",
             file=out,
@@ -971,6 +1269,10 @@ def main(argv=None, out=None) -> int:
     if args.command == "trace":
         return _run_trace(args.name, args.out_path, out, faults=faults_plan)
     if args.command == "explain":
+        if args.risk:
+            return _run_risk_explain(
+                args.name, args.entity, args.subject, out, faults=faults_plan
+            )
         if args.breach:
             return _run_breach_explain(args.name, args.entity, out, faults=faults_plan)
         if not args.entity:
@@ -990,6 +1292,16 @@ def main(argv=None, out=None) -> int:
             jobs=max(args.jobs, 1),
             as_json=args.json,
             out_path=args.out_path,
+        )
+    if args.command == "risk":
+        return _run_risk(
+            out,
+            scenarios=args.scenarios,
+            jobs=max(args.jobs, 1),
+            as_json=args.json,
+            out_path=args.out_path,
+            faults_plan=faults_plan,
+            profile_path=args.profile_path,
         )
     if args.command == "list":
         _register_demos()

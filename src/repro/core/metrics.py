@@ -23,6 +23,7 @@ from typing import Iterable, List, Mapping, Sequence
 
 __all__ = [
     "anonymity_set_size",
+    "anonymity_bits",
     "entropy_bits",
     "normalized_entropy",
     "uniformity_l1_distance",
@@ -32,8 +33,30 @@ __all__ = [
 
 
 def anonymity_set_size(candidates: Iterable[object]) -> int:
-    """The number of distinct users an observation could belong to."""
+    """The number of distinct users an observation could belong to.
+
+    Degenerate populations are defined, not errors: an empty candidate
+    pool yields 0 (nobody to hide among -- no observation exists) and a
+    singleton yields 1 (no hiding at all).
+    """
     return len(set(candidates))
+
+
+def anonymity_bits(population: int | Iterable[object]) -> float:
+    """Anonymity-set size expressed in bits (``log2`` of the set size).
+
+    Accepts either a precomputed set size or an iterable of candidates
+    (deduplicated via :func:`anonymity_set_size`).  Empty and singleton
+    populations carry no anonymity and yield 0.0 rather than raising on
+    ``log2(0)``.
+    """
+    if isinstance(population, int):
+        size = population
+    else:
+        size = anonymity_set_size(population)
+    if size <= 1:
+        return 0.0
+    return math.log2(size)
 
 
 def entropy_bits(distribution: Mapping[object, float] | Sequence[float]) -> float:
@@ -41,7 +64,10 @@ def entropy_bits(distribution: Mapping[object, float] | Sequence[float]) -> floa
 
     Accepts either a mapping ``outcome -> probability`` or a bare
     sequence of probabilities.  Probabilities are normalized first, so
-    raw counts are accepted too.
+    raw counts are accepted too.  Degenerate inputs are defined: empty
+    and all-zero distributions (nothing to be uncertain about) yield
+    0.0, non-positive weights are ignored, and weights so small their
+    normalized share underflows to 0.0 contribute 0 (their limit).
     """
     if isinstance(distribution, Mapping):
         weights = [w for w in distribution.values() if w > 0]
@@ -50,8 +76,9 @@ def entropy_bits(distribution: Mapping[object, float] | Sequence[float]) -> floa
     total = float(sum(weights))
     if total <= 0:
         return 0.0
+    shares = [w / total for w in weights]
     # ``+ 0.0`` normalizes the -0.0 a single-outcome distribution yields.
-    return -sum((w / total) * math.log2(w / total) for w in weights) + 0.0
+    return -sum(p * math.log2(p) for p in shares if p > 0) + 0.0
 
 
 def normalized_entropy(

@@ -40,6 +40,8 @@ __all__ = [
     "TableSummary",
     "SweepResult",
     "ResiliencePoint",
+    "RiskSummary",
+    "RiskPoint",
     "table_experiments",
     "table_reports",
     "table_summaries",
@@ -47,6 +49,14 @@ __all__ = [
     "resilience_point",
     "resilience_sweep",
     "DEFAULT_RESILIENCE_RATES",
+    "RISK_SWEEPS",
+    "risk_report",
+    "risk_summaries",
+    "risk_point",
+    "risk_sweep",
+    "risk_delta",
+    "risk_monotone_non_increasing",
+    "risk_diminishing_returns",
     "parallel_map",
     "figure_f1_series",
     "figure_f2_series",
@@ -434,6 +444,267 @@ def resilience_sweep(
         for rate in rates
     ]
     return parallel_map(_resilience_worker, items, jobs)
+
+
+# ----------------------------------------------------------------------
+# G-series: graded decoupling risk
+# ----------------------------------------------------------------------
+#
+# The G-series layers the composite risk score (``repro.risk``) over
+# the registry: one :class:`RiskSummary` per scenario, plus risk-vs-
+# degree sweeps over the same degree knobs as D1/D2, making section
+# 4.2's diminishing-returns argument fully quantitative.  Like the
+# R-series, G-series results never register as D-series sweeps -- the
+# pinned report goldens stay untouched.
+
+
+@dataclass
+class RiskSummary:
+    """The picklable risk summary of one scenario run."""
+
+    scenario: str
+    title: str
+    population: int
+    observations: int
+    decoupled: bool
+    grade: str
+    collusion_resistance: int
+    system_risk: float
+    max_pair_entity: str
+    max_pair_subject: str
+    max_pair_risk: float
+    mean_pair_risk: float
+    coupled_pairs: int
+    pairs: List[Dict[str, object]] = field(default_factory=list)
+    coalition_curve: List[Dict[str, object]] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
+        from dataclasses import asdict
+
+        return asdict(self)
+
+
+@dataclass
+class RiskPoint:
+    """One (scenario, degree) cell of a G-series risk sweep."""
+
+    scenario: str
+    degree: int
+    collusion_resistance: int
+    system_risk: float
+    max_pair_risk: float
+    mean_pair_risk: float
+    coupled_pairs: int
+    population: int
+    observations: int
+
+    def to_dict(self) -> Dict[str, object]:
+        from dataclasses import asdict
+
+        return asdict(self)
+
+
+#: The G-series sweeps: (key, title, scenario, degree knob, degrees,
+#: fixed overrides).  G1/G2 reuse the exact D1/D2 parameter bindings,
+#: so the risk curves anchor against the established cost curves.
+RISK_SWEEPS: Tuple[Tuple[str, str, str, str, Tuple[int, ...], Dict[str, object]], ...] = (
+    ("G1", "G1: risk vs relay degree (MPR)", "mpr", "relays",
+     (1, 2, 3, 4, 5), {"requests": 2}),
+    ("G2", "G2: risk vs aggregator degree (PPM)", "prio", "aggregators",
+     (2, 3, 4, 5), {"clients": 6}),
+)
+
+
+def risk_report(scenario_id: str, profile=None, faults=None, **overrides):
+    """Score one registered scenario; returns a ``RiskReport``."""
+    from repro.risk import score_run
+
+    with get_tracer().span(
+        "risk-report", kind="harness", sim_time=0.0, scenario=scenario_id,
+    ) as span:
+        run = run_scenario(scenario_id, faults=faults, **overrides)
+        span.end_sim(run.network.simulator.now)
+        report = score_run(run, profile)
+        report.scenario_id = scenario_id
+        return report
+
+
+def _summarize_risk(scenario_id: str, title: str, report) -> RiskSummary:
+    max_pair = report.max_pair()
+    return RiskSummary(
+        scenario=scenario_id,
+        title=title,
+        population=len(report.population),
+        observations=sum(p.observations for p in report.pairs),
+        decoupled=report.decoupled,
+        grade=report.grade,
+        collusion_resistance=report.collusion_resistance,
+        system_risk=report.system_risk(),
+        max_pair_entity=max_pair.entity if max_pair else "",
+        max_pair_subject=max_pair.subject if max_pair else "",
+        max_pair_risk=max_pair.score if max_pair else 0.0,
+        mean_pair_risk=report.mean_pair_risk(),
+        coupled_pairs=report.coupled_pairs,
+        pairs=[p.to_dict() for p in report.non_user_pairs()],
+        coalition_curve=report.coalition_curve(),
+    )
+
+
+def _risk_worker(item) -> RiskSummary:
+    """One scenario's risk summary in a worker process."""
+    scenario_id, profile = item
+    from repro.scenario import get_spec
+
+    report = risk_report(scenario_id, profile)
+    return _summarize_risk(scenario_id, get_spec(scenario_id).title, report)
+
+
+def risk_summaries(
+    jobs: int = 1,
+    scenario_ids: Optional[Sequence[str]] = None,
+    profile=None,
+) -> List[RiskSummary]:
+    """Risk summaries for every registered scenario (or a subset).
+
+    Ordered by scenario id, like ``repro demos``.  ``jobs > 1`` fans
+    scenarios across worker processes; scoring is deterministic, so
+    the merged result is byte-identical to a serial run.
+    """
+    if scenario_ids is None:
+        from repro.scenario import all_specs
+
+        scenario_ids = [spec.id for spec in all_specs()]
+    items = [(scenario_id, profile) for scenario_id in scenario_ids]
+    return parallel_map(_risk_worker, items, jobs)
+
+
+def risk_point(
+    scenario_id: str,
+    degree: int,
+    degree_param: str,
+    profile=None,
+    **overrides,
+) -> RiskPoint:
+    """Score one scenario at one degree of decoupling."""
+    with get_tracer().span(
+        "risk-point", kind="harness", sim_time=0.0,
+        scenario=scenario_id, degree=degree,
+    ) as span:
+        from repro.risk import score_run
+
+        run = run_scenario(scenario_id, **{degree_param: degree}, **overrides)
+        span.end_sim(run.network.simulator.now)
+        report = score_run(run, profile)
+        max_pair = report.max_pair()
+        return RiskPoint(
+            scenario=scenario_id,
+            degree=degree,
+            collusion_resistance=report.collusion_resistance,
+            system_risk=report.system_risk(),
+            max_pair_risk=max_pair.score if max_pair else 0.0,
+            mean_pair_risk=report.mean_pair_risk(),
+            coupled_pairs=report.coupled_pairs,
+            population=len(report.population),
+            observations=sum(p.observations for p in report.pairs),
+        )
+
+
+def _risk_point_worker(item) -> RiskPoint:
+    """One G-series cell in a worker process (items are picklable)."""
+    scenario_id, degree, degree_param, overrides, profile = item
+    return risk_point(scenario_id, degree, degree_param, profile, **overrides)
+
+
+def risk_sweep(
+    jobs: int = 1,
+    profile=None,
+    keys: Optional[Sequence[str]] = None,
+) -> Dict[str, List[RiskPoint]]:
+    """The G-series: system risk vs degree of decoupling.
+
+    Returns ``{key: [RiskPoint, ...]}`` in :data:`RISK_SWEEPS` order.
+    Each curve is monotone non-increasing with diminishing returns
+    (asserted by the tier-1 tests): the 1/collusion-resistance term
+    decays harmonically, so each added relay or aggregator buys less.
+    """
+    sweeps = [s for s in RISK_SWEEPS if keys is None or s[0] in keys]
+    items = [
+        (scenario_id, degree, degree_param, dict(overrides), profile)
+        for key, _title, scenario_id, degree_param, degrees, overrides in sweeps
+        for degree in degrees
+    ]
+    points = parallel_map(_risk_point_worker, items, jobs)
+    results: Dict[str, List[RiskPoint]] = {}
+    cursor = 0
+    for key, _title, _sid, _param, degrees, _overrides in sweeps:
+        results[key] = points[cursor : cursor + len(degrees)]
+        cursor += len(degrees)
+    return results
+
+
+def risk_monotone_non_increasing(points: Sequence[RiskPoint]) -> bool:
+    """System risk never rises with degree (more decoupling, less risk)."""
+    ordered = sorted(points, key=lambda p: p.degree)
+    return all(
+        a.system_risk >= b.system_risk for a, b in zip(ordered, ordered[1:])
+    )
+
+
+def risk_diminishing_returns(points: Sequence[RiskPoint]) -> bool:
+    """The last degree step reduces risk no more than the first did."""
+    ordered = sorted(points, key=lambda p: p.degree)
+    if len(ordered) < 3:
+        return True
+    first_drop = ordered[0].system_risk - ordered[1].system_risk
+    last_drop = ordered[-2].system_risk - ordered[-1].system_risk
+    return last_drop <= first_drop
+
+
+def risk_delta(scenario_id: str, faults, profile=None) -> Dict[str, object]:
+    """Risk shift when a fault plan fires: the R/G composition.
+
+    Scores the scenario fault-free and under ``faults`` and reports
+    the system-risk delta plus every pair whose score moved -- the
+    quantified form of "fallback is a privacy breach" (odoh under a
+    proxy crash is the canonical case).
+    """
+    from repro.risk import score_run
+
+    baseline = run_scenario(scenario_id)
+    baseline_report = score_run(baseline, profile)
+    faulted = run_scenario(scenario_id, faults=faults)
+    faulted_report = score_run(faulted, profile)
+    stats = (faulted.fault_summary or {}).get("stats", {})
+    base_pairs = {
+        (p.entity, p.subject): p for p in baseline_report.pairs
+    }
+    pair_deltas: List[Dict[str, object]] = []
+    for pair in faulted_report.pairs:
+        before = base_pairs.get((pair.entity, pair.subject))
+        before_score = before.score if before else 0.0
+        if pair.score != before_score:
+            pair_deltas.append(
+                {
+                    "entity": pair.entity,
+                    "subject": pair.subject,
+                    "before": before_score,
+                    "after": pair.score,
+                    "delta": pair.score - before_score,
+                }
+            )
+    return {
+        "scenario": scenario_id,
+        "baseline_system_risk": baseline_report.system_risk(),
+        "faulted_system_risk": faulted_report.system_risk(),
+        "system_risk_delta": (
+            faulted_report.system_risk() - baseline_report.system_risk()
+        ),
+        "baseline_decoupled": baseline_report.decoupled,
+        "faulted_decoupled": faulted_report.decoupled,
+        "fallbacks": stats.get("fallbacks", 0),
+        "failures": stats.get("failures", 0),
+        "pair_deltas": pair_deltas,
+    }
 
 
 def figure_f1_series(max_steps: int = 10):

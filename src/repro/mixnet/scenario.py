@@ -12,6 +12,7 @@ import random as _random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.core import metrics
 from repro.core.analysis import DecouplingAnalyzer
 from repro.core.labels import SENSITIVE_IDENTITY
 from repro.core.values import LabeledValue, Subject
@@ -93,16 +94,17 @@ class MixnetRun(ScenarioRun):
         """How many senders each delivered message hides among.
 
         For single-batch rounds this is the batch occupancy: the paper's
-        "anonymous member of a network aggregate".
+        "anonymous member of a network aggregate".  Counted with
+        :func:`repro.core.metrics.anonymity_set_size` over the senders
+        that fit the first mix's batch.
         """
         if not self.mixes:
             return 1
-        return max(1, min(self.senders, self.mixes[0].batch_size))
+        batch = list(self.sender_send_times or ())[: self.mixes[0].batch_size]
+        return max(1, metrics.anonymity_set_size(batch))
 
     def anonymity_bits(self) -> float:
-        import math
-
-        return math.log2(self.anonymity_set_size())
+        return metrics.anonymity_bits(self.anonymity_set_size())
 
     def end_to_end_latency(self) -> float:
         """Mean delivery latency over all received messages."""

@@ -1,0 +1,57 @@
+"""Graded decoupling: composite risk scores over the knowledge tables.
+
+The paper's verdict is binary -- an entity either can or cannot
+re-couple identity and data -- but section 4.2 argues decoupling has a
+*degree*, and real deployments live in between.  This package layers a
+composite, decomposable risk score over every knowledge-table cell and
+every (entity, subject) pair:
+
+* :class:`SensitivityProfile` -- declarative per-fact sensitivity
+  weights plus the component weights of the composite score;
+* :func:`score_run` -- scores a finished scenario run, producing a
+  :class:`RiskReport`;
+* :meth:`RiskReport.why` -- decomposes any pair score into provenance
+  -graph observations whose sub-score terms sum to the reported value.
+
+See ``docs/RISK.md`` for the score formula and a worked decomposition.
+"""
+
+from .profile import (
+    DEFAULT_COMPONENT_WEIGHTS,
+    DEFAULT_GLYPH_WEIGHTS,
+    DEFAULT_PROFILE,
+    ProfileError,
+    SensitivityProfile,
+    load_profile,
+)
+from .score import (
+    CellRisk,
+    CoalitionRisk,
+    PairRisk,
+    RiskDecomposition,
+    RiskError,
+    RiskReport,
+    RiskTerm,
+    inferability_rung,
+    score_run,
+    subject_linkability,
+)
+
+__all__ = [
+    "DEFAULT_COMPONENT_WEIGHTS",
+    "DEFAULT_GLYPH_WEIGHTS",
+    "DEFAULT_PROFILE",
+    "ProfileError",
+    "SensitivityProfile",
+    "load_profile",
+    "CellRisk",
+    "CoalitionRisk",
+    "PairRisk",
+    "RiskDecomposition",
+    "RiskError",
+    "RiskReport",
+    "RiskTerm",
+    "inferability_rung",
+    "score_run",
+    "subject_linkability",
+]

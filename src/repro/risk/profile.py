@@ -1,0 +1,237 @@
+"""Declarative sensitivity profiles: the weights behind every score.
+
+A :class:`SensitivityProfile` answers two questions the knowledge
+tables deliberately leave open:
+
+* *how bad is it* that an observer holds a given fact -- the per-glyph
+  sensitivity weights, optionally refined by description-substring
+  overrides ("any fact mentioning ``imsi`` weighs 1.0 no matter its
+  glyph");
+* *how do the sub-scores combine* -- the component weights of the
+  composite score (sensitivity, linkability, inferability).
+
+Profiles are plain frozen data with a JSON form, so a deployment can
+ship its own weighting without touching code.  The default component
+weights (0.25 / 0.25 / 0.5) are exact binary fractions summing to
+exactly 1.0, which is what lets :mod:`repro.risk.score` promise that a
+score's decomposition terms sum to the score byte-exactly and that no
+score leaves [0, 1].
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Tuple
+
+from repro.core.labels import Label
+
+__all__ = [
+    "ProfileError",
+    "SensitivityProfile",
+    "DEFAULT_GLYPH_WEIGHTS",
+    "DEFAULT_COMPONENT_WEIGHTS",
+    "DEFAULT_PROFILE",
+    "load_profile",
+]
+
+
+class ProfileError(ValueError):
+    """A malformed sensitivity profile (bad weight, unknown key)."""
+
+
+#: Default per-glyph sensitivity weights, one per point of the label
+#: lattice.  Sensitive marks weigh 1.0, the partial mark ⊙/● sits in
+#: between, and the hollow marks carry the residual risk of pseudonyms
+#: (△) and ciphertext/aggregates (⊙).  The network-identity facet ▲_N
+#: weighs slightly less than the human facet: an IMSI or IP address
+#: still needs a join to reach a person (the PGPP argument).
+DEFAULT_GLYPH_WEIGHTS: Mapping[str, float] = {
+    "▲": 1.0,
+    "▲_H": 1.0,
+    "▲_N": 0.8,
+    "△": 0.2,
+    "△_H": 0.2,
+    "△_N": 0.2,
+    "●": 1.0,
+    "⊙/●": 0.6,
+    "⊙": 0.1,
+}
+
+#: Default composite weights: inferability (can identity and data be
+#: joined *here*?) carries half the score -- it is the quantity the
+#: paper's verdict binarizes -- with sensitivity and linkability
+#: splitting the rest.  All three are exact binary fractions.
+DEFAULT_COMPONENT_WEIGHTS: Mapping[str, float] = {
+    "sensitivity": 0.25,
+    "linkability": 0.25,
+    "inferability": 0.5,
+}
+
+#: Fallback weight when a profile omits a glyph entirely, by label rank
+#: (0 non-sensitive, 1 partial, 2 sensitive).
+_RANK_FALLBACK = {0: 0.2, 1: 0.6, 2: 1.0}
+
+_COMPONENTS = ("sensitivity", "linkability", "inferability")
+_ALLOWED_KEYS = frozenset(
+    {"name", "glyph_weights", "description_overrides", "component_weights"}
+)
+
+
+def _check_weight(value: Any, what: str) -> float:
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise ProfileError(f"{what} must be a number, got {value!r}")
+    weight = float(value)
+    if not 0.0 <= weight <= 1.0:
+        raise ProfileError(f"{what} must lie in [0, 1], got {weight!r}")
+    return weight
+
+
+@dataclass(frozen=True)
+class SensitivityProfile:
+    """Per-fact sensitivity weights plus composite component weights.
+
+    ``glyph_weights`` maps paper glyphs (▲, ⊙/●, ...) to weights in
+    [0, 1]; missing glyphs fall back to :data:`DEFAULT_GLYPH_WEIGHTS`
+    and then to a rank-based default.  ``description_overrides`` is an
+    ordered tuple of ``(substring, weight)`` pairs matched
+    case-insensitively against an observation's description; the first
+    match wins over any glyph weight.  ``component_weights`` must cover
+    exactly sensitivity/linkability/inferability and sum to 1.0.
+    """
+
+    name: str = "default"
+    glyph_weights: Mapping[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_GLYPH_WEIGHTS)
+    )
+    description_overrides: Tuple[Tuple[str, float], ...] = ()
+    component_weights: Mapping[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_COMPONENT_WEIGHTS)
+    )
+
+    def __post_init__(self) -> None:
+        for glyph, weight in self.glyph_weights.items():
+            if glyph not in DEFAULT_GLYPH_WEIGHTS:
+                known = ", ".join(DEFAULT_GLYPH_WEIGHTS)
+                raise ProfileError(
+                    f"unknown glyph {glyph!r} in profile {self.name!r};"
+                    f" known glyphs: {known}"
+                )
+            _check_weight(weight, f"glyph weight for {glyph!r}")
+        for pair in self.description_overrides:
+            if len(pair) != 2:
+                raise ProfileError(
+                    f"description override must be (substring, weight), got {pair!r}"
+                )
+            substring, weight = pair
+            if not isinstance(substring, str) or not substring:
+                raise ProfileError(
+                    f"override substring must be a non-empty string, got {substring!r}"
+                )
+            _check_weight(weight, f"override weight for {substring!r}")
+        if set(self.component_weights) != set(_COMPONENTS):
+            raise ProfileError(
+                "component_weights must cover exactly"
+                f" {', '.join(_COMPONENTS)}; got {sorted(self.component_weights)}"
+            )
+        total = 0.0
+        for component, weight in self.component_weights.items():
+            total += _check_weight(weight, f"component weight {component!r}")
+        if abs(total - 1.0) > 1e-9:
+            raise ProfileError(
+                f"component weights must sum to 1.0, got {total!r}"
+            )
+
+    # -- the lookup every score goes through ---------------------------
+
+    def weight_for(self, label: Label, description: str = "") -> float:
+        """The sensitivity weight of one fact, in [0, 1].
+
+        Description-substring overrides win (first match, matched
+        case-insensitively); otherwise the glyph's weight, falling back
+        to the defaults and finally to the label's rank.
+        """
+        if description:
+            lowered = description.lower()
+            for substring, weight in self.description_overrides:
+                if substring.lower() in lowered:
+                    return float(weight)
+        glyph = label.glyph
+        if glyph in self.glyph_weights:
+            return float(self.glyph_weights[glyph])
+        if glyph in DEFAULT_GLYPH_WEIGHTS:
+            return float(DEFAULT_GLYPH_WEIGHTS[glyph])
+        return _RANK_FALLBACK[label.rank]
+
+    @property
+    def w_sensitivity(self) -> float:
+        return float(self.component_weights["sensitivity"])
+
+    @property
+    def w_linkability(self) -> float:
+        return float(self.component_weights["linkability"])
+
+    @property
+    def w_inferability(self) -> float:
+        return float(self.component_weights["inferability"])
+
+    # -- JSON form -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "glyph_weights": dict(self.glyph_weights),
+            "description_overrides": [
+                [substring, weight]
+                for substring, weight in self.description_overrides
+            ],
+            "component_weights": dict(self.component_weights),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SensitivityProfile":
+        if not isinstance(data, Mapping):
+            raise ProfileError(f"profile must be a mapping, got {type(data).__name__}")
+        unknown = set(data) - _ALLOWED_KEYS
+        if unknown:
+            raise ProfileError(
+                f"unknown profile keys: {', '.join(sorted(unknown))};"
+                f" allowed: {', '.join(sorted(_ALLOWED_KEYS))}"
+            )
+        overrides = data.get("description_overrides", ())
+        try:
+            override_pairs = tuple((pair[0], pair[1]) for pair in overrides)
+        except (TypeError, IndexError):
+            raise ProfileError(
+                f"description_overrides must be a list of [substring, weight]"
+                f" pairs, got {overrides!r}"
+            ) from None
+        return cls(
+            name=str(data.get("name", "custom")),
+            glyph_weights=dict(data.get("glyph_weights", DEFAULT_GLYPH_WEIGHTS)),
+            description_overrides=override_pairs,
+            component_weights=dict(
+                data.get("component_weights", DEFAULT_COMPONENT_WEIGHTS)
+            ),
+        )
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), ensure_ascii=False, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SensitivityProfile":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ProfileError(f"profile is not valid JSON: {exc}") from None
+        return cls.from_dict(data)
+
+
+#: The profile every surface uses unless told otherwise.
+DEFAULT_PROFILE = SensitivityProfile()
+
+
+def load_profile(path: str) -> SensitivityProfile:
+    """Read a :class:`SensitivityProfile` from a JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return SensitivityProfile.from_json(handle.read())

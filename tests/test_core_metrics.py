@@ -8,6 +8,7 @@ from hypothesis import given, strategies as st
 from repro.core.metrics import (
     DegreePoint,
     DegreeSweep,
+    anonymity_bits,
     anonymity_set_size,
     entropy_bits,
     normalized_entropy,
@@ -28,6 +29,25 @@ class TestEntropy:
     def test_empty_and_zero_distributions(self):
         assert entropy_bits([]) == 0.0
         assert entropy_bits([0, 0]) == 0.0
+
+    def test_degenerate_mappings_are_defined(self):
+        assert entropy_bits({}) == 0.0
+        assert entropy_bits({"a": 0.0, "b": 0.0}) == 0.0
+        assert not math.isnan(entropy_bits({"a": 0.0}))
+
+    def test_denormal_weight_does_not_raise(self):
+        # 5e-324 / 2.0 underflows to exactly 0.0; log2(0.0) must not fire.
+        assert entropy_bits({"a": 5e-324, "b": 2.0}) == pytest.approx(0.0)
+
+    def test_negative_weights_are_ignored(self):
+        assert entropy_bits({"a": -1.0, "b": 2.0}) == 0.0
+        assert entropy_bits([-1.0, 1.0, 1.0]) == pytest.approx(1.0)
+
+    def test_normalized_entropy_degenerate_inputs(self):
+        assert normalized_entropy([]) == 0.0
+        assert normalized_entropy([0, 0]) == 0.0
+        assert normalized_entropy({"a": 1.0}) == 0.0
+        assert normalized_entropy({}) == 0.0
 
     @given(st.lists(st.floats(min_value=0.01, max_value=100), min_size=1, max_size=10))
     def test_entropy_bounded_by_log2_n(self, weights):
@@ -56,6 +76,29 @@ class TestUniformity:
 class TestAnonymitySet:
     def test_counts_distinct_candidates(self):
         assert anonymity_set_size(["u1", "u2", "u1"]) == 2
+
+    def test_degenerate_populations_are_defined(self):
+        assert anonymity_set_size([]) == 0
+        assert anonymity_set_size(["only"]) == 1
+
+    def test_anonymity_bits_of_sizes(self):
+        assert anonymity_bits(8) == pytest.approx(3.0)
+        assert anonymity_bits(1) == 0.0
+        assert anonymity_bits(0) == 0.0
+
+    def test_anonymity_bits_of_candidate_iterables(self):
+        assert anonymity_bits(["u1", "u2", "u1", "u3", "u4"]) == pytest.approx(2.0)
+        assert anonymity_bits([]) == 0.0
+        assert anonymity_bits(["only"]) == 0.0
+
+    def test_mixnet_run_uses_core_helpers(self):
+        from repro.mixnet import run_mixnet
+
+        run = run_mixnet(mixes=2, senders=4)
+        assert run.anonymity_set_size() == min(
+            4, run.mixes[0].batch_size
+        )
+        assert run.anonymity_bits() == anonymity_bits(run.anonymity_set_size())
 
 
 class TestDegreeSweep:

@@ -1,0 +1,162 @@
+"""Property tests for the risk-score invariants.
+
+The score's contract (``src/repro/risk/score.py``) promises four
+things no matter what a protocol run looks like:
+
+* recording more observations never lowers a cell's or a pair's risk;
+* growing the anonymity population never raises any subject's
+  linkability;
+* every score stays inside [0, 1] with no clamping anywhere;
+* the decomposition terms sum to the pair score byte-exactly.
+"""
+
+from io import StringIO
+
+from hypothesis import given, strategies as st
+
+from repro.cli import main
+from repro.core.entities import World
+from repro.core.labels import (
+    NONSENSITIVE_DATA,
+    NONSENSITIVE_IDENTITY,
+    SENSITIVE_DATA,
+    SENSITIVE_IDENTITY,
+)
+from repro.core.values import LabeledValue, Subject
+from repro.risk import score_run, subject_linkability
+
+SUBJECTS = {"alice": Subject("alice"), "bob": Subject("bob")}
+
+#: The linkability population is held fixed across every comparison in
+#: this module so only the observation pool varies.
+POPULATION = {"alice": 1.0, "bob": 1.0}
+
+LABELS = {
+    "id": SENSITIVE_IDENTITY,
+    "data": SENSITIVE_DATA,
+    "pseudo": NONSENSITIVE_IDENTITY,
+    "blob": NONSENSITIVE_DATA,
+}
+
+#: One recorded observation: (label kind, subject, session, payload).
+#: Payloads repeat across events so shared values can bridge sessions,
+#: exercising the union-find coupling path, and sessions repeat so
+#: same-session coupling fires too.
+EVENTS = st.tuples(
+    st.sampled_from(sorted(LABELS)),
+    st.sampled_from(sorted(SUBJECTS)),
+    st.sampled_from(["s1", "s2", "s3"]),
+    st.integers(min_value=0, max_value=4),
+)
+
+
+def _score_events(events):
+    world = World()
+    world.entity("User", "device", trusted_by_user=True)
+    server = world.entity("Server", "org-server")
+    for kind, subject, session, payload in events:
+        value = LabeledValue(
+            f"v{payload}", LABELS[kind], SUBJECTS[subject], f"{kind} fact"
+        )
+        server.observe(value, session=session)
+    return score_run(world=world, population=POPULATION)
+
+
+class TestMonotonicity:
+    @given(st.lists(EVENTS, min_size=1, max_size=12), st.integers(1, 11))
+    def test_adding_observations_never_lowers_pair_risk(self, events, cut):
+        cut = min(cut, len(events))
+        before = _score_events(events[:cut])
+        after = _score_events(events)
+        for pair in before.pairs:
+            grown = after.pair(pair.entity, pair.subject)
+            assert grown.score >= pair.score
+            assert grown.sensitivity >= pair.sensitivity
+            assert grown.inferability >= pair.inferability
+
+    @given(st.lists(EVENTS, min_size=1, max_size=12), st.integers(1, 11))
+    def test_adding_observations_never_lowers_cell_risk(self, events, cut):
+        cut = min(cut, len(events))
+        before = _score_events(events[:cut])
+        after = _score_events(events)
+        grown = {
+            (c.entity, c.subject, c.glyph, c.description): c.score
+            for c in after.cells
+        }
+        for cell in before.cells:
+            key = (cell.entity, cell.subject, cell.glyph, cell.description)
+            assert grown[key] >= cell.score
+
+    @given(st.integers(2, 32), st.integers(0, 16))
+    def test_growing_anonymity_set_never_raises_linkability(self, k, extra):
+        smaller = {f"u{i}": 1.0 for i in range(k)}
+        larger = {f"u{i}": 1.0 for i in range(k + extra)}
+        assert subject_linkability(larger, "u0") <= subject_linkability(
+            smaller, "u0"
+        )
+
+    @given(
+        st.dictionaries(
+            st.sampled_from([f"u{i}" for i in range(6)]),
+            st.floats(min_value=0.01, max_value=10),
+            min_size=1,
+            max_size=6,
+        ),
+        st.floats(min_value=0.01, max_value=10),
+    )
+    def test_weight_on_other_subjects_never_raises_linkability(
+        self, population, extra
+    ):
+        before = subject_linkability(population, "u0")
+        grown = dict(population)
+        grown["other"] = grown.get("other", 0.0) + extra
+        assert subject_linkability(grown, "u0") <= before + 1e-12
+
+
+class TestBounds:
+    @given(st.lists(EVENTS, min_size=1, max_size=12))
+    def test_every_score_stays_in_unit_interval(self, events):
+        report = _score_events(events)
+        for pair in report.pairs:
+            assert 0.0 <= pair.score <= 1.0
+        for cell in report.cells:
+            assert 0.0 <= cell.score <= 1.0
+        assert 0.0 <= report.system_risk() <= 1.0
+        for name in report.subjects:
+            assert 0.0 <= report.subject_exposure(name) <= 1.0
+
+    @given(st.lists(EVENTS, min_size=1, max_size=12))
+    def test_terms_sum_exactly_to_the_score(self, events):
+        report = _score_events(events)
+        for pair in report.pairs:
+            assert sum(t.value for t in pair.terms) == pair.score
+
+    @given(
+        st.dictionaries(
+            st.text(
+                alphabet="abcdef", min_size=1, max_size=3
+            ),
+            st.floats(min_value=0.0, max_value=10),
+            max_size=8,
+        ),
+        st.sampled_from(["a", "b", "stranger"]),
+    )
+    def test_linkability_stays_in_unit_interval(self, population, subject):
+        assert 0.0 <= subject_linkability(population, subject) <= 1.0
+
+
+class TestDeterminism:
+    def _risk_json(self, argv):
+        out = StringIO()
+        assert main(argv, out=out) == 0
+        return out.getvalue()
+
+    def test_fixed_seed_risk_json_is_byte_identical(self):
+        argv = ["risk", "--scenarios", "odoh,prio,vpn", "--json"]
+        assert self._risk_json(argv) == self._risk_json(argv)
+
+    def test_parallel_risk_json_matches_serial(self):
+        base = ["risk", "--scenarios", "odoh,prio,mixnet", "--json"]
+        serial = self._risk_json(base)
+        parallel = self._risk_json(base + ["--jobs", "2"])
+        assert serial == parallel
