@@ -18,8 +18,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Iterable, List, Set, Tuple
 
+from repro import fastpath as _fastpath
+
 from .ledger import Ledger, Observation
-from .values import LabeledValue, Sealed, walk_values
+from .values import LabeledValue, Sealed, collect_values, walk_values
 
 __all__ = ["Organization", "Entity", "World"]
 
@@ -105,21 +107,37 @@ class Entity:
         observations of one interaction for the linkage analysis;
         ``packet_id`` (set by the network on delivery) pins each
         observation to the wire packet that caused it.
+
+        The walk-and-record happens through the batched
+        :meth:`~repro.core.ledger.Ledger.record_fast` seam (one index
+        fold, one version bump per call); ``REPRO_SLOW_PATH=1``
+        restores the original value-at-a-time loop, which must produce
+        identical ledger contents.
         """
-        recorded = []
-        for value in walk_values(item, self.keyring):
-            recorded.append(
-                self.ledger.record(
-                    self.name,
-                    self.organization.name,
-                    value,
-                    time=time,
-                    channel=channel,
-                    session=session,
-                    packet_id=packet_id,
+        if _fastpath.SLOW_PATH:
+            recorded = []
+            for value in walk_values(item, self.keyring):
+                recorded.append(
+                    self.ledger.record(
+                        self.name,
+                        self.organization.name,
+                        value,
+                        time=time,
+                        channel=channel,
+                        session=session,
+                        packet_id=packet_id,
+                    )
                 )
-            )
-        return recorded
+            return recorded
+        return self.ledger.record_fast(
+            self.name,
+            self.organization.name,
+            collect_values(item, self.keyring),
+            time=time,
+            channel=channel,
+            session=session,
+            packet_id=packet_id,
+        )
 
     def visible_values(self, item: Any) -> List[LabeledValue]:
         """What this entity *would* see in ``item``, without recording."""
@@ -153,6 +171,10 @@ class World:
     def __init__(self) -> None:
         self.ledger = Ledger()
         self._entities: List[Entity] = []
+        # Name index: keeps entity() registration and get() O(1) so
+        # building thousand-host worlds isn't quadratic.  The list is
+        # kept alongside for declaration order.
+        self._entities_by_name: dict[str, Entity] = {}
         self._organizations: dict[str, Organization] = {}
 
     def organization(
@@ -196,10 +218,11 @@ class World:
             organization = self.organization(
                 organization, trusted_by_user=trusted_by_user, attested=attested
             )
-        if any(e.name == name for e in self._entities):
+        if name in self._entities_by_name:
             raise ValueError(f"duplicate entity name {name!r}")
         entity = Entity(name, organization, self.ledger, keys=keys)
         self._entities.append(entity)
+        self._entities_by_name[name] = entity
         return entity
 
     @property
@@ -207,10 +230,10 @@ class World:
         return tuple(self._entities)
 
     def get(self, name: str) -> Entity:
-        for entity in self._entities:
-            if entity.name == name:
-                return entity
-        raise KeyError(name)
+        try:
+            return self._entities_by_name[name]
+        except KeyError:
+            raise KeyError(name) from None
 
     def user_entities(self) -> Tuple[Entity, ...]:
         return tuple(e for e in self._entities if e.is_user)

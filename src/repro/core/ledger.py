@@ -21,21 +21,25 @@ appends and invalidate; see docs/PERFORMANCE.md for the invariant.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import sys
+from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
 
+from repro import fastpath as _fastpath
 from repro.obs import runtime as _obs
 from repro.obs.metrics import get_registry as _get_registry
 
-from .labels import Facet, Label
-from .values import LabeledValue, ShareInfo, Subject, digest
+from .labels import Facet, Kind, Label
+from .values import LabeledValue, ShareInfo, Subject, digest, digest_of
 
 __all__ = ["Observation", "Ledger"]
 
 _EMPTY: Tuple["Observation", ...] = ()
 
+_intern = sys.intern
 
-@dataclass(frozen=True)
+
+@dataclass(slots=True)
 class Observation:
     """One entity learning one labeled value at one moment.
 
@@ -48,6 +52,14 @@ class Observation:
     observations, attestations, breaches).  The provenance graph
     (:mod:`repro.obs.provenance`) uses it to derive, rather than
     guess, the packet behind every knowledge-table cell.
+
+    Observations are value objects: treat them as immutable.  The
+    class is slotted but deliberately not ``frozen`` -- the frozen
+    machinery routes all twelve constructor stores through
+    ``object.__setattr__``, which dominated the drive-phase profile at
+    tens of thousands of records per run.  Nothing in the codebase
+    mutates one after construction, and the cached hash assumes
+    nobody does.
     """
 
     entity: str
@@ -62,15 +74,19 @@ class Observation:
     provenance: Tuple[str, ...] = ()
     share_info: Optional[ShareInfo] = None
     packet_id: Optional[int] = None
+    _cached_hash: Optional[int] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
-    def __post_init__(self) -> None:
+    def __hash__(self) -> int:
         # Observations live in sets and dict keys throughout the
         # coupling analysis; hashing all twelve fields per lookup
-        # dominated profiles, so the hash is computed once here.
-        object.__setattr__(
-            self,
-            "_cached_hash",
-            hash(
+        # dominated profiles.  The hash is computed once, lazily, on
+        # first use -- drive-phase records that the analyzer never
+        # hashes pay nothing.
+        cached = self._cached_hash
+        if cached is None:
+            cached = hash(
                 (
                     self.entity,
                     self.organization,
@@ -85,11 +101,9 @@ class Observation:
                     self.share_info,
                     self.packet_id,
                 )
-            ),
-        )
-
-    def __hash__(self) -> int:
-        return self._cached_hash  # type: ignore[attr-defined]
+            )
+            self._cached_hash = cached
+        return cached
 
     def __str__(self) -> str:
         return (
@@ -106,24 +120,35 @@ class Ledger:
         self._version: int = 0
         # Incremental indices, maintained by _index().  Dicts preserve
         # insertion order, so their keys double as the first-appearance
-        # orderings that entities()/subjects() promise.
+        # orderings that entities()/subjects() promise.  Subject-keyed
+        # indices key on ``subject.name`` -- subjects are equal iff
+        # their names are, and string keys hash at C speed (CPython
+        # caches a str's hash in the object) where Subject keys would
+        # re-enter a Python ``__hash__`` frame on every dict operation
+        # in the record hot loop.  ``_subjects`` maps each name to its
+        # Subject in first-appearance order.
         self._by_entity: Dict[str, List[Observation]] = {}
         self._by_organization: Dict[str, List[Observation]] = {}
-        self._by_subject: Dict[Subject, List[Observation]] = {}
-        self._by_entity_subject: Dict[Tuple[str, Subject], List[Observation]] = {}
-        self._by_org_subject: Dict[Tuple[str, Subject], List[Observation]] = {}
+        self._by_subject: Dict[str, List[Observation]] = {}
+        self._subjects: Dict[str, Subject] = {}
+        self._by_entity_subject: Dict[Tuple[str, str], List[Observation]] = {}
+        self._by_org_subject: Dict[Tuple[str, str], List[Observation]] = {}
         self._labels_by_entity: Dict[str, Set[Label]] = {}
-        self._labels_by_pair: Dict[Tuple[str, Subject], Set[Label]] = {}
+        self._labels_by_pair: Dict[Tuple[str, str], Set[Label]] = {}
         self._identity_facets: Set[Facet] = set()
 
     @property
     def version(self) -> int:
         """Monotonically increasing mutation counter.
 
-        Bumped on every :meth:`record` and :meth:`clear`.  Caches keyed
-        on ``(ledger, version)`` are exactly as fresh as the ledger:
-        equal version means identical contents, different version means
-        recompute.
+        Bumped on every :meth:`record` and :meth:`clear`, and once per
+        *batch* by :meth:`record_fast`.  The invariant downstream
+        caches rely on is exactly this: **equal version means identical
+        contents; any mutation changes the version**.  It deliberately
+        does *not* promise ``version == len(observations)`` -- analyzer
+        memo keys are ``(ledger, version)`` equality checks, so one
+        bump per batch invalidates them just as correctly as one bump
+        per row (``tests/test_drive_fastpath.py`` pins this).
         """
         return self._version
 
@@ -134,13 +159,16 @@ class Ledger:
             observation.subject,
             observation.organization,
         )
+        name = subject.name
+        if name not in self._subjects:
+            self._subjects[name] = subject
         self._by_entity.setdefault(entity, []).append(observation)
         self._by_organization.setdefault(org, []).append(observation)
-        self._by_subject.setdefault(subject, []).append(observation)
-        self._by_entity_subject.setdefault((entity, subject), []).append(observation)
-        self._by_org_subject.setdefault((org, subject), []).append(observation)
+        self._by_subject.setdefault(name, []).append(observation)
+        self._by_entity_subject.setdefault((entity, name), []).append(observation)
+        self._by_org_subject.setdefault((org, name), []).append(observation)
         self._labels_by_entity.setdefault(entity, set()).add(observation.label)
-        self._labels_by_pair.setdefault((entity, subject), set()).add(
+        self._labels_by_pair.setdefault((entity, name), set()).add(
             observation.label
         )
         if observation.label.is_identity:
@@ -182,6 +210,11 @@ class Ledger:
             share_info=value.share_info,
             packet_id=packet_id,
         )
+        if _fastpath.SLOW_PATH:
+            # The slow reference preserves the original per-record cost
+            # profile, where the observation hash was computed eagerly
+            # at construction time rather than lazily on first use.
+            hash(observation)
         self._observations.append(observation)
         self._index(observation)
         self._version += 1
@@ -190,6 +223,105 @@ class Ledger:
             registry.counter("ledger.observations").inc()
             registry.counter(f"ledger.observations.{channel}").inc()
         return observation
+
+    def record_fast(
+        self,
+        entity: str,
+        organization: str,
+        values: List[LabeledValue],
+        *,
+        time: float = 0.0,
+        channel: str = "message",
+        session: str = "",
+        packet_id: Optional[int] = None,
+    ) -> List[Observation]:
+        """Batch-append one interaction's pre-walked values.
+
+        The drive-phase counterpart of :meth:`record`:
+        :meth:`Entity.observe <repro.core.entities.Entity.observe>`
+        walks an item once with
+        :func:`~repro.core.values.collect_values` and folds the whole
+        value list into every incremental index here, with hoisted
+        bucket lookups, interned channel/session strings, memoized
+        value digests, and **one version bump for the whole batch**
+        (see :attr:`version` for why that is sound).  The resulting
+        observations, indices, and iteration order are exactly what
+        the equivalent sequence of :meth:`record` calls would produce.
+        """
+        if not values:
+            return []
+        channel = _intern(channel)
+        session = _intern(session)
+        observations = self._observations
+        subjects = self._subjects
+        by_subject = self._by_subject
+        by_entity_subject = self._by_entity_subject
+        by_org_subject = self._by_org_subject
+        labels_by_pair = self._labels_by_pair
+        identity_facets = self._identity_facets
+        # One interaction has one entity/organization: resolve those
+        # buckets once per batch instead of once per value.
+        entity_bucket = self._by_entity.setdefault(entity, [])
+        org_bucket = self._by_organization.setdefault(organization, [])
+        entity_labels = self._labels_by_entity.setdefault(entity, set())
+        recorded: List[Observation] = []
+        for value in values:
+            subject = value.subject
+            name = subject.name
+            label = value.label
+            value_digest = value._digest_cache
+            if value_digest is None:
+                value_digest = digest_of(value)
+            observation = Observation(
+                entity,
+                organization,
+                subject,
+                label,
+                value_digest,
+                value.description,
+                time,
+                channel,
+                session,
+                value.provenance,
+                value.share_info,
+                packet_id,
+            )
+            observations.append(observation)
+            entity_bucket.append(observation)
+            org_bucket.append(observation)
+            bucket = by_subject.get(name)
+            if bucket is None:
+                by_subject[name] = [observation]
+                subjects[name] = subject
+            else:
+                bucket.append(observation)
+            pair = (entity, name)
+            bucket = by_entity_subject.get(pair)
+            if bucket is None:
+                by_entity_subject[pair] = [observation]
+            else:
+                bucket.append(observation)
+            org_pair = (organization, name)
+            bucket = by_org_subject.get(org_pair)
+            if bucket is None:
+                by_org_subject[org_pair] = [observation]
+            else:
+                bucket.append(observation)
+            entity_labels.add(label)
+            pair_labels = labels_by_pair.get(pair)
+            if pair_labels is None:
+                labels_by_pair[pair] = {label}
+            else:
+                pair_labels.add(label)
+            if label.kind is Kind.IDENTITY:
+                identity_facets.add(label.facet)
+            recorded.append(observation)
+        self._version += 1
+        if _obs.ENABLED:
+            registry = _get_registry()
+            registry.counter("ledger.observations").inc(len(recorded))
+            registry.counter(f"ledger.observations.{channel}").inc(len(recorded))
+        return recorded
 
     def ingest(self, observations: Iterable[Observation]) -> None:
         """Append pre-built observations (deserialization, replay).
@@ -219,7 +351,7 @@ class Ledger:
 
     def subjects(self) -> Tuple[Subject, ...]:
         """Subjects in order of first appearance."""
-        return tuple(self._by_subject)
+        return tuple(self._subjects.values())
 
     def identity_facets(self) -> FrozenSet[Facet]:
         """The identity facets observed so far (unordered)."""
@@ -232,24 +364,24 @@ class Ledger:
         return tuple(self._by_organization.get(organization, _EMPTY))
 
     def by_subject(self, subject: Subject) -> Tuple[Observation, ...]:
-        return tuple(self._by_subject.get(subject, _EMPTY))
+        return tuple(self._by_subject.get(subject.name, _EMPTY))
 
     def by_pair(self, entity: str, subject: Subject) -> Tuple[Observation, ...]:
         """Observations of one entity about one subject, in record order."""
-        return tuple(self._by_entity_subject.get((entity, subject), _EMPTY))
+        return tuple(self._by_entity_subject.get((entity, subject.name), _EMPTY))
 
     def by_org_subject(
         self, organization: str, subject: Subject
     ) -> Tuple[Observation, ...]:
         """Observations by one organization about one subject."""
-        return tuple(self._by_org_subject.get((organization, subject), _EMPTY))
+        return tuple(self._by_org_subject.get((organization, subject.name), _EMPTY))
 
     def subjects_of_entity(self, entity: str) -> Tuple[Subject, ...]:
         """Subjects ``entity`` has observed, in global first-appearance order."""
         return tuple(
             subject
-            for subject in self._by_subject
-            if (entity, subject) in self._by_entity_subject
+            for name, subject in self._subjects.items()
+            if (entity, name) in self._by_entity_subject
         )
 
     def labels_of(
@@ -263,14 +395,14 @@ class Ledger:
         if channels is None:
             if subject is None:
                 return set(self._labels_by_entity.get(entity, ()))
-            return set(self._labels_by_pair.get((entity, subject), ()))
+            return set(self._labels_by_pair.get((entity, subject.name), ()))
         # Channel slicing is rare (audits); scan just this entity's
         # (or pair's) bucket rather than the whole ledger.
         wanted = set(channels)
         if subject is None:
             bucket: Iterable[Observation] = self._by_entity.get(entity, _EMPTY)
         else:
-            bucket = self._by_entity_subject.get((entity, subject), _EMPTY)
+            bucket = self._by_entity_subject.get((entity, subject.name), _EMPTY)
         return {obs.label for obs in bucket if obs.channel in wanted}
 
     def merged(self, other: "Ledger") -> "Ledger":
@@ -289,6 +421,7 @@ class Ledger:
         self._by_entity.clear()
         self._by_organization.clear()
         self._by_subject.clear()
+        self._subjects.clear()
         self._by_entity_subject.clear()
         self._by_org_subject.clear()
         self._labels_by_entity.clear()

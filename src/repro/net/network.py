@@ -23,6 +23,7 @@ import itertools
 import random as _random
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro import fastpath as _fastpath
 from repro.core.entities import Entity
 from repro.obs import runtime as _obs
 from repro.obs.metrics import LATENCY_BUCKETS, SIZE_BUCKETS, get_registry
@@ -36,6 +37,49 @@ from .trace import PacketRecord, TrafficTrace
 __all__ = ["Network", "SimHost", "TransactTimeout", "WireObserver"]
 
 Handler = Callable[[Packet], Any]
+
+#: Cap on the network's ``_Delivery`` free list.  In-flight fan-out
+#: beyond this just allocates fresh events.
+_DELIVERY_POOL_LIMIT = 1024
+
+
+class _Delivery:
+    """A slotted, reusable delivery event.
+
+    The fast path schedules one of these per packet instead of a
+    ``lambda: self._deliver(packet)`` closure: the arguments live in
+    slots rather than captured cells, and after firing the event
+    returns to the owning network's free list to be re-armed by the
+    next ``send`` -- steady-state scheduling allocates no closures.
+
+    Preconditions are re-checked at *fire* time, not just send time:
+    if a fault injector was installed (or observability enabled) while
+    the packet was on the wire, delivery falls back to the fully
+    instrumented ``_deliver`` so ``on_deliver`` crash/partition checks
+    and span ceremony are never skipped.
+    """
+
+    __slots__ = ("network", "packet")
+
+    def __init__(self, network: "Network", packet: Optional[Packet]) -> None:
+        self.network = network
+        self.packet = packet
+
+    def __call__(self) -> None:
+        network = self.network
+        packet = self.packet
+        self.packet = None
+        pool = network._delivery_pool
+        if len(pool) < _DELIVERY_POOL_LIMIT:
+            pool.append(self)
+        if (
+            network._fault_injector is None
+            and not _obs.ENABLED
+            and not _fastpath.SLOW_PATH
+        ):
+            network._deliver_fast(packet)
+        else:
+            network._deliver(packet)
 
 
 class TransactTimeout(RuntimeError):
@@ -183,6 +227,18 @@ class Network:
         self._latencies: Dict[frozenset, float] = {}
         self._observers: List[WireObserver] = []
         self._responses: Dict[int, Any] = {}
+        # Fast-path caches.  ``_observer_cache`` pre-resolves the
+        # observer list per (src-prefix, dst-prefix) pair;
+        # ``_latency_cache`` keys the per-pair latency by the ordered
+        # address tuple (no frozenset allocation per send).  Both are
+        # pure memoizations, invalidated on topology mutation.
+        self._observer_cache: Dict[Tuple[str, str], Tuple["WireObserver", ...]] = {}
+        self._latency_cache: Dict[Tuple[Address, Address], float] = {}
+        self._delivery_pool: List[_Delivery] = []
+        #: Deliveries that went through the batched fast pipeline --
+        #: zero whenever observability or a fault injector is active
+        #: (asserted by tests/test_drive_fastpath.py).
+        self.fast_deliveries = 0
         # Per-network id counters: two identical runs on two Network
         # instances assign identical packet/request ids, which keeps
         # exported traces and provenance records byte-reproducible
@@ -240,12 +296,43 @@ class Network:
     def set_latency(self, a: Address, b: Address, latency: float) -> None:
         """Override the one-way latency between two hosts."""
         self._latencies[frozenset((a, b))] = latency
+        self._latency_cache.clear()
 
     def latency(self, a: Address, b: Address) -> float:
         return self._latencies.get(frozenset((a, b)), self.default_latency)
 
+    def _latency_fast(self, a: Address, b: Address) -> float:
+        key = (a, b)
+        cached = self._latency_cache.get(key)
+        if cached is None:
+            cached = self._latencies.get(frozenset(key), self.default_latency)
+            self._latency_cache[key] = cached
+        return cached
+
     def add_observer(self, observer: WireObserver) -> None:
         self._observers.append(observer)
+        self._observer_cache.clear()
+
+    def _observers_for(
+        self, src_prefix: str, dst_prefix: str
+    ) -> Tuple[WireObserver, ...]:
+        """The observers watching this prefix pair (memoized).
+
+        Exactly the observers for which ``watches(packet)`` is true --
+        ``watches`` depends only on the two prefixes.
+        """
+        key = (src_prefix, dst_prefix)
+        observers = self._observer_cache.get(key)
+        if observers is None:
+            observers = tuple(
+                o
+                for o in self._observers
+                if o.prefixes is None
+                or src_prefix in o.prefixes
+                or dst_prefix in o.prefixes
+            )
+            self._observer_cache[key] = observers
+        return observers
 
     def hosts(self) -> List[SimHost]:
         """Every host, in address-allocation order."""
@@ -278,27 +365,42 @@ class Network:
         observations from its packets stay linkable at the receiver --
         a TLS session, a cellular attach procedure.
         """
+        simulator = self.simulator
         packet = Packet(
             src=src_host.address,
             dst=dst,
             protocol=protocol,
             payload=payload,
             size=size if size is not None else estimate_size(payload),
+            packet_id=next(self._packet_ids),
             sender_identity=src_host.identity,
             request_id=request_id,
             response_to=response_to,
-            sent_at=self.simulator.now,
+            sent_at=simulator.now,
             flow=flow,
-            packet_id=next(self._packet_ids),
         )
         self.packets_sent += 1
         if self.loss_rate > 0 and self._loss_rng.random() < self.loss_rate:
             self._count_dropped()
             return packet  # lost in transit: never delivered
+        injector = self._fault_injector
+        if injector is None and not _obs.ENABLED and not _fastpath.SLOW_PATH:
+            # Fast path: exactly one copy, no injector consult, no
+            # span capture -- schedule a pooled slotted event instead
+            # of a closure.
+            self.packets_in_flight += 1
+            pool = self._delivery_pool
+            if pool:
+                event = pool.pop()
+                event.packet = packet
+            else:
+                event = _Delivery(self, packet)
+            simulator.schedule(self._latency_fast(src_host.address, dst), event)
+            return packet
         delay = self.latency(src_host.address, dst)
         delays = [delay]
-        if self._fault_injector is not None:
-            impaired = self._fault_injector.on_send(packet, delay)
+        if injector is not None:
+            impaired = injector.on_send(packet, delay)
             if impaired is not None:
                 if not impaired:
                     self._count_dropped()
@@ -386,6 +488,79 @@ class Network:
                 wrapper.end_sim(self.simulator.now)
                 wrapper.__exit__(None, None, None)
 
+    def _deliver_fast(self, packet: Packet) -> None:
+        """The batched delivery pipeline.
+
+        Taken only when observability is disabled, no fault injector is
+        installed, and ``REPRO_SLOW_PATH`` is unset; semantically
+        identical to ``_deliver`` + ``_deliver_inner`` under those
+        preconditions (the differential goldens in
+        tests/test_drive_fastpath.py pin byte-identical artifacts).
+        Differences are purely mechanical: one merged frame, memoized
+        observer lists, and batched ledger appends via
+        ``Entity.observe``'s fast route.
+        """
+        self.packets_in_flight -= 1
+        self.fast_deliveries += 1
+        now = self.simulator.now
+        self.trace.record(
+            PacketRecord(
+                time=now,
+                src=packet.src,
+                dst=packet.dst,
+                size=packet.size,
+                protocol=packet.protocol,
+                packet_id=packet.packet_id,
+            )
+        )
+        observers = self._observers_for(packet.src.prefix, packet.dst.prefix)
+        if observers:
+            for observer in observers:
+                observer.notice(packet, now)
+        host = self._hosts.get(packet.dst)
+        if host is None:
+            self.host_at(packet.dst)  # raises the canonical KeyError
+        session = packet.session
+        packet_id = packet.packet_id
+        entity = host.entity
+        if packet.sender_identity is not None:
+            entity.observe(
+                packet.sender_identity,
+                time=now,
+                channel="network-header",
+                session=session,
+                packet_id=packet_id,
+            )
+        entity.observe(
+            packet.payload,
+            time=now,
+            channel=packet.protocol,
+            session=session,
+            packet_id=packet_id,
+        )
+        self.messages_delivered += 1
+        self.bytes_delivered += packet.size
+        self.delivered.append(packet)
+
+        if packet.response_to is not None:
+            self._responses[packet.response_to] = packet.payload
+            return
+        handler = host._handlers.get(packet.protocol)
+        if handler is None:
+            raise KeyError(
+                f"host {host.name} has no handler for {packet.protocol!r}"
+            )
+        result = handler(packet)
+        if result is not None and packet.request_id is not None:
+            self.send(
+                host,
+                packet.src,
+                result,
+                packet.protocol,
+                response_to=packet.request_id,
+                flow=packet.flow,
+            )
+
     def _deliver_inner(self, packet: Packet) -> None:
         now = self.simulator.now
         self.trace.record(
@@ -464,10 +639,40 @@ class Network:
         """
         request_id = next(self._request_ids)
         effective = timeout if timeout is not None else self.transact_timeout
+        simulator = self.simulator
+        responses = self._responses
+        if not _obs.ENABLED and not _fastpath.SLOW_PATH:
+            # Fast path: identical control flow, minus the span (and
+            # the ``str()`` of both addresses its kwargs would force).
+            self.send(
+                src_host,
+                dst,
+                payload,
+                protocol,
+                size=size,
+                request_id=request_id,
+                flow=flow,
+            )
+            if effective is None:
+                simulator.run_until(lambda: request_id in responses)
+            else:
+                deadline = simulator.now + effective
+                marker = simulator.marker_at(deadline)
+                simulator.run_until(
+                    lambda: request_id in responses
+                    or simulator.now >= deadline
+                )
+                if request_id not in responses:
+                    raise TransactTimeout(
+                        f"no response to {protocol!r} request from {dst}"
+                        f" within {effective:g}s"
+                    )
+                simulator.cancel(marker)
+            return responses.pop(request_id)
         with get_tracer().span(
             "transact",
             kind="net",
-            sim_time=self.simulator.now,
+            sim_time=simulator.now,
             src=str(src_host.address),
             dst=str(dst),
             protocol=protocol,
@@ -482,25 +687,28 @@ class Network:
                 flow=flow,
             )
             if effective is None:
-                self.simulator.run_until(lambda: request_id in self._responses)
+                simulator.run_until(lambda: request_id in responses)
             else:
-                deadline = self.simulator.now + effective
+                deadline = simulator.now + effective
                 # The deadline marker keeps the queue non-empty up to
                 # the deadline, so ``run_until`` times out instead of
-                # raising its generic idle error.
-                self.simulator.at(deadline, lambda: None)
-                self.simulator.run_until(
-                    lambda: request_id in self._responses
-                    or self.simulator.now >= deadline
+                # raising its generic idle error.  It is canceled on
+                # the success path so completed transacts leave no
+                # dead heap entries behind.
+                marker = simulator.marker_at(deadline)
+                simulator.run_until(
+                    lambda: request_id in responses
+                    or simulator.now >= deadline
                 )
-                if request_id not in self._responses:
-                    span.end_sim(self.simulator.now)
+                if request_id not in responses:
+                    span.end_sim(simulator.now)
                     raise TransactTimeout(
                         f"no response to {protocol!r} request from {dst}"
                         f" within {effective:g}s"
                     )
-            span.end_sim(self.simulator.now)
-            return self._responses.pop(request_id)
+                simulator.cancel(marker)
+            span.end_sim(simulator.now)
+            return responses.pop(request_id)
 
     def run(self) -> int:
         """Pump until idle (for one-way protocols such as mixing)."""

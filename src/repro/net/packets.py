@@ -9,17 +9,15 @@ request/response bookkeeping used by
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
+from repro import fastpath as _fastpath
 from repro.core.values import Aggregate, LabeledValue, Sealed
 
 from .addressing import Address
 
 __all__ = ["Packet", "estimate_size"]
-
-_packet_ids = itertools.count(1)
 
 _SEALED_OVERHEAD = 48  # encapsulated key + AEAD tag, roughly
 _DEFAULT_ITEM_SIZE = 16
@@ -31,7 +29,18 @@ def estimate_size(payload: Any) -> int:
     Real enough for bandwidth-overhead comparisons: bytes and strings
     count their length, sealed envelopes add header overhead, numbers
     count as words.
+
+    Sizes of :class:`Sealed` and :class:`LabeledValue` instances are
+    memoized on the instance (both are immutable), so an onion that is
+    forwarded through five hops is walked once, not five times.  Under
+    ``REPRO_SLOW_PATH=1`` the uncached recursion runs instead.
     """
+    if _fastpath.SLOW_PATH:
+        return _estimate_size_uncached(payload)
+    return _estimate_size_cached(payload)
+
+
+def _estimate_size_uncached(payload: Any) -> int:
     if payload is None:
         return 0
     if isinstance(payload, (bytes, bytearray)):
@@ -45,38 +54,130 @@ def estimate_size(payload: Any) -> int:
     if isinstance(payload, float):
         return 8
     if isinstance(payload, LabeledValue):
-        return estimate_size(payload.payload)
+        return _estimate_size_uncached(payload.payload)
     if isinstance(payload, Sealed):
-        return _SEALED_OVERHEAD + sum(estimate_size(c) for c in payload.contents)
+        return _SEALED_OVERHEAD + sum(
+            _estimate_size_uncached(c) for c in payload.contents
+        )
     if isinstance(payload, Aggregate):
         return 8 * max(1, len(payload.contributors))
     if isinstance(payload, dict):
-        return sum(estimate_size(k) + estimate_size(v) for k, v in payload.items())
+        return sum(
+            _estimate_size_uncached(k) + _estimate_size_uncached(v)
+            for k, v in payload.items()
+        )
     if isinstance(payload, (list, tuple, set, frozenset)):
-        return sum(estimate_size(item) for item in payload)
+        return sum(_estimate_size_uncached(item) for item in payload)
     return _DEFAULT_ITEM_SIZE
 
 
-@dataclass
+def _estimate_size_cached(payload: Any) -> int:
+    # Exact-class checks first: payload trees are built from these
+    # concrete classes and ``cls is X`` beats the isinstance ladder.
+    cls = payload.__class__
+    if cls is LabeledValue:
+        size = payload._size_cache
+        if size is None:
+            size = _estimate_size_cached(payload.payload)
+            payload._size_cache = size
+        return size
+    if cls is Sealed:
+        size = payload._size_cache
+        if size is None:
+            size = _SEALED_OVERHEAD + sum(
+                _estimate_size_cached(c) for c in payload.contents
+            )
+            payload._size_cache = size
+        return size
+    if cls is str:
+        return len(payload.encode("utf-8"))
+    if cls is bytes:
+        return len(payload)
+    if cls is tuple or cls is list:
+        return sum(_estimate_size_cached(item) for item in payload)
+    if payload is None:
+        return 0
+    if isinstance(payload, (bytes, bytearray)):
+        return len(payload)
+    if isinstance(payload, str):
+        return len(payload.encode("utf-8"))
+    if isinstance(payload, bool):
+        return 1
+    if isinstance(payload, int):
+        return max(1, (payload.bit_length() + 7) // 8)
+    if isinstance(payload, float):
+        return 8
+    if isinstance(payload, LabeledValue):
+        size = payload._size_cache
+        if size is None:
+            size = _estimate_size_cached(payload.payload)
+            payload._size_cache = size
+        return size
+    if isinstance(payload, Sealed):
+        size = payload._size_cache
+        if size is None:
+            size = _SEALED_OVERHEAD + sum(
+                _estimate_size_cached(c) for c in payload.contents
+            )
+            payload._size_cache = size
+        return size
+    if isinstance(payload, Aggregate):
+        return 8 * max(1, len(payload.contributors))
+    if isinstance(payload, dict):
+        return sum(
+            _estimate_size_cached(k) + _estimate_size_cached(v)
+            for k, v in payload.items()
+        )
+    if isinstance(payload, (list, tuple, set, frozenset)):
+        return sum(_estimate_size_cached(item) for item in payload)
+    return _DEFAULT_ITEM_SIZE
+
+
+@dataclass(slots=True)
 class Packet:
-    """One simulated datagram/stream chunk."""
+    """One simulated datagram/stream chunk.
+
+    ``packet_id`` is a required field: ids are issued by the owning
+    :class:`~repro.net.network.Network`'s per-instance counter so that
+    two runs in one process produce byte-identical traces.  (An earlier
+    module-global fallback counter leaked state across runs whenever a
+    packet was built outside a network.)
+    """
 
     src: Address
     dst: Address
     protocol: str
     payload: Any
     size: int
+    packet_id: int
     sender_identity: Optional[LabeledValue] = None
     request_id: Optional[int] = None
     response_to: Optional[int] = None
     sent_at: float = 0.0
     flow: Optional[str] = None
-    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    _session: Optional[str] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def session(self) -> str:
-        """The linkage-session tag observations of this packet carry."""
-        return self.flow if self.flow is not None else f"pkt:{self.packet_id}"
+        """The linkage-session tag observations of this packet carry.
+
+        On the fast path it is computed once and cached: the same
+        string object is handed to every observation of this packet,
+        so downstream dict keys hash an already-seen instance.  Under
+        ``REPRO_SLOW_PATH=1`` the string is rebuilt per access, which
+        is what every access cost before the cache existed.
+        """
+        if _fastpath.SLOW_PATH:
+            return self.flow if self.flow is not None else f"pkt:{self.packet_id}"
+        session = self._session
+        if session is None:
+            session = (
+                self.flow if self.flow is not None else f"pkt:{self.packet_id}"
+            )
+            self._session = session
+        return session
 
     @property
     def is_response(self) -> bool:

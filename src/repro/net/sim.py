@@ -7,6 +7,20 @@ pumping, which lets :meth:`repro.net.network.Network.transact` offer a
 synchronous request/response API on top of one-way message events --
 protocol code reads like straight-line code while timestamps stay
 globally consistent.
+
+Callbacks may be any zero-argument callable.  The drive-phase fast
+path schedules slotted event objects (e.g. the network's ``_Delivery``
+record) instead of per-packet lambda closures: the object carries its
+arguments in slots and is re-armed from a free list, so the steady
+state allocates no closures and no cells.  ``_step`` dispatches both
+forms identically via ``callback()``.
+
+Deadline *markers* (:meth:`marker_at`) are events whose only purpose
+is to wake the clock at a given time.  They are cancelable: a canceled
+marker is dropped lazily when it reaches the top of the heap, without
+counting as a processed event or running hooks, so synchronous
+``transact`` calls that complete before their deadline no longer
+accumulate dead heap entries.
 """
 
 from __future__ import annotations
@@ -25,6 +39,19 @@ __all__ = ["Simulator"]
 EventHook = Callable[[float, Callable[[], None]], None]
 
 
+class _Marker:
+    """A cancelable wake-at-time heap entry (no-op when it fires)."""
+
+    __slots__ = ("canceled", "fired")
+
+    def __init__(self) -> None:
+        self.canceled = False
+        self.fired = False
+
+    def __call__(self) -> None:  # pragma: no cover - trivial
+        pass
+
+
 class Simulator:
     """An event queue with a monotonically advancing clock."""
 
@@ -33,6 +60,7 @@ class Simulator:
         self._queue: List[Tuple[float, int, Callable[[], None]]] = []
         self._sequence = itertools.count()
         self._processed = 0
+        self._canceled = 0
         self._hooks: List[EventHook] = []
 
     @property
@@ -41,7 +69,8 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        return len(self._queue)
+        """Live events still queued (canceled markers excluded)."""
+        return len(self._queue) - self._canceled
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> None:
         """Run ``callback`` ``delay`` time units from now."""
@@ -52,6 +81,30 @@ class Simulator:
     def at(self, time: float, callback: Callable[[], None]) -> None:
         """Run ``callback`` at absolute ``time`` (>= now)."""
         self.schedule(time - self.now, callback)
+
+    def marker_at(self, time: float) -> _Marker:
+        """Queue a cancelable no-op event at absolute ``time``.
+
+        Returns a handle for :meth:`cancel`.  Used to pin a wake-up at
+        a transact deadline; canceling it on the success path keeps the
+        heap free of dead entries.
+        """
+        marker = _Marker()
+        self.at(time, marker)
+        return marker
+
+    def cancel(self, marker: _Marker) -> None:
+        """Cancel a queued marker (idempotent).
+
+        Cancellation is lazy: the heap entry stays until it surfaces,
+        then is skipped without advancing ``events_processed`` or
+        running hooks.  ``pending`` reflects the cancellation at once.
+        Canceling a marker that already fired (e.g. a transact whose
+        response arrived exactly at the deadline) is a no-op.
+        """
+        if not marker.canceled and not marker.fired:
+            marker.canceled = True
+            self._canceled += 1
 
     def add_hook(self, hook: EventHook) -> None:
         """Call ``hook(time, callback)`` before each event executes.
@@ -65,28 +118,41 @@ class Simulator:
         self._hooks.remove(hook)
 
     def _step(self) -> bool:
-        if not self._queue:
-            return False
-        time, _, callback = heapq.heappop(self._queue)
-        if time < self.now:
-            raise RuntimeError("event queue went backwards in time")
-        self.now = time
-        self._processed += 1
-        if _obs.ENABLED:
-            _get_registry().counter("sim.events").inc()
-        if self._hooks:
-            for hook in self._hooks:
-                hook(time, callback)
-        callback()
-        return True
+        queue = self._queue
+        while queue:
+            time, _, callback = heapq.heappop(queue)
+            if callback.__class__ is _Marker:
+                if callback.canceled:
+                    self._canceled -= 1
+                    continue
+                callback.fired = True
+            if time < self.now:
+                raise RuntimeError("event queue went backwards in time")
+            self.now = time
+            self._processed += 1
+            if _obs.ENABLED:
+                _get_registry().counter("sim.events").inc()
+            if self._hooks:
+                for hook in self._hooks:
+                    hook(time, callback)
+            callback()
+            return True
+        return False
 
     def run_until_idle(self, max_events: int = 1_000_000) -> int:
-        """Pump events until the queue drains; returns events processed."""
+        """Pump events until the queue drains; returns events processed.
+
+        At most ``max_events`` events run; if live events remain past
+        that budget the simulation is declared an event storm.
+        """
         count = 0
         while self._step():
             count += 1
-            if count > max_events:
-                raise RuntimeError("simulation did not quiesce (event storm?)")
+            if count >= max_events and self.pending:
+                raise RuntimeError(
+                    f"simulation did not quiesce (event storm? "
+                    f"{count} events processed, {self.pending} still pending)"
+                )
         return count
 
     def run_until(
@@ -96,17 +162,21 @@ class Simulator:
 
         Safe to call re-entrantly from inside an event callback -- this
         is what makes synchronous ``transact`` possible.  Raises if the
-        queue drains first.
+        queue drains first, or if ``max_events`` events run without the
+        predicate coming true.
         """
         count = 0
         while not predicate():
+            if count >= max_events:
+                raise RuntimeError(
+                    f"predicate never satisfied (event storm? "
+                    f"{count} events processed, {self.pending} still pending)"
+                )
             if not self._step():
                 raise RuntimeError(
                     "simulation went idle before the awaited condition held"
                 )
             count += 1
-            if count > max_events:
-                raise RuntimeError("predicate never satisfied (event storm?)")
 
     def advance(self, delta: float) -> None:
         """Move the clock forward with no events (pure think time)."""

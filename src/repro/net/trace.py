@@ -18,9 +18,15 @@ from .addressing import Address
 __all__ = ["PacketRecord", "TrafficTrace"]
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class PacketRecord:
-    """The metadata one packet leaks to a wire observer."""
+    """The metadata one packet leaks to a wire observer.
+
+    Slotted but deliberately not frozen: one record is constructed per
+    delivery on the hot path, and the frozen machinery would route all
+    six constructor stores through ``object.__setattr__``.  Treat
+    instances as immutable; nothing mutates one after construction.
+    """
 
     time: float
     src: Address

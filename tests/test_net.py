@@ -291,3 +291,73 @@ class TestNetwork:
         network.run()
         sessions = {obs.session for obs in world.ledger.by_entity("Server")}
         assert sessions == {"f1"}
+
+
+class TestTransactDeadlineMarker:
+    """The deadline no-op marker must not outlive a successful transact."""
+
+    def _make(self):
+        world = World()
+        network = Network()
+        user = network.add_host("user", world.entity("U", "u-org"))
+        server = network.add_host("server", world.entity("S", "s-org"))
+        server.register("echo", lambda pkt: pkt.payload)
+        return network, user, server
+
+    def test_success_path_cancels_marker(self):
+        network, user, server = self._make()
+        baseline = network.simulator.pending
+        reply = user.transact(server.address, "ping", "echo")
+        assert reply == "ping"
+        # Success with the network-wide default (no timeout) leaves
+        # nothing queued either way; arm an explicit deadline next.
+        network.transact_timeout = 10.0
+        reply = network.transact(user, server.address, "ping", "echo")
+        assert reply == "ping"
+        assert network.simulator.pending == baseline
+
+    def test_retry_loop_does_not_accumulate_markers(self):
+        network, user, server = self._make()
+        network.transact_timeout = 5.0
+        baseline = network.simulator.pending
+        for _ in range(50):
+            assert network.transact(user, server.address, "x", "echo") == "x"
+        assert network.simulator.pending == baseline
+
+
+class TestPacketIdRequired:
+    """`packet_id` has no default: ids come from the owning network.
+
+    The removed module-global fallback counter leaked state across
+    runs whenever a packet was built outside a network, breaking
+    same-process reproducibility.
+    """
+
+    def test_packet_without_id_rejected(self):
+        from repro.net.packets import Packet
+
+        with pytest.raises(TypeError):
+            Packet(
+                src=Address("10.0.0.1"),
+                dst=Address("10.0.0.2"),
+                protocol="p",
+                payload="x",
+                size=1,
+            )
+
+    def test_network_issued_ids_restart_per_network(self):
+        world_a = World()
+        net_a = Network()
+        user_a = net_a.add_host("user", world_a.entity("U", "u"))
+        server_a = net_a.add_host("server", world_a.entity("S", "s"))
+        server_a.register("p", lambda pkt: None)
+        first = net_a.send(user_a, server_a.address, "x", "p")
+
+        world_b = World()
+        net_b = Network()
+        user_b = net_b.add_host("user", world_b.entity("U", "u"))
+        server_b = net_b.add_host("server", world_b.entity("S", "s"))
+        server_b.register("p", lambda pkt: None)
+        second = net_b.send(user_b, server_b.address, "x", "p")
+
+        assert first.packet_id == second.packet_id

@@ -20,8 +20,19 @@ class TestMaxEventsCutoff:
         sim.schedule(0.001, reschedule)
         with pytest.raises(RuntimeError, match="quiesce"):
             sim.run_until_idle(max_events=50)
-        # The cutoff fires *after* max_events steps, never silently.
-        assert sim.events_processed == 51
+        # The budget is exact: max_events steps run, never one more.
+        assert sim.events_processed == 50
+
+    def test_run_until_idle_error_reports_pending_count(self):
+        sim = Simulator()
+
+        def reschedule():
+            sim.schedule(0.001, reschedule)
+            sim.schedule(0.001, reschedule)  # queue grows each step
+
+        sim.schedule(0.001, reschedule)
+        with pytest.raises(RuntimeError, match=r"\d+ still pending"):
+            sim.run_until_idle(max_events=10)
 
     def test_run_until_raises_when_predicate_never_holds(self):
         sim = Simulator()
@@ -32,12 +43,84 @@ class TestMaxEventsCutoff:
         sim.schedule(0.001, reschedule)
         with pytest.raises(RuntimeError, match="never satisfied"):
             sim.run_until(lambda: False, max_events=50)
+        # Exactly the budget, despite the predicate never holding.
+        assert sim.events_processed == 50
+
+    def test_run_until_error_reports_pending_count(self):
+        sim = Simulator()
+
+        def reschedule():
+            sim.schedule(0.001, reschedule)
+
+        sim.schedule(0.001, reschedule)
+        with pytest.raises(RuntimeError, match=r"\d+ still pending"):
+            sim.run_until(lambda: False, max_events=5)
 
     def test_run_until_idle_exactly_at_limit_is_fine(self):
         sim = Simulator()
         for index in range(10):
             sim.schedule(index * 0.01, lambda: None)
         assert sim.run_until_idle(max_events=10) == 10
+
+    def test_run_until_succeeding_exactly_at_limit_is_fine(self):
+        sim = Simulator()
+        hits = []
+        for index in range(10):
+            sim.schedule(index * 0.01, lambda: hits.append(None))
+        sim.run_until(lambda: len(hits) == 10, max_events=10)
+        assert sim.events_processed == 10
+
+
+class TestCancelableMarkers:
+    def test_canceled_marker_leaves_pending_immediately(self):
+        sim = Simulator()
+        marker = sim.marker_at(1.0)
+        assert sim.pending == 1
+        sim.cancel(marker)
+        assert sim.pending == 0
+
+    def test_canceled_marker_not_counted_as_processed(self):
+        sim = Simulator()
+        marker = sim.marker_at(1.0)
+        sim.schedule(2.0, lambda: None)
+        sim.cancel(marker)
+        assert sim.run_until_idle() == 1
+        assert sim.events_processed == 1
+        assert sim.now == pytest.approx(2.0)
+
+    def test_uncanceled_marker_fires_and_counts(self):
+        sim = Simulator()
+        sim.marker_at(1.0)
+        assert sim.run_until_idle() == 1
+        assert sim.now == pytest.approx(1.0)
+
+    def test_cancel_after_fire_is_a_noop(self):
+        sim = Simulator()
+        marker = sim.marker_at(1.0)
+        sim.run_until_idle()
+        sim.cancel(marker)  # too late: must not corrupt accounting
+        assert sim.pending == 0
+        sim.schedule(2.0, lambda: None)
+        assert sim.pending == 1
+        assert sim.run_until_idle() == 1
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        marker = sim.marker_at(1.0)
+        sim.cancel(marker)
+        sim.cancel(marker)
+        assert sim.pending == 0
+        assert sim.run_until_idle() == 0
+
+    def test_canceled_marker_skipped_without_running_hooks(self):
+        sim = Simulator()
+        seen = []
+        sim.add_hook(lambda time, callback: seen.append(time))
+        marker = sim.marker_at(1.0)
+        sim.schedule(2.0, lambda: None)
+        sim.cancel(marker)
+        sim.run_until_idle()
+        assert seen == [pytest.approx(2.0)]
 
     def test_run_until_checks_predicate_before_pumping(self):
         sim = Simulator()
