@@ -18,7 +18,13 @@ Commands:
 * ``demos``       -- list every registered scenario with its title and
   parameter schema (the registry behind ``demo``/``trace``/``explain``)
 * ``trace NAME``  -- run one demo with tracing on and export the span
-  tree, metrics, and provenance records as JSONL (``--out spans.jsonl``)
+  tree, metrics, and provenance records as JSONL (``--out spans.jsonl``;
+  ``--obs-mode`` selects the observability tier, ``--obs-sample`` /
+  ``--obs-seed`` configure sampled mode)
+* ``profile NAME`` -- time one demo phase-by-phase (build/drive/settle/
+  analyze) under an observability tier; ``--repeats N`` keeps best-of-N,
+  ``--trace-out DIR`` streams spans to bounded-memory JSONL segments,
+  ``--json``/``--out`` emit the machine-readable document
 * ``explain NAME --entity E [--subject S] [--fact F]`` -- run one demo
   and print, for every (matching) sensitive fact the entity holds, the
   causal chain from originating send through every forwarding hop to
@@ -46,7 +52,7 @@ import argparse
 import functools
 import json
 import sys
-from typing import Callable, Dict
+from typing import Callable, Dict, List, Optional
 
 from repro import harness, obs
 from repro.obs import export as obs_export
@@ -195,17 +201,12 @@ def _print_sweeps(out, jobs: int = 1) -> None:
 
 def _spans_per_experiment(tracer) -> Dict[int, int]:
     """Descendant-span counts keyed by experiment span id."""
-    experiments = tracer.by_name("experiment")
-    parent_of = {span.span_id: span.parent_id for span in tracer.spans}
-    counts = {span.span_id: 0 for span in experiments}
-    for span in tracer.spans:
-        node = span.parent_id
-        while node is not None:
-            if node in counts:
-                counts[node] += 1
-                break
-            node = parent_of.get(node)
-    return counts
+    from repro.obs import analyze
+
+    return analyze.descendant_counts(
+        tracer.spans,
+        [span.span_id for span in tracer.by_name("experiment")],
+    )
 
 
 def _print_trace_section(tracer, registry, out) -> None:
@@ -468,12 +469,33 @@ def _report_json(out, trace: bool = False, jobs: int = 1, risk: bool = False) ->
     return 0 if all_match else 1
 
 
-def _run_trace(name: str, out_path: str, out, faults=None) -> int:
+def _obs_sampler(mode, sample, seed):
+    """The CLI-configured span sampler; ``None`` outside sampled mode."""
+    if mode != "sampled":
+        return None
+    from repro.obs.runtime import DEFAULT_SAMPLE_RATE
+
+    return obs.SpanSampler(
+        rate=DEFAULT_SAMPLE_RATE if sample is None else sample,
+        seed=0 if seed is None else seed,
+    )
+
+
+def _run_trace(
+    name: str,
+    out_path: str,
+    out,
+    faults=None,
+    mode=None,
+    sample=None,
+    seed=None,
+) -> int:
     """``trace NAME``: one traced demo run, exported as JSONL."""
     runner = _resolve_demo(name, out, faults=faults)
     if runner is None:
         return 2
-    with obs.capture() as (tracer, registry):
+    sampler = _obs_sampler(mode, sample, seed)
+    with obs.capture(mode=mode, sampler=sampler) as (tracer, registry):
         with tracer.span("demo", kind="demo", sim_time=0.0, demo=name) as root:
             run = runner()
             network = getattr(run, "network", None)
@@ -504,6 +526,175 @@ def _run_trace(name: str, out_path: str, out, faults=None) -> int:
     )
     print(file=out)
     print(obs_export.render_span_tree(tracer.spans), file=out)
+    return 0
+
+
+def _trace_digest(span_dicts) -> str:
+    """A wall-clock-free sha256 over the recorded span set.
+
+    Spans are hashed in span-id order with ``wall_ms`` dropped, so two
+    runs of the same scenario under the same obs mode (and, in sampled
+    mode, the same seed) produce the same digest -- the determinism
+    check CI leans on.
+    """
+    import hashlib
+
+    digest = hashlib.sha256()
+    for record in sorted(span_dicts, key=lambda d: d["span_id"]):
+        record = dict(record)
+        record.pop("wall_ms", None)
+        digest.update(
+            json.dumps(record, ensure_ascii=False, sort_keys=True).encode("utf-8")
+        )
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+def _segment_span_dicts(segments) -> List[dict]:
+    """Span records from a :class:`StreamingWriter`'s segment files."""
+    records: List[dict] = []
+    for path in segments:
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                record = json.loads(line)
+                if record.get("type") == "span":
+                    records.append(record)
+    return records
+
+
+def _run_profile(
+    name: str,
+    out,
+    mode: str = "off",
+    sample=None,
+    seed=None,
+    repeats: int = 1,
+    as_json: bool = False,
+    out_path: Optional[str] = None,
+    trace_dir: Optional[str] = None,
+) -> int:
+    """``profile NAME``: per-phase wall times under one obs tier.
+
+    Steps the scenario through ``build -> drive -> settle -> analyze``
+    one phase at a time, timing each, inside ``obs.capture(mode=...)``.
+    ``--repeats N`` reruns the whole lifecycle and keeps the minimum
+    per-phase time (metric totals and the trace digest come from the
+    final repeat; in sampled mode every repeat gets a fresh sampler so
+    the sampled span set is identical across repeats).  ``--trace-out
+    DIR`` streams spans into segmented JSONL files instead of holding
+    them in memory.
+    """
+    import time as time_mod
+
+    from repro.scenario import PHASES
+    from repro.scenario.spec import ScenarioError, get_spec
+
+    try:
+        spec = get_spec(name)
+    except ScenarioError as error:
+        print(error, file=out)
+        return 2
+    sampler = _obs_sampler(mode, sample, seed)
+    best: Dict[str, float] = {}
+    document: Dict[str, object] = {}
+    for _repeat in range(max(repeats, 1)):
+        run_sampler = sampler.fresh() if sampler is not None else None
+        writer = (
+            obs_export.StreamingWriter(trace_dir, ring=32)
+            if trace_dir is not None
+            else None
+        )
+        phase_ms: Dict[str, float] = {}
+        with obs.capture(mode=mode, sampler=run_sampler, sink=writer) as (
+            tracer,
+            registry,
+        ):
+            program = spec.program(spec, spec.bind({}))
+            for phase in PHASES:
+                started = time_mod.perf_counter()
+                program.run_phase(phase)
+                phase_ms[phase] = (time_mod.perf_counter() - started) * 1000.0
+        for phase, elapsed in phase_ms.items():
+            if phase not in best or elapsed < best[phase]:
+                best[phase] = elapsed
+        if writer is not None:
+            manifest = writer.close(registry)
+            span_dicts = _segment_span_dicts(
+                [p for p in manifest["segments"] if "-metrics" not in p]
+            )
+            spans_recorded = writer.spans_written
+        else:
+            manifest = None
+            span_dicts = [obs_export.span_to_dict(s) for s in tracer.spans]
+            spans_recorded = len(tracer.spans)
+        network = getattr(program, "network", None)
+        document = {
+            "scenario": name,
+            "obs_mode": mode,
+            "repeats": max(repeats, 1),
+            "phase_ms": {phase: round(best[phase], 3) for phase in PHASES},
+            "total_ms": round(sum(best.values()), 3),
+            "events": registry.counter_value("sim.events"),
+            "messages": registry.counter_value("net.messages"),
+            "bytes": registry.counter_value("net.bytes"),
+            "observations": registry.counter_value("ledger.observations"),
+            "fast_deliveries": (
+                network.fast_deliveries if network is not None else 0
+            ),
+            "spans": spans_recorded,
+            "trace_digest": _trace_digest(span_dicts),
+        }
+        if run_sampler is not None:
+            document["sampler"] = {
+                "rate": run_sampler.rate,
+                "seed": run_sampler.seed,
+                "decisions": run_sampler.decisions,
+                "sampled": run_sampler.sampled,
+            }
+        if manifest is not None:
+            document["trace"] = manifest
+    if out_path is not None:
+        try:
+            with open(out_path, "w", encoding="utf-8") as handle:
+                json.dump(document, handle, ensure_ascii=False, indent=2)
+                handle.write("\n")
+        except OSError as error:
+            print(f"cannot write {out_path}: {error}", file=out)
+            return 1
+    if as_json:
+        json.dump(document, out, ensure_ascii=False, indent=2)
+        print(file=out)
+        return 0
+    print(f"profile {name!r} (obs-mode={mode}, repeats={max(repeats, 1)})", file=out)
+    for phase in ("build", "drive", "settle", "analyze"):
+        print(f"  {phase:<8} {document['phase_ms'][phase]:>10.3f}ms", file=out)
+    print(f"  {'total':<8} {document['total_ms']:>10.3f}ms", file=out)
+    print(
+        f"  events={document['events']}"
+        f" messages={document['messages']}"
+        f" bytes={document['bytes']}"
+        f" observations={document['observations']}"
+        f" fast_deliveries={document['fast_deliveries']}"
+        f" spans={document['spans']}",
+        file=out,
+    )
+    print(f"  trace_digest={document['trace_digest']}", file=out)
+    if "sampler" in document:
+        sampler_doc = document["sampler"]
+        print(
+            f"  sampler: rate={sampler_doc['rate']} seed={sampler_doc['seed']}"
+            f" sampled={sampler_doc['sampled']}/{sampler_doc['decisions']}",
+            file=out,
+        )
+    if "trace" in document:
+        trace_doc = document["trace"]
+        print(
+            f"  trace: {trace_doc['spans']} spans in"
+            f" {len(trace_doc['segments'])} segments under"
+            f" {trace_doc['directory']}"
+            f" (peak buffered {trace_doc['peak_buffered']})",
+            file=out,
+        )
     return 0
 
 
@@ -1002,6 +1193,36 @@ def _run_demos_listing(out) -> int:
     return 0
 
 
+def _add_obs_args(parser, mode_help: str) -> None:
+    """The shared ``--obs-mode`` / ``--obs-sample`` / ``--obs-seed`` trio."""
+    from repro.obs.runtime import MODES
+
+    parser.add_argument(
+        "--obs-mode",
+        default=None,
+        choices=MODES,
+        dest="obs_mode",
+        help=mode_help,
+    )
+    parser.add_argument(
+        "--obs-sample",
+        type=float,
+        default=None,
+        dest="obs_sample",
+        metavar="RATE",
+        help="head-sampling rate for sampled mode (default: 0.01)",
+    )
+    parser.add_argument(
+        "--obs-seed",
+        type=int,
+        default=None,
+        dest="obs_seed",
+        metavar="SEED",
+        help="sampler seed for sampled mode (default: 0; same seed"
+        " reproduces the same sampled span set)",
+    )
+
+
 def main(argv=None, out=None) -> int:
     out = out if out is not None else sys.stdout
     parser = argparse.ArgumentParser(
@@ -1081,6 +1302,42 @@ def main(argv=None, out=None) -> int:
         help="JSONL output path (default: spans.jsonl)",
     )
     trace.add_argument("--faults", **faults_kwargs)
+    _add_obs_args(trace, "capture mode (default: full; REPRO_OBS_MODE overrides)")
+    profile = sub.add_parser(
+        "profile",
+        help="time one demo phase-by-phase under an observability tier",
+    )
+    profile.add_argument("name", help="system name (see `list`)")
+    _add_obs_args(
+        profile, "observability tier to profile under (default: off)"
+    )
+    profile.add_argument(
+        "--repeats",
+        type=int,
+        default=1,
+        metavar="N",
+        help="best-of-N per-phase timing (default: 1)",
+    )
+    profile.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the profile as a machine-readable document",
+    )
+    profile.add_argument(
+        "--out",
+        default=None,
+        dest="out_path",
+        metavar="PATH",
+        help="also write the JSON document to PATH",
+    )
+    profile.add_argument(
+        "--trace-out",
+        default=None,
+        dest="trace_dir",
+        metavar="DIR",
+        help="stream spans to segmented JSONL files under DIR"
+        " (bounded memory; see docs/OBSERVABILITY.md)",
+    )
     explain = sub.add_parser(
         "explain",
         help="trace one demo and explain an entity's knowledge from the wire up",
@@ -1267,7 +1524,27 @@ def main(argv=None, out=None) -> int:
     if args.command == "demos":
         return _run_demos_listing(out)
     if args.command == "trace":
-        return _run_trace(args.name, args.out_path, out, faults=faults_plan)
+        return _run_trace(
+            args.name,
+            args.out_path,
+            out,
+            faults=faults_plan,
+            mode=args.obs_mode,
+            sample=args.obs_sample,
+            seed=args.obs_seed,
+        )
+    if args.command == "profile":
+        return _run_profile(
+            args.name,
+            out,
+            mode=args.obs_mode or "off",
+            sample=args.obs_sample,
+            seed=args.obs_seed,
+            repeats=max(args.repeats, 1),
+            as_json=args.json,
+            out_path=args.out_path,
+            trace_dir=args.trace_dir,
+        )
     if args.command == "explain":
         if args.risk:
             return _run_risk_explain(

@@ -27,6 +27,7 @@ from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tup
 
 from repro import fastpath as _fastpath
 from repro.obs import runtime as _obs
+from repro.obs.metrics import BATCH as _BATCH
 from repro.obs.metrics import get_registry as _get_registry
 
 from .labels import Facet, Kind, Label
@@ -222,6 +223,8 @@ class Ledger:
             registry = _get_registry()
             registry.counter("ledger.observations").inc()
             registry.counter(f"ledger.observations.{channel}").inc()
+        elif _obs.COUNTERS:
+            _BATCH.note_observations(channel, 1)
         return observation
 
     def record_fast(
@@ -321,6 +324,10 @@ class Ledger:
             registry = _get_registry()
             registry.counter("ledger.observations").inc(len(recorded))
             registry.counter(f"ledger.observations.{channel}").inc(len(recorded))
+        elif _obs.COUNTERS:
+            # Batched tiers stay on the fast path: one slotted
+            # accumulator update per batch, folded at capture exit.
+            _BATCH.note_observations(channel, len(recorded))
         return recorded
 
     def ingest(self, observations: Iterable[Observation]) -> None:

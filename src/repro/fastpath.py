@@ -6,8 +6,8 @@ The simulation hot path (``Network.send`` -> ``Simulator`` ->
 
 * the **fast path** -- slotted event records, pre-resolved observer
   lists, memoized ``estimate_size``/``digest`` caches, and batched
-  ledger appends -- taken whenever observability is disabled and no
-  fault injector is installed; and
+  ledger appends -- taken whenever full-fidelity observability is off
+  and no fault injector is installed; and
 * the **slow path** -- the original per-packet pipeline (per-event
   lambda closures, uncached size/digest computation, one ledger append
   and version bump per observation), preserved verbatim as the
@@ -17,6 +17,14 @@ The simulation hot path (``Network.send`` -> ``Simulator`` ->
 Both paths produce **byte-identical** exported artifacts (``repro demo
 --json``, ``tables``, ``trace``); ``tests/test_drive_fastpath.py``
 proves it for every registered scenario.
+
+Observability composes with the fast path by tier (see
+``repro.obs.runtime``): only ``full`` mode -- the one that must see
+every delivery as a span -- forces the slow path.  ``counters`` and
+``sampled`` keep slotted delivery and fold their metrics through the
+``MetricsBatch`` accumulator; in ``sampled`` mode only the seeded
+sampler's chosen packets detour through the traced pipeline while the
+rest stay fast.
 
 Set ``REPRO_SLOW_PATH=1`` in the environment (read once at import), or
 call :func:`set_slow_path` from tests, to force the slow path

@@ -32,7 +32,7 @@ from repro.net.network import Network, SimHost, TransactTimeout, WireObserver
 from repro.net.packets import Packet
 from repro.obs import runtime as _obs
 from repro.obs.metrics import get_registry
-from repro.obs.tracing import get_tracer
+from repro.obs.tracing import NOOP_SPAN, get_tracer
 
 from .plan import FaultPlan
 from .policy import FaultStats, ResiliencePolicy
@@ -95,7 +95,7 @@ class FaultRuntime:
                 if host.name not in self._down:
                     self._down[host.name] = simulator.now
                     self.stats.crashes += 1
-                    if _obs.ENABLED:
+                    if _obs.COUNTERS:
                         get_registry().counter("faults.host_crashes").inc()
 
         if at <= simulator.now:
@@ -108,7 +108,7 @@ class FaultRuntime:
             observer = WireObserver(host.entity, prefixes=(host.address.prefix,))
             self.network.add_observer(observer)
             self.stats.curious_taps += 1
-            if _obs.ENABLED:
+            if _obs.COUNTERS:
                 get_registry().counter("faults.curious_taps").inc()
 
     def _hosts_matching(self, pattern: str) -> List[SimHost]:
@@ -179,7 +179,7 @@ class FaultRuntime:
         if duplicate > 0.0 and self.rng.random() < duplicate:
             delays.append(impaired + delay * _DUPLICATE_LAG)
             self.stats.duplicates += 1
-            if _obs.ENABLED:
+            if _obs.COUNTERS:
                 get_registry().counter("faults.duplicates").inc()
         return delays
 
@@ -203,7 +203,7 @@ class FaultRuntime:
         return True
 
     def _count_drop(self, cause: str) -> None:
-        if _obs.ENABLED:
+        if _obs.COUNTERS:
             get_registry().counter(f"faults.drops.{cause}").inc()
 
     # ------------------------------------------------------------------
@@ -235,7 +235,7 @@ class FaultRuntime:
                 result = op()
             except TransactTimeout:
                 self.stats.timeouts += 1
-                if _obs.ENABLED:
+                if _obs.COUNTERS:
                     get_registry().counter("faults.timeouts").inc()
                 continue
             self.stats.successes += 1
@@ -243,14 +243,20 @@ class FaultRuntime:
         if fallback is not None:
             self.stats.fallbacks += 1
             self.stats.fallback_labels.append(label or "fallback")
-            if _obs.ENABLED:
+            if _obs.COUNTERS:
                 get_registry().counter("faults.fallbacks").inc()
-            span = get_tracer().span(
-                "fallback",
-                kind="faults",
-                sim_time=simulator.now,
-                label=label or "fallback",
-            )
+            # Hoisted behind the tracing gate: with spans off this
+            # skips the tracer fetch and the kwargs construction, not
+            # just the span record.
+            if _obs.TRACING:
+                span = get_tracer().span(
+                    "fallback",
+                    kind="faults",
+                    sim_time=simulator.now,
+                    label=label or "fallback",
+                )
+            else:
+                span = NOOP_SPAN
             try:
                 with span:
                     result = fallback()
@@ -260,7 +266,7 @@ class FaultRuntime:
             except TransactTimeout:
                 self.stats.timeouts += 1
         self.stats.failures += 1
-        if _obs.ENABLED:
+        if _obs.COUNTERS:
             get_registry().counter("faults.failures").inc()
         return None
 
@@ -292,7 +298,7 @@ class FaultRuntime:
             self.stats.phase_errors.append(
                 f"{phase}: {type(error).__name__}: {error}"
             )
-            if _obs.ENABLED:
+            if _obs.COUNTERS:
                 get_registry().counter("faults.phase_errors").inc()
             return None
 

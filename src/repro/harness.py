@@ -15,7 +15,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.obs.tracing import get_tracer
+from repro.obs import runtime as _obs
+from repro.obs.tracing import NOOP_SPAN, get_tracer
 
 from repro.core.metrics import DegreePoint, DegreeSweep
 from repro.core.report import ExperimentReport, compare_tables, flow_series
@@ -74,15 +75,23 @@ def _run_experiment(experiment_id: str, title: str, runner: Callable[[], object]
 
     The span is annotated with the run's simulator/network/ledger
     totals so the CLI's ``--trace`` section and the JSONL export can
-    attribute cost per experiment without re-running anything.
+    attribute cost per experiment without re-running anything.  In the
+    ``sampled`` obs tier the seeded sampler decides whether this
+    experiment is traced at all (one draw from the ``"experiment"``
+    stream); unsampled experiments run under the shared no-op span.
     """
-    with get_tracer().span(
-        "experiment",
-        kind="harness",
-        sim_time=0.0,
-        experiment=experiment_id,
-        title=title,
-    ) as span:
+    span = (
+        get_tracer().span(
+            "experiment",
+            kind="harness",
+            sim_time=0.0,
+            experiment=experiment_id,
+            title=title,
+        )
+        if _obs.sample("experiment")
+        else NOOP_SPAN
+    )
+    with span as span:
         run = runner()
         network = getattr(run, "network", None)
         if network is not None:

@@ -26,8 +26,9 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from repro import fastpath as _fastpath
 from repro.core.entities import Entity
 from repro.obs import runtime as _obs
+from repro.obs.metrics import BATCH as _BATCH
 from repro.obs.metrics import LATENCY_BUCKETS, SIZE_BUCKETS, get_registry
-from repro.obs.tracing import get_tracer
+from repro.obs.tracing import NOOP_SPAN, get_tracer
 
 from .addressing import Address, AddressAllocator
 from .packets import Packet, estimate_size
@@ -385,6 +386,18 @@ class Network:
             return packet  # lost in transit: never delivered
         injector = self._fault_injector
         if injector is None and not _obs.ENABLED and not _fastpath.SLOW_PATH:
+            sampler = _obs.SAMPLER
+            if sampler is not None and sampler.decide("deliver"):
+                # Sampled tier, head decision says trace: schedule an
+                # explicitly traced delivery, capturing the span active
+                # now so the causal parent survives the flight.
+                origin = get_tracer().current_span()
+                self.packets_in_flight += 1
+                simulator.schedule(
+                    self._latency_fast(src_host.address, dst),
+                    lambda: self._deliver(packet, origin, True),
+                )
+                return packet
             # Fast path: exactly one copy, no injector consult, no
             # span capture -- schedule a pooled slotted event instead
             # of a closure.
@@ -407,10 +420,11 @@ class Network:
                     return packet  # injected loss / crash / partition
                 delays = impaired
                 self.packets_duplicated += len(delays) - 1
-        if _obs.ENABLED:
+        if _obs.TRACING:
             # Capture the span active *now* so the delivery -- which
             # fires later, outside any ``with`` block -- still links
-            # causally to whatever sent it.
+            # causally to whatever sent it.  In ``sampled`` mode the
+            # trace decision itself is made at fire time (per copy).
             origin = get_tracer().current_span()
             for copy_delay in delays:
                 self.packets_in_flight += 1
@@ -427,8 +441,10 @@ class Network:
         self.packets_dropped += 1
         if _obs.ENABLED:
             get_registry().counter("net.packets_dropped").inc()
+        elif _obs.COUNTERS:
+            _BATCH.dropped += 1
 
-    def _deliver(self, packet: Packet, origin_span=None) -> None:
+    def _deliver(self, packet: Packet, origin_span=None, traced=None) -> None:
         self.packets_in_flight -= 1
         if self._fault_injector is not None and not self._fault_injector.on_deliver(
             packet
@@ -437,17 +453,39 @@ class Network:
             # this packet was on the wire.
             self._count_dropped()
             return
-        if not _obs.ENABLED:
+        if traced is None:
+            if _obs.ENABLED:
+                traced = True
+            else:
+                sampler = _obs.SAMPLER
+                traced = sampler is not None and sampler.decide("deliver")
+        if not traced:
+            if _obs.COUNTERS:
+                now = self.simulator.now
+                _BATCH.note_delivery(
+                    packet.size,
+                    now - packet.sent_at if packet.sent_at is not None else None,
+                )
             return self._deliver_inner(packet)
         tracer = get_tracer()
-        registry = get_registry()
         now = self.simulator.now
-        registry.counter("net.messages").inc()
-        registry.counter("net.bytes").inc(packet.size)
-        registry.histogram("net.packet_bytes", SIZE_BUCKETS).observe(packet.size)
-        if packet.sent_at is not None:
-            registry.histogram("net.hop_latency", LATENCY_BUCKETS).observe(
-                now - packet.sent_at
+        if _obs.ENABLED:
+            registry = get_registry()
+            registry.counter("net.messages").inc()
+            registry.counter("net.bytes").inc(packet.size)
+            registry.histogram("net.packet_bytes", SIZE_BUCKETS).observe(
+                packet.size
+            )
+            if packet.sent_at is not None:
+                registry.histogram("net.hop_latency", LATENCY_BUCKETS).observe(
+                    now - packet.sent_at
+                )
+        else:
+            # Sampled tier: the traced subset still accounts through
+            # the batch so metric totals cover *every* delivery.
+            _BATCH.note_delivery(
+                packet.size,
+                now - packet.sent_at if packet.sent_at is not None else None,
             )
         # A delivery whose origin lies outside the network layer (a
         # one-way ``send`` from protocol or scenario code) gets a
@@ -491,18 +529,28 @@ class Network:
     def _deliver_fast(self, packet: Packet) -> None:
         """The batched delivery pipeline.
 
-        Taken only when observability is disabled, no fault injector is
-        installed, and ``REPRO_SLOW_PATH`` is unset; semantically
-        identical to ``_deliver`` + ``_deliver_inner`` under those
-        preconditions (the differential goldens in
-        tests/test_drive_fastpath.py pin byte-identical artifacts).
-        Differences are purely mechanical: one merged frame, memoized
-        observer lists, and batched ledger appends via
-        ``Entity.observe``'s fast route.
+        Taken only when full observability is off (the ``off`` /
+        ``counters`` tiers, and the unsampled remainder of ``sampled``),
+        no fault injector is installed, and ``REPRO_SLOW_PATH`` is
+        unset; semantically identical to ``_deliver`` +
+        ``_deliver_inner`` under those preconditions (the differential
+        goldens in tests/test_drive_fastpath.py pin byte-identical
+        artifacts).  Differences are purely mechanical: one merged
+        frame, memoized observer lists, batched ledger appends via
+        ``Entity.observe``'s fast route, and -- in the batched obs
+        tiers -- one slotted accumulator update instead of per-value
+        registry writes.
         """
         self.packets_in_flight -= 1
         self.fast_deliveries += 1
         now = self.simulator.now
+        if _obs.COUNTERS:
+            # ``counters`` / ``sampled`` tiers: stay on the fast path,
+            # fold the delivery into the slotted batch accumulator.
+            _BATCH.note_delivery(
+                packet.size,
+                now - packet.sent_at if packet.sent_at is not None else None,
+            )
         self.trace.record(
             PacketRecord(
                 time=now,
@@ -641,42 +689,24 @@ class Network:
         effective = timeout if timeout is not None else self.transact_timeout
         simulator = self.simulator
         responses = self._responses
-        if not _obs.ENABLED and not _fastpath.SLOW_PATH:
-            # Fast path: identical control flow, minus the span (and
-            # the ``str()`` of both addresses its kwargs would force).
-            self.send(
-                src_host,
-                dst,
-                payload,
-                protocol,
-                size=size,
-                request_id=request_id,
-                flow=flow,
+        # The span is hoisted behind the obs gates: with tracing off
+        # (or this transact unsampled) the shared NOOP_SPAN stands in,
+        # so the hot path pays two module-attribute reads -- no tracer
+        # fetch, no kwargs dict, no ``str()`` of either address.
+        if _obs.ENABLED or (
+            _obs.SAMPLER is not None and _obs.SAMPLER.decide("transact")
+        ):
+            span = get_tracer().span(
+                "transact",
+                kind="net",
+                sim_time=simulator.now,
+                src=str(src_host.address),
+                dst=str(dst),
+                protocol=protocol,
             )
-            if effective is None:
-                simulator.run_until(lambda: request_id in responses)
-            else:
-                deadline = simulator.now + effective
-                marker = simulator.marker_at(deadline)
-                simulator.run_until(
-                    lambda: request_id in responses
-                    or simulator.now >= deadline
-                )
-                if request_id not in responses:
-                    raise TransactTimeout(
-                        f"no response to {protocol!r} request from {dst}"
-                        f" within {effective:g}s"
-                    )
-                simulator.cancel(marker)
-            return responses.pop(request_id)
-        with get_tracer().span(
-            "transact",
-            kind="net",
-            sim_time=simulator.now,
-            src=str(src_host.address),
-            dst=str(dst),
-            protocol=protocol,
-        ) as span:
+        else:
+            span = NOOP_SPAN
+        with span:
             self.send(
                 src_host,
                 dst,

@@ -26,17 +26,20 @@ The usual entry point is :func:`capture`::
         run = run_mixnet()
     print(export.render_span_tree(tracer.spans))
 
-which installs a fresh tracer/registry as the process defaults, flips
-the global gate on, and restores everything on exit.  While the gate is
-off, every instrumented hot path short-circuits on one module-attribute
-check -- a run with observability disabled performs like one built
-without it.
+which installs a fresh tracer/registry as the process defaults, turns
+the requested observability *mode* on, and restores everything on
+exit.  ``mode`` defaults to ``full`` (the pre-tier behaviour,
+byte-identical), unless ``REPRO_OBS_MODE`` pins another tier; see
+:mod:`repro.obs.runtime` for the ``off`` / ``counters`` / ``sampled``
+/ ``full`` ladder.  While the gate is off, every instrumented hot path
+short-circuits on one module-attribute check -- a run with
+observability disabled performs like one built without it.
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Iterator, Optional, Tuple
+from typing import Any, Iterator, Optional, Tuple
 
 from . import export, runtime
 from .metrics import (
@@ -44,11 +47,14 @@ from .metrics import (
     Gauge,
     Histogram,
     LATENCY_BUCKETS,
+    MetricsBatch,
     MetricsRegistry,
     SIZE_BUCKETS,
+    flush_batch,
     get_registry,
     set_registry,
 )
+from .runtime import SpanSampler
 from .tracing import NOOP_SPAN, Span, Tracer, get_tracer, set_tracer
 
 __all__ = [
@@ -56,15 +62,18 @@ __all__ = [
     "Gauge",
     "Histogram",
     "LATENCY_BUCKETS",
+    "MetricsBatch",
     "MetricsRegistry",
     "NOOP_SPAN",
     "SIZE_BUCKETS",
     "Span",
+    "SpanSampler",
     "Tracer",
     "capture",
     "disable",
     "enable",
     "export",
+    "flush_batch",
     "get_registry",
     "get_tracer",
     "is_enabled",
@@ -82,22 +91,42 @@ is_enabled = runtime.is_enabled
 def capture(
     tracer: Optional[Tracer] = None,
     registry: Optional[MetricsRegistry] = None,
+    mode: Optional[str] = None,
+    sampler: Optional[SpanSampler] = None,
+    sink: Any = None,
 ) -> Iterator[Tuple[Tracer, MetricsRegistry]]:
     """Enable observability into a (fresh by default) tracer/registry.
 
-    Installs both as the process defaults and turns the global gate on;
-    on exit the previous defaults and gate state come back, so captures
-    nest and never leak into later runs.
+    Installs both as the process defaults and turns the requested
+    ``mode`` on (explicit arg wins over ``REPRO_OBS_MODE``, which wins
+    over the ``full`` default); on exit the previous defaults and mode
+    come back, so captures nest and never leak into later runs.
+
+    In the batched tiers (``counters`` / ``sampled``) hot paths fold
+    metrics into the process-wide :class:`MetricsBatch`; it is flushed
+    into the capture's registry on exit, so the registry is
+    authoritative once the ``with`` block ends (not before).  Any
+    accounting pending from an *enclosing* batched capture is flushed
+    to its own registry on entry, so nesting never mixes runs.
+
+    ``sampler`` customizes the ``sampled`` tier (rate/seed/per-kind
+    rates); ``sink`` streams finished spans instead of accumulating
+    them on ``tracer.spans`` (see
+    :class:`repro.obs.export.StreamingWriter`) and is only consulted
+    when no explicit ``tracer`` is passed.
     """
-    capture_tracer = tracer if tracer is not None else Tracer()
+    resolved = runtime.resolve_mode(mode)
+    capture_tracer = tracer if tracer is not None else Tracer(sink=sink)
     capture_registry = registry if registry is not None else MetricsRegistry()
+    flush_batch()  # settle any enclosing batched capture first
     previous_tracer = set_tracer(capture_tracer)
     previous_registry = set_registry(capture_registry)
-    previous_enabled = runtime.ENABLED
-    runtime.ENABLED = True
+    previous_state = runtime.state()
+    runtime.set_mode(resolved, sampler=sampler)
     try:
         yield capture_tracer, capture_registry
     finally:
-        runtime.ENABLED = previous_enabled
+        flush_batch(capture_registry)
+        runtime.restore(previous_state)
         set_tracer(previous_tracer)
         set_registry(previous_registry)

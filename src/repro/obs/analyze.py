@@ -14,11 +14,47 @@ from typing import Any, Dict, List, Optional, Sequence
 
 __all__ = [
     "SpanStats",
+    "parent_map",
+    "descendant_counts",
     "span_stats",
     "critical_path",
     "render_span_stats",
     "render_critical_path",
 ]
+
+
+def parent_map(spans: Sequence[Any]) -> Dict[int, Optional[int]]:
+    """``{span_id: parent_id}`` for every span -- the tree's upward view.
+
+    The shared building block for ancestor walks: built once and passed
+    around instead of being reconstructed at every call site (the CLI's
+    per-experiment rollup used to rebuild it per call).
+    """
+    return {span.span_id: span.parent_id for span in spans}
+
+
+def descendant_counts(
+    spans: Sequence[Any],
+    root_ids: Sequence[int],
+    parents: Optional[Dict[int, Optional[int]]] = None,
+) -> Dict[int, int]:
+    """How many of ``spans`` sit (transitively) under each root id.
+
+    Each span is charged to the first id from ``root_ids`` found on its
+    ancestor chain; spans under none of them are uncounted.  ``parents``
+    may pass a prebuilt :func:`parent_map` to avoid rebuilding it.
+    """
+    if parents is None:
+        parents = parent_map(spans)
+    counts = {root: 0 for root in root_ids}
+    for span in spans:
+        node = span.parent_id
+        while node is not None:
+            if node in counts:
+                counts[node] += 1
+                break
+            node = parents.get(node)
+    return counts
 
 
 @dataclass(frozen=True)

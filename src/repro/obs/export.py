@@ -14,12 +14,15 @@ provenance records are the nodes and edges of a
 from __future__ import annotations
 
 import json
+import os
+from collections import deque
 from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from .metrics import MetricsRegistry
 from .tracing import Span, Tracer
 
 __all__ = [
+    "StreamingWriter",
     "span_to_dict",
     "spans_to_jsonl",
     "to_jsonl",
@@ -91,6 +94,104 @@ def write_jsonl(
         if text:
             handle.write(text + "\n")
     return 0 if not text else text.count("\n") + 1
+
+
+class StreamingWriter:
+    """A segmented JSONL span sink with bounded memory.
+
+    Plugs into ``Tracer(sink=...)``: each finished span is serialized
+    immediately and buffered; every ``segment_spans`` spans the buffer
+    is written out as ``<prefix>-NNNNN.jsonl`` and dropped, so peak
+    span memory is one segment (plus the optional ring), regardless of
+    run length.  Segments hold spans in *completion* order -- sort by
+    ``span_id`` after concatenating if tree order matters.
+
+    ``ring`` keeps the last N span objects in a bounded deque
+    (:meth:`tail`) so interactive consumers (``report --trace``, the
+    ``profile`` command's tree preview) can render recent activity
+    without ever holding the full trace.
+
+    :meth:`close` flushes the final partial segment, optionally
+    appends a metrics segment from a registry snapshot, and returns a
+    manifest dict (segment paths, span count, peak buffered spans).
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        *,
+        segment_spans: int = 1000,
+        ring: int = 0,
+        prefix: str = "spans",
+    ) -> None:
+        if segment_spans < 1:
+            raise ValueError("segment_spans must be at least 1")
+        self.directory = directory
+        self.segment_spans = segment_spans
+        self.prefix = prefix
+        self.segments: List[str] = []
+        self.spans_written = 0
+        self.peak_buffered = 0
+        self.ring: Optional[deque] = deque(maxlen=ring) if ring > 0 else None
+        self._buffer: List[str] = []
+        self._closed = False
+        os.makedirs(directory, exist_ok=True)
+
+    def emit(self, span: Span) -> None:
+        """Accept one finished span (the ``Tracer`` sink interface)."""
+        if self._closed:
+            raise RuntimeError("StreamingWriter is closed")
+        self._buffer.append(
+            json.dumps(span_to_dict(span), ensure_ascii=False, sort_keys=True)
+        )
+        self.spans_written += 1
+        if len(self._buffer) > self.peak_buffered:
+            self.peak_buffered = len(self._buffer)
+        if self.ring is not None:
+            self.ring.append(span)
+        if len(self._buffer) >= self.segment_spans:
+            self._flush_segment()
+
+    def _flush_segment(self) -> None:
+        if not self._buffer:
+            return
+        path = os.path.join(
+            self.directory, f"{self.prefix}-{len(self.segments):05d}.jsonl"
+        )
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(self._buffer) + "\n")
+        self.segments.append(path)
+        self._buffer.clear()
+
+    def tail(self) -> List[Span]:
+        """The last-N finished spans (empty when ``ring=0``)."""
+        return list(self.ring) if self.ring is not None else []
+
+    def close(
+        self, registry: Optional[MetricsRegistry] = None
+    ) -> Dict[str, Any]:
+        """Flush the tail segment (+ optional metrics); return a manifest."""
+        if not self._closed:
+            self._flush_segment()
+            if registry is not None and len(registry):
+                path = os.path.join(
+                    self.directory, f"{self.prefix}-metrics.jsonl"
+                )
+                with open(path, "w", encoding="utf-8") as handle:
+                    for row in registry.snapshot():
+                        handle.write(
+                            json.dumps(row, ensure_ascii=False, sort_keys=True)
+                            + "\n"
+                        )
+                self.segments.append(path)
+            self._closed = True
+        return {
+            "directory": self.directory,
+            "segments": list(self.segments),
+            "spans": self.spans_written,
+            "peak_buffered": self.peak_buffered,
+            "ring": len(self.ring) if self.ring is not None else 0,
+        }
 
 
 def provenance_from_jsonl(text: str) -> Any:

@@ -10,6 +10,15 @@ registration ceremony::
 Histograms are fixed-bucket (cumulative counts per upper bound, plus
 an overflow bucket) -- enough for packet-size and hop-latency
 distributions without holding every sample.
+
+The ``counters`` and ``sampled`` observability tiers do not touch the
+registry from the hot loop at all: deliveries and ledger batches fold
+into the process-wide slotted :class:`MetricsBatch` accumulator
+(:data:`BATCH`), which :func:`flush_batch` merges into the registry
+once per capture.  The merge reproduces exactly the instruments a
+``full``-mode run would have created -- same names, same counts, same
+histogram buckets, byte-equal snapshots -- because the batch observes
+values in the same delivery order and folds each total exactly once.
 """
 
 from __future__ import annotations
@@ -21,9 +30,13 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "MetricsBatch",
     "MetricsRegistry",
     "SIZE_BUCKETS",
     "LATENCY_BUCKETS",
+    "BATCH",
+    "flush_batch",
+    "reset_batch",
     "get_registry",
     "set_registry",
 ]
@@ -168,6 +181,149 @@ class MetricsRegistry:
 
     def __len__(self) -> int:
         return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+
+class MetricsBatch:
+    """Slotted per-batch accumulators for the fast-path obs tiers.
+
+    One process-wide instance (:data:`BATCH`) absorbs the per-delivery
+    and per-ledger-batch accounting that ``full`` mode would write to
+    the registry per value: plain attribute increments and two local
+    histograms, no registry lookups, no name formatting.  The whole
+    batch folds into a :class:`MetricsRegistry` in one
+    :meth:`flush` -- instruments are only created for non-zero
+    accumulators, so a flushed ``counters``-mode registry snapshot is
+    byte-equal to the ``full``-mode one for the same run.
+    """
+
+    #: Raw histogram values buffered before a drain -- deep enough to
+    #: amortize bucketing, small enough to bound batch memory.
+    DRAIN_THRESHOLD = 4096
+
+    __slots__ = (
+        "events",
+        "messages",
+        "bytes",
+        "dropped",
+        "packet_bytes",
+        "hop_latency",
+        "observations",
+        "_sizes",
+        "_latencies",
+    )
+
+    def __init__(self) -> None:
+        self.events = 0
+        self.messages = 0
+        self.bytes = 0
+        self.dropped = 0
+        self.packet_bytes = Histogram("net.packet_bytes", SIZE_BUCKETS)
+        self.hop_latency = Histogram("net.hop_latency", LATENCY_BUCKETS)
+        self.observations: Dict[str, int] = {}
+        self._sizes: List[float] = []
+        self._latencies: List[float] = []
+
+    def note_delivery(self, size: int, latency: Optional[float]) -> None:
+        """Account one delivered packet (``latency`` may be unknown).
+
+        Histogram values are appended raw and bucketed later (at the
+        capture-exit flush, or every :data:`DRAIN_THRESHOLD` values) so
+        the per-delivery cost is two int adds and a list append.  The
+        drain observes values in arrival order, which keeps the folded
+        float totals bit-equal to ``full`` mode's per-value sums.
+        """
+        self.messages += 1
+        self.bytes += size
+        sizes = self._sizes
+        sizes.append(size)
+        if latency is not None:
+            self._latencies.append(latency)
+        if len(sizes) >= self.DRAIN_THRESHOLD:
+            self._drain()
+
+    def note_observations(self, channel: str, count: int) -> None:
+        """Account one ledger batch of ``count`` observations."""
+        observations = self.observations
+        observations[channel] = observations.get(channel, 0) + count
+
+    def _drain(self) -> None:
+        """Bucket the buffered raw values into the local histograms."""
+        if self._sizes:
+            observe = self.packet_bytes.observe
+            for value in self._sizes:
+                observe(value)
+            self._sizes.clear()
+        if self._latencies:
+            observe = self.hop_latency.observe
+            for value in self._latencies:
+                observe(value)
+            self._latencies.clear()
+
+    def clear(self) -> None:
+        self.events = 0
+        self.messages = 0
+        self.bytes = 0
+        self.dropped = 0
+        self.packet_bytes = Histogram("net.packet_bytes", SIZE_BUCKETS)
+        self.hop_latency = Histogram("net.hop_latency", LATENCY_BUCKETS)
+        self.observations.clear()
+        self._sizes.clear()
+        self._latencies.clear()
+
+    @staticmethod
+    def _fold_histogram(registry: "MetricsRegistry", local: Histogram) -> None:
+        if not local.count:
+            return
+        histogram = registry.histogram(local.name, local.buckets)
+        counts = histogram.counts
+        for index, count in enumerate(local.counts):
+            if count:
+                counts[index] += count
+        histogram.count += local.count
+        histogram.total += local.total
+        if histogram.min is None or local.min < histogram.min:
+            histogram.min = local.min
+        if histogram.max is None or local.max > histogram.max:
+            histogram.max = local.max
+
+    def flush(self, registry: "MetricsRegistry") -> None:
+        """Merge every non-zero accumulator into ``registry``; reset."""
+        self._drain()
+        if self.events:
+            registry.counter("sim.events").inc(self.events)
+        if self.messages:
+            # ``full`` mode creates ``net.bytes`` per delivery even for
+            # zero-size packets, so its existence follows messages, not
+            # the byte total.
+            registry.counter("net.messages").inc(self.messages)
+            registry.counter("net.bytes").inc(self.bytes)
+        self._fold_histogram(registry, self.packet_bytes)
+        self._fold_histogram(registry, self.hop_latency)
+        if self.dropped:
+            registry.counter("net.packets_dropped").inc(self.dropped)
+        if self.observations:
+            total = sum(self.observations.values())
+            registry.counter("ledger.observations").inc(total)
+            for channel in sorted(self.observations):
+                registry.counter(f"ledger.observations.{channel}").inc(
+                    self.observations[channel]
+                )
+        self.clear()
+
+
+#: The process-wide batch accumulator.  A singleton mutated in place --
+#: hot modules bind it once at import time -- so never rebind it.
+BATCH = MetricsBatch()
+
+
+def flush_batch(registry: Optional[MetricsRegistry] = None) -> None:
+    """Fold :data:`BATCH` into ``registry`` (default: the process one)."""
+    BATCH.flush(registry if registry is not None else get_registry())
+
+
+def reset_batch() -> None:
+    """Drop any pending batched accounting (test isolation)."""
+    BATCH.clear()
 
 
 _default_registry = MetricsRegistry()

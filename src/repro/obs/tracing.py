@@ -119,7 +119,7 @@ class Span:
             stack.pop()
         elif self in stack:  # defensive: mis-nested exit
             stack.remove(self)
-        self._tracer.spans.append(self)
+        self._tracer._finish(self)
         return False
 
     def __repr__(self) -> str:
@@ -172,10 +172,17 @@ class Tracer:
     ``enabled=None`` (the default) defers to the process-wide
     :mod:`repro.obs.runtime` gate; ``True`` / ``False`` force it, which
     standalone tests use.
+
+    ``sink`` replaces the unbounded in-memory :attr:`spans` list with a
+    streaming consumer (anything with an ``emit(span)`` method, e.g.
+    :class:`repro.obs.export.StreamingWriter`): finished spans are
+    handed to the sink instead of accumulating, so peak span memory is
+    bounded by the sink's segment/ring sizes, not the run length.
     """
 
-    def __init__(self, enabled: Optional[bool] = None) -> None:
+    def __init__(self, enabled: Optional[bool] = None, sink: Any = None) -> None:
         self._enabled = enabled
+        self._sink = sink
         self.spans: List[Span] = []
         self._stack: List[Span] = []
         self._ids = itertools.count(1)
@@ -183,8 +190,21 @@ class Tracer:
     @property
     def enabled(self) -> bool:
         if self._enabled is None:
-            return runtime.ENABLED
+            # ``sampled`` mode records spans too (TRACING); the plain
+            # ENABLED check keeps legacy direct-flag flips working.
+            return runtime.TRACING or runtime.ENABLED
         return self._enabled
+
+    @property
+    def sink(self) -> Any:
+        return self._sink
+
+    def _finish(self, span: Span) -> None:
+        """One span completed: stream it, or keep it in memory."""
+        if self._sink is None:
+            self.spans.append(span)
+        else:
+            self._sink.emit(span)
 
     def span(
         self,

@@ -760,7 +760,7 @@ def score_run(
         graph=graph,
         scenario_id=getattr(run, "scenario_id", "") or "",
     )
-    if _obs.ENABLED:
+    if _obs.COUNTERS:
         registry = _get_registry()
         registry.counter("risk.reports").inc()
         max_pair = report.max_pair()

@@ -28,7 +28,7 @@ import sys
 import pytest
 from hypothesis import given, strategies as st
 
-from repro import fastpath
+from repro import fastpath, obs
 from repro.cli import _register_demos, main
 from repro.core.entities import World
 from repro.core.labels import (
@@ -47,8 +47,9 @@ from repro.core.values import (
 from repro.faults.plan import FaultPlan
 from repro.faults.runtime import FaultRuntime
 from repro.net.network import Network
+from repro.obs import export as obs_export
 from repro.obs import runtime as obs_runtime
-from repro.scenario import all_specs
+from repro.scenario import all_specs, run_scenario
 
 _register_demos()
 
@@ -243,6 +244,88 @@ def test_observability_enabled_mid_flight_respected():
         obs_runtime.disable()
     assert network.fast_deliveries == 0
     assert network.messages_delivered == 1
+
+
+# ----------------------------------------------- obs tiers vs fast path
+
+
+def test_fast_path_retained_in_counters_mode():
+    """counters mode batches metrics without leaving the fast path."""
+    if fastpath.SLOW_PATH:
+        pytest.skip("ambient REPRO_SLOW_PATH=1: the fast path is off")
+    network, user, server = _mini_network()
+    with obs.capture(mode="counters") as (tracer, registry):
+        _drive_once(network, user, server)
+    assert network.fast_deliveries == 1
+    assert tracer.spans == []
+    # The batch folded into the capture registry on exit.
+    assert registry.counter_value("net.messages") == 1
+    assert registry.counter_value("sim.events") >= 1
+    assert registry.counter_value("ledger.observations") >= 1
+
+
+def test_fast_path_retained_in_sampled_mode():
+    """sampled mode traces a subset while unsampled deliveries stay fast."""
+    if fastpath.SLOW_PATH:
+        pytest.skip("ambient REPRO_SLOW_PATH=1: the fast path is off")
+    sampler = obs.SpanSampler(rate=0.4, seed=0)
+    with obs.capture(mode="sampled", sampler=sampler) as (tracer, registry):
+        run = run_scenario("mixnet")
+    network = run.network
+    deliver_spans = [s for s in tracer.spans if s.name == "deliver"]
+    assert network.fast_deliveries > 0
+    assert deliver_spans, "a 0.4 sampler over a mixnet run must trace some"
+    assert network.fast_deliveries + len(deliver_spans) == (
+        network.messages_delivered
+    )
+    # Batched metrics still cover *every* delivery, traced or not.
+    assert registry.counter_value("net.messages") == network.messages_delivered
+
+
+def test_counters_mode_totals_byte_equal_full_mode():
+    """A counters-mode registry snapshot == the full-mode one, bit for bit.
+
+    The batch observes values in delivery order and folds each total
+    exactly once into zeroed instruments, so even the float histogram
+    sums come out identical.  (``snapshot()`` sorts by name, so the
+    differing instrument-creation order cannot show through.)
+    """
+    with obs.capture(mode="counters") as (_tracer, counters_registry):
+        counters_run = run_scenario("mixnet")
+    with obs.capture(mode="full") as (_tracer, full_registry):
+        full_run = run_scenario("mixnet")
+    assert counters_run.network.messages_delivered == (
+        full_run.network.messages_delivered
+    )
+    if not fastpath.SLOW_PATH:
+        assert counters_run.network.fast_deliveries > 0
+    assert full_run.network.fast_deliveries == 0
+    assert json.dumps(counters_registry.snapshot(), sort_keys=True) == (
+        json.dumps(full_registry.snapshot(), sort_keys=True)
+    )
+
+
+def _sampled_span_lines(seed):
+    """Normalized span JSONL for one sampled mixnet run at ``seed``."""
+    sampler = obs.SpanSampler(rate=0.4, seed=seed)
+    with obs.capture(mode="sampled", sampler=sampler) as (tracer, _registry):
+        run_scenario("mixnet")
+    lines = []
+    for span in tracer.spans:
+        record = obs_export.span_to_dict(span)
+        record.pop("wall_ms", None)
+        lines.append(json.dumps(record, sort_keys=True))
+    return lines
+
+
+def test_sampler_same_seed_reproduces_span_set():
+    """Same seed => byte-identical sampled JSONL; new seed => new set."""
+    first = _sampled_span_lines(seed=0)
+    second = _sampled_span_lines(seed=0)
+    other = _sampled_span_lines(seed=7)
+    assert first, "a 0.4 sampler over a mixnet run must trace some spans"
+    assert first == second
+    assert first != other
 
 
 # ------------------------------------------------ record_fast invariants
