@@ -1142,6 +1142,76 @@ def _run_risk(
     return 0
 
 
+def _scale_document(points) -> dict:
+    return {
+        "series": "T",
+        "title": "streaming ledger + population engine scale points",
+        "points": [point.to_dict() for point in points],
+    }
+
+
+def _print_scale(points, out) -> None:
+    print("T-series: streaming analysis at population scale", file=out)
+    for point in points:
+        status = "ok" if point.mid_run_matches else "MISMATCH"
+        print(
+            f"  {point.users:>9} users  {point.observations:>10} obs"
+            f"  {point.observations_per_second:>9.0f} obs/s"
+            f"  rss {point.peak_rss_mb:7.1f} MiB"
+            f"  cr={point.collusion_resistance}"
+            f"  mid-run {status}",
+            file=out,
+        )
+
+
+def _run_scale(
+    out,
+    users,
+    observations,
+    jobs: int,
+    segment_rows,
+    spill: bool,
+    checkpoints: int,
+    seed: int,
+    as_json: bool,
+    out_path,
+) -> int:
+    """``scale``: the T-series streaming-scale workload."""
+    user_counts = [int(n.strip()) for n in str(users).split(",") if n.strip()]
+    if not user_counts:
+        print("scale needs at least one --users count", file=out)
+        return 2
+    if len(user_counts) == 1:
+        points = [
+            harness.scale_point(
+                user_counts[0],
+                observations,
+                seed=seed,
+                segment_rows=segment_rows,
+                spill=spill,
+                checkpoints=checkpoints,
+            )
+        ]
+    else:
+        points = harness.scale_sweep(user_counts, seed=seed, jobs=jobs)
+    document = _scale_document(points)
+    if out_path:
+        try:
+            with open(out_path, "w", encoding="utf-8") as handle:
+                json.dump(document, handle, ensure_ascii=False, indent=2)
+                handle.write("\n")
+        except OSError as error:
+            print(f"cannot write {out_path!r}: {error}", file=out)
+            return 1
+        print(f"scale report: {len(points)} points -> {out_path}", file=out)
+    if as_json:
+        json.dump(document, out, ensure_ascii=False, indent=2)
+        print(file=out)
+    elif not out_path:
+        _print_scale(points, out)
+    return 0 if all(point.mid_run_matches for point in points) else 1
+
+
 def _run_risk_explain(name: str, entity, subject, out, faults=None) -> int:
     """``explain NAME --entity E --risk``: per-pair risk decompositions."""
     from repro.risk import RiskError, score_run
@@ -1453,6 +1523,62 @@ def main(argv=None, out=None) -> int:
         help="JSON sensitivity profile (default: the built-in weights)",
     )
     risk.add_argument("--faults", **faults_kwargs)
+    scale = sub.add_parser(
+        "scale",
+        help="T-series: streaming analysis at population scale",
+    )
+    scale.add_argument(
+        "--users",
+        default="10000",
+        metavar="N[,N...]",
+        help="population size; a comma-separated list runs a sweep",
+    )
+    scale.add_argument(
+        "--observations",
+        type=int,
+        default=None,
+        metavar="N",
+        help="ledger rows to ingest (default: 10 per user)",
+    )
+    scale.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan sweep points across N worker processes",
+    )
+    scale.add_argument(
+        "--segment-rows",
+        type=int,
+        default=65_536,
+        metavar="N",
+        help="rows per ledger segment before sealing",
+    )
+    scale.add_argument(
+        "--no-spill",
+        action="store_true",
+        help="keep sealed segments resident instead of spilling to disk",
+    )
+    scale.add_argument(
+        "--checkpoints",
+        type=int,
+        default=8,
+        metavar="N",
+        help="mid-run verdict checkpoints verified against a full scan",
+    )
+    scale.add_argument("--seed", type=int, default=7, help="population seed")
+    scale.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the scale report as a machine-readable document",
+    )
+    scale.add_argument(
+        "--out",
+        default=None,
+        dest="out_path",
+        metavar="PATH",
+        help="also write the JSON document to PATH",
+    )
     sub.add_parser("list", help="list available demos")
     args = parser.parse_args(argv)
 
@@ -1579,6 +1705,19 @@ def main(argv=None, out=None) -> int:
             out_path=args.out_path,
             faults_plan=faults_plan,
             profile_path=args.profile_path,
+        )
+    if args.command == "scale":
+        return _run_scale(
+            out,
+            users=args.users,
+            observations=args.observations,
+            jobs=max(args.jobs, 1),
+            segment_rows=args.segment_rows,
+            spill=not args.no_spill,
+            checkpoints=max(args.checkpoints, 1),
+            seed=args.seed,
+            as_json=args.json,
+            out_path=args.out_path,
         )
     if args.command == "list":
         _register_demos()

@@ -31,6 +31,7 @@ linkage component of those shares.
 from __future__ import annotations
 
 import itertools
+import weakref
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -164,47 +165,135 @@ def _observations_couple(observations: Sequence[Observation]) -> bool:
 class DecouplingAnalyzer:
     """Derives decoupling facts from a world's observation ledger.
 
-    By default the analyzer consumes the ledger's incremental indices
-    (per-pair and per-organization observation buckets, label sets, the
-    identity-facet set) and memoizes facet and coupling results keyed
-    on :attr:`~repro.core.ledger.Ledger.version`, so repeated verdicts,
-    breach passes, and tables over an unchanged ledger cost O(1) per
-    query and a full pass costs O(N) in the observations it touches.
-    Recording new observations bumps the version and transparently
-    invalidates every memo -- queries after an append are always
-    computed against current contents.
+    By default the analyzer runs *streaming*: it keeps a row cursor
+    into the append-only ledger and, on each public query (and at every
+    segment seal, via :meth:`Ledger.add_seal_listener
+    <repro.core.ledger.Ledger.add_seal_listener>`), consumes only the
+    rows recorded since the last sync.  New rows mark their
+    ``(entity, subject)`` pair and subject dirty; dirty state drops
+    exactly the memo entries that could change.  Because the ledger is
+    append-only, coupling is *monotone* -- a pool that couples keeps
+    coupling as rows arrive -- so ``True`` memo entries are sticky and
+    only ``False`` answers are ever re-derived.  On top of that the
+    ledger's O(1) candidate summaries
+    (:meth:`~repro.core.ledger.Ledger.pair_is_coupling_candidate`)
+    dismiss one-sided pairs without touching their rows, which is what
+    makes mid-run ``verdict()``/``coalition_couples()`` answers cheap
+    at a million subjects: the analyzer can be queried at any ledger
+    version during ingest, and the answer is byte-identical to a fresh
+    full-scan analyzer over the same rows (the streaming-equivalence
+    suite pins this).  :meth:`Ledger.clear
+    <repro.core.ledger.Ledger.clear>` bumps the ledger *generation*,
+    which voids all incremental state and restarts the cursor.
 
     ``naive=True`` selects the original full-scan reference
-    implementation (no indices, no memoization).  It exists so the
-    equivalence tests can assert, on randomized ledgers, that the
-    indexed path derives byte-identical verdicts, breach reports, and
-    tables.
+    implementation (no indices, no memoization, no incremental state).
+    It exists so the equivalence tests can assert, on randomized
+    ledgers, that the streaming path derives byte-identical verdicts,
+    breach reports, and tables.
     """
 
     def __init__(self, world: World, *, naive: bool = False) -> None:
         self.world = world
         self.ledger: Ledger = world.ledger
         self.naive = naive
-        self._memo_version: int = -1
         self._facets_memo: Optional[Tuple[Facet, ...]] = None
-        self._entity_couples_memo: Dict[Tuple[str, Subject], bool] = {}
+        self._facets_version: int = -1
+        # Memo keys use subject *names*: subjects are equal iff their
+        # names are, and the dirty-pair bookkeeping from the sync loop
+        # arrives as names.
+        self._entity_couples_memo: Dict[Tuple[str, str], bool] = {}
         self._coalition_couples_memo: Dict[
-            Tuple[FrozenSet[str], Subject], bool
+            Tuple[FrozenSet[str], str], bool
         ] = {}
+        #: subject name -> coalition memo keys holding False for it
+        #: (the ones a dirty subject must invalidate; True is sticky).
+        self._coalition_false_keys: Dict[str, List[Tuple[FrozenSet[str], str]]] = {}
+        self._generation: int = -1
+        self._synced: int = 0
+        #: dirty (entity, subject-name) pairs awaiting the next
+        #: incremental verdict pass.
+        self._pending: Set[Tuple[str, str]] = set()
+        #: violating (entity, subject-name) pairs, primed on the first
+        #: verdict and grown incrementally after (coupling is
+        #: monotone, so pairs are only ever added); ``None`` = unprimed.
+        self._violations: Optional[Set[Tuple[str, str]]] = None
+        self._verdict_entities: int = -1
+        if not naive:
+            add_listener = getattr(self.ledger, "add_seal_listener", None)
+            if add_listener is not None:
+                # Sync at every segment seal, while the sealed rows are
+                # still resident -- once a segment spills, catching up
+                # through it would mean re-reading it from disk.  The
+                # weakref keeps the ledger's listener list from pinning
+                # dead analyzers.
+                ref = weakref.ref(self)
 
-    def _memos(self) -> None:
-        """Drop every memo if the ledger has changed since last use.
+                def _on_seal(ledger: Ledger, segment: object, _ref=ref) -> None:
+                    analyzer = _ref()
+                    if analyzer is not None:
+                        analyzer._sync()
 
-        The invalidation invariant: a memo entry is valid iff
-        ``ledger.version`` equals the version it was computed at.
-        Checking once per public query keeps the hot loops branch-free.
+                add_listener(_on_seal)
+
+    def _sync(self) -> None:
+        """Catch the incremental state up with the ledger.
+
+        Consumes rows ``[synced, len(ledger))``, marking each row's
+        ``(entity, subject)`` pair pending for the incremental verdict
+        and dropping the ``False`` memo entries that new rows could
+        flip (``True`` is sticky: appends never decouple a pool).  A
+        generation change (ledger cleared) voids everything first.
         """
-        version = self.ledger.version
-        if version != self._memo_version:
-            self._memo_version = version
+        ledger = self.ledger
+        if ledger.generation != self._generation:
+            self._generation = ledger.generation
+            self._synced = 0
             self._facets_memo = None
+            self._facets_version = -1
             self._entity_couples_memo.clear()
             self._coalition_couples_memo.clear()
+            self._coalition_false_keys.clear()
+            self._pending.clear()
+            self._violations = None
+        total = len(ledger)
+        synced = self._synced
+        if synced >= total:
+            return
+        entity_memo = self._entity_couples_memo
+        coalition_memo = self._coalition_couples_memo
+        coalition_false = self._coalition_false_keys
+        if self._violations is None:
+            # Unprimed: the next verdict does a full prime pass over
+            # the summary indices, so per-row dirty tracking buys
+            # nothing -- drop ``False`` memo entries wholesale instead
+            # of re-reading (possibly spilled) rows to find which
+            # could flip.  This is what keeps the post-hoc comparison
+            # analyzers in the scale workload from reloading every
+            # spilled segment.
+            for key in [k for k, v in entity_memo.items() if v is False]:
+                del entity_memo[key]
+            for key in [k for k, v in coalition_memo.items() if v is False]:
+                del coalition_memo[key]
+            coalition_false.clear()
+            self._synced = total
+            return
+        dirty_pairs: Set[Tuple[str, str]] = set()
+        for obs in ledger.rows_between(synced, total):
+            dirty_pairs.add((obs.entity, obs.subject.name))
+        dirty_names: Set[str] = set()
+        for pair in dirty_pairs:
+            if entity_memo.get(pair) is False:
+                del entity_memo[pair]
+            dirty_names.add(pair[1])
+        for name in dirty_names:
+            keys = coalition_false.pop(name, None)
+            if keys:
+                for key in keys:
+                    if coalition_memo.get(key) is False:
+                        del coalition_memo[key]
+        self._pending |= dirty_pairs
+        self._synced = total
 
     # ------------------------------------------------------------------
     # Knowledge tables
@@ -213,9 +302,10 @@ class DecouplingAnalyzer:
     def facets(self) -> Tuple[Facet, ...]:
         if self.naive:
             return facets_in_ledger(self.ledger, naive=True)
-        self._memos()
-        if self._facets_memo is None:
+        version = self.ledger.version
+        if version != self._facets_version or self._facets_memo is None:
             self._facets_memo = facets_in_ledger(self.ledger)
+            self._facets_version = version
         return self._facets_memo
 
     def knowledge_cell(
@@ -291,24 +381,39 @@ class DecouplingAnalyzer:
         """Can this entity alone attribute sensitive data to ▲?"""
         if self.naive:
             return _observations_couple(self._pool(subject, entities={entity}))
-        self._memos()
-        key = (entity, subject)
+        self._sync()
+        name = subject.name
+        key = (entity, name)
         cached = self._entity_couples_memo.get(key)
-        if cached is None:
-            cached = _observations_couple(self._pool(subject, entities={entity}))
-            self._entity_couples_memo[key] = cached
+        if cached is not None:
+            return cached
+        if not self.ledger.pair_is_coupling_candidate(entity, name):
+            # The candidate summary is the negative cache: a pool with
+            # no sensitive identity, or with neither sensitive data nor
+            # shares, cannot couple no matter how its rows link.  Not
+            # memoized -- the O(1) gate stays correct as rows arrive,
+            # where a stored False would need invalidating.
+            return False
+        cached = _observations_couple(self._pool(subject, entities={entity}))
+        self._entity_couples_memo[key] = cached
         return cached
 
     def _coalition_couples_one(self, orgs: FrozenSet[str], subject: Subject) -> bool:
         """Memoized per-(coalition, subject) coupling check."""
         if self.naive:
             return _observations_couple(self._pool(subject, organizations=orgs))
-        self._memos()
-        key = (orgs, subject)
+        self._sync()
+        name = subject.name
+        key = (orgs, name)
         cached = self._coalition_couples_memo.get(key)
-        if cached is None:
-            cached = _observations_couple(self._pool(subject, organizations=orgs))
-            self._coalition_couples_memo[key] = cached
+        if cached is not None:
+            return cached
+        if not self.ledger.coalition_is_coupling_candidate(orgs, name):
+            return False
+        cached = _observations_couple(self._pool(subject, organizations=orgs))
+        self._coalition_couples_memo[key] = cached
+        if not cached:
+            self._coalition_false_keys.setdefault(name, []).append(key)
         return cached
 
     def coalition_couples(
@@ -316,8 +421,22 @@ class DecouplingAnalyzer:
     ) -> bool:
         """Would these organizations, colluding, re-couple ▲ with ●?"""
         orgs = frozenset(organizations)
-        subjects = [subject] if subject is not None else list(self.ledger.subjects())
-        return any(self._coalition_couples_one(orgs, subj) for subj in subjects)
+        if subject is not None:
+            return self._coalition_couples_one(orgs, subject)
+        if self.naive:
+            return any(
+                self._coalition_couples_one(orgs, subj)
+                for subj in self.ledger.subjects()
+            )
+        self._sync()
+        # Only candidate subjects can make the pooled check True; for
+        # every other subject _coalition_couples_one is False by the
+        # same gate, so skipping them cannot change the any().
+        ledger = self.ledger
+        return any(
+            self._coalition_couples_one(orgs, ledger.subject(name))
+            for name in ledger.coalition_candidate_names(orgs)
+        )
 
     # ------------------------------------------------------------------
     # Verdicts
@@ -331,31 +450,85 @@ class DecouplingAnalyzer:
         modeling the "locus of trust moved to the hardware vendor".
         The default is the conservative reading.
         """
-        violations: List[CouplingViolation] = []
-        for entity in self.world.non_user_entities():
-            if trust_attested and entity.organization.attested:
-                continue
-            if self.naive:
-                subjects: Iterable[Subject] = self.ledger.subjects()
-            else:
-                # Subjects this entity never observed cannot couple for
-                # it (empty pool); the index hands back the observed
-                # ones in global first-appearance order, so violation
-                # ordering matches the naive full loop exactly.
-                subjects = self.ledger.subjects_of_entity(entity.name)
-            for subject in subjects:
-                if self.entity_couples(entity.name, subject):
-                    labels = self.ledger.labels_of(entity.name, subject)
-                    violations.append(
+        if self.naive:
+            violations: List[CouplingViolation] = []
+            for entity in self.world.non_user_entities():
+                if trust_attested and entity.organization.attested:
+                    continue
+                for subject in self.ledger.subjects():
+                    if self.entity_couples(entity.name, subject):
+                        labels = self.ledger.labels_of(entity.name, subject)
+                        violations.append(
+                            CouplingViolation(
+                                entity=entity.name,
+                                organization=entity.organization.name,
+                                subject=subject,
+                                cell=cell_from_labels(labels, self.facets()),
+                            )
+                        )
+            return DecouplingVerdict(
+                decoupled=not violations, violations=tuple(violations)
+            )
+        self._sync()
+        ledger = self.ledger
+        entity_count = len(self.world.entities)
+        if self._violations is None or self._verdict_entities != entity_count:
+            # Prime: one full pass.  Subjects an entity never observed
+            # cannot couple for it (empty pool); the candidate gate
+            # inside entity_couples dismisses the one-sided rest in
+            # O(1) each.  Attested entities are checked too -- trust is
+            # a per-query rendering decision, not a coupling fact.
+            self._verdict_entities = entity_count
+            violating: Set[Tuple[str, str]] = set()
+            for entity in self.world.non_user_entities():
+                entity_name = entity.name
+                for subject in ledger.subjects_of_entity(entity_name):
+                    if self.entity_couples(entity_name, subject):
+                        violating.add((entity_name, subject.name))
+            self._violations = violating
+            self._pending.clear()
+        elif self._pending:
+            # Incremental: a pair's coupling state depends only on its
+            # own pool, so only pairs with new rows since the last
+            # verdict need re-evaluation; coupling is monotone, so
+            # existing violations never leave.
+            pending = self._pending
+            self._pending = set()
+            violating = self._violations
+            non_user = {e.name for e in self.world.non_user_entities()}
+            for pair in pending:
+                if pair in violating or pair[0] not in non_user:
+                    continue
+                if self.entity_couples(pair[0], ledger.subject(pair[1])):
+                    violating.add(pair)
+        # Render in the naive loop's order: world declaration order per
+        # entity, global subject first-appearance order within it.
+        rendered: List[CouplingViolation] = []
+        if self._violations:
+            order = {name: i for i, name in enumerate(ledger.subject_names())}
+            by_entity: Dict[str, List[str]] = {}
+            for entity_name, name in self._violations:
+                by_entity.setdefault(entity_name, []).append(name)
+            facets = self.facets()
+            for entity in self.world.non_user_entities():
+                if trust_attested and entity.organization.attested:
+                    continue
+                names = by_entity.get(entity.name)
+                if not names:
+                    continue
+                for name in sorted(names, key=order.__getitem__):
+                    subject = ledger.subject(name)
+                    labels = ledger.labels_of(entity.name, subject)
+                    rendered.append(
                         CouplingViolation(
                             entity=entity.name,
                             organization=entity.organization.name,
                             subject=subject,
-                            cell=cell_from_labels(labels, self.facets()),
+                            cell=cell_from_labels(labels, facets),
                         )
                     )
         return DecouplingVerdict(
-            decoupled=not violations, violations=tuple(violations)
+            decoupled=not rendered, violations=tuple(rendered)
         )
 
     # ------------------------------------------------------------------

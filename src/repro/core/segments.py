@@ -1,0 +1,238 @@
+"""Append-only ledger segments: sealed, compact, spillable storage.
+
+The streaming ledger (:class:`repro.core.ledger.Ledger`) shards its
+observations into :class:`LedgerSegment` instances.  Exactly one
+segment is *active* at any time -- ``record``/``record_fast`` append to
+it and maintain its per-segment buckets.  Sealing a segment freezes it
+(rows and buckets become tuples, cheap to share and impossible to
+mutate by accident); a sealed segment can then be *spilled*: its rows
+are written to disk as JSON Lines (the same row format
+``repro.core.serialize.ledger_to_jsonl`` exports) and the in-memory
+rows and buckets are dropped.  A spilled segment reloads transparently
+the first time a query needs its rows, and stays resident afterwards so
+observation identity is stable for the duration of an analysis pass
+(``docs/SCALE.md`` documents the lifecycle and the memory bounds).
+
+Segments know their global ``start`` offset, so concatenating segment
+buckets in segment order reproduces exactly the record-order iteration
+the flat ledger promised.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["LedgerSegment"]
+
+_intern = sys.intern
+
+
+class LedgerSegment:
+    """One shard of a ledger: rows plus per-segment index buckets.
+
+    Lifecycle: *active* (mutable lists, appended to by the ledger's
+    record paths) -> *sealed* (immutable: rows and every bucket frozen
+    to tuples) -> optionally *spilled* (rows and buckets dropped;
+    ``spill_path`` holds the JSONL file they reload from).
+    """
+
+    __slots__ = (
+        "index",
+        "start",
+        "rows",
+        "sealed",
+        "spill_path",
+        "by_entity",
+        "by_organization",
+        "by_subject",
+        "by_entity_subject",
+        "by_org_subject",
+        "keys",
+        "count",
+    )
+
+    def __init__(self, index: int, start: int) -> None:
+        self.index = index
+        self.start = start
+        self.rows: Optional[List] = []
+        self.sealed = False
+        self.spill_path: Optional[str] = None
+        self.by_entity: Optional[Dict[str, List]] = {}
+        self.by_organization: Optional[Dict[str, List]] = {}
+        self.by_subject: Optional[Dict[str, List]] = {}
+        self.by_entity_subject: Optional[Dict[Tuple[str, str], List]] = {}
+        self.by_org_subject: Optional[Dict[Tuple[str, str], List]] = {}
+        #: While spilled: bucket-attribute name -> frozenset of that
+        #: bucket dict's keys, so the ledger can answer "does this
+        #: segment hold rows for key K?" without reloading the rows.
+        #: ``None`` while the segment is resident.
+        self.keys: Optional[Dict[str, frozenset]] = None
+        self.count = 0
+
+    # -- state ---------------------------------------------------------
+
+    @property
+    def resident(self) -> bool:
+        """True when the segment's rows are in memory."""
+        return self.rows is not None
+
+    def fold(self, observation) -> None:
+        """Append one observation to the rows and every bucket."""
+        entity = observation.entity
+        org = observation.organization
+        name = observation.subject.name
+        self.rows.append(observation)
+        self.by_entity.setdefault(entity, []).append(observation)
+        self.by_organization.setdefault(org, []).append(observation)
+        self.by_subject.setdefault(name, []).append(observation)
+        self.by_entity_subject.setdefault((entity, name), []).append(observation)
+        self.by_org_subject.setdefault((org, name), []).append(observation)
+        self.count += 1
+
+    def seal(self) -> None:
+        """Freeze the segment: compact rows and buckets to tuples."""
+        if self.sealed:
+            return
+        self.rows = tuple(self.rows)
+        for bucket_dict in (
+            self.by_entity,
+            self.by_organization,
+            self.by_subject,
+            self.by_entity_subject,
+            self.by_org_subject,
+        ):
+            for key, bucket in bucket_dict.items():
+                bucket_dict[key] = tuple(bucket)
+        self.count = len(self.rows)
+        self.sealed = True
+
+    # -- spill / reload ------------------------------------------------
+
+    def spill(self, path: str) -> int:
+        """Write rows to ``path`` as JSONL and drop the in-memory copy.
+
+        Only sealed segments spill (the active segment is still being
+        appended to).  Returns the number of rows written.  Idempotent:
+        a segment that already spilled just drops its resident copy
+        again without rewriting the file.
+        """
+        if not self.sealed:
+            raise ValueError("only sealed segments can be spilled")
+        if self.rows is None:
+            return 0
+        if self.spill_path is None:
+            # Imported lazily: serialize imports the ledger module,
+            # which imports this one at its top.
+            from .serialize import observation_to_dict
+
+            dumps = json.dumps
+            tmp = f"{path}.tmp.{os.getpid()}"
+            with open(tmp, "w", encoding="utf-8") as handle:
+                for observation in self.rows:
+                    handle.write(
+                        dumps(
+                            observation_to_dict(observation),
+                            ensure_ascii=False,
+                            sort_keys=True,
+                        )
+                    )
+                    handle.write("\n")
+            os.replace(tmp, path)
+            self.spill_path = path
+        dropped = self.count
+        # The key summaries retain dict keys that the ledger's global
+        # summaries mostly hold anyway (entity/org/subject name strings
+        # and the interned pair tuples), so their marginal memory is
+        # set overhead, not duplicated data -- a cheap price for never
+        # reloading a segment just to find a key absent.
+        self.keys = {
+            "by_entity": frozenset(self.by_entity),
+            "by_organization": frozenset(self.by_organization),
+            "by_subject": frozenset(self.by_subject),
+            "by_entity_subject": frozenset(self.by_entity_subject),
+            "by_org_subject": frozenset(self.by_org_subject),
+        }
+        self.rows = None
+        self.by_entity = None
+        self.by_organization = None
+        self.by_subject = None
+        self.by_entity_subject = None
+        self.by_org_subject = None
+        return dropped
+
+    def load(self) -> None:
+        """Reload a spilled segment's rows and rebuild its buckets.
+
+        The rebuilt rows are value-equal (and serialize byte-identical)
+        to the originals; channel and session strings are re-interned
+        so reloaded segments share them the way ``record_fast`` did.
+        The segment stays resident until the owning ledger explicitly
+        spills it again, which keeps observation identity stable across
+        one analysis pass.
+        """
+        if self.rows is not None:
+            return
+        if self.spill_path is None:
+            raise ValueError(f"segment {self.index} has no spill file to load")
+        from .serialize import observation_from_dict
+
+        loads = json.loads
+        rows = []
+        with open(self.spill_path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                if not line.strip():
+                    continue
+                observation = observation_from_dict(loads(line))
+                observation.channel = _intern(observation.channel)
+                observation.session = _intern(observation.session)
+                rows.append(observation)
+        self.sealed = False
+        self.keys = None
+        self.rows = []
+        self.by_entity = {}
+        self.by_organization = {}
+        self.by_subject = {}
+        self.by_entity_subject = {}
+        self.by_org_subject = {}
+        self.count = 0
+        for observation in rows:
+            self.fold(observation)
+        self.seal()
+
+    def stream_rows(self):
+        """Yield the segment's rows without changing residency.
+
+        Resident segments yield their in-memory rows; spilled segments
+        parse their JSONL file row by row and *stay spilled* -- the
+        parsed observations are value-equal to the originals but are
+        not installed, so sequential scans (``Ledger.rows_between``)
+        never inflate the resident set the way ``load`` would.
+        """
+        if self.rows is not None:
+            yield from self.rows
+            return
+        if self.spill_path is None:
+            raise ValueError(f"segment {self.index} has no spill file to load")
+        from .serialize import observation_from_dict
+
+        loads = json.loads
+        with open(self.spill_path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                if not line.strip():
+                    continue
+                observation = observation_from_dict(loads(line))
+                observation.channel = _intern(observation.channel)
+                observation.session = _intern(observation.session)
+                yield observation
+
+    def discard_spill(self) -> None:
+        """Delete the spill file, if any (ledger clear/teardown)."""
+        if self.spill_path is not None:
+            try:
+                os.unlink(self.spill_path)
+            except OSError:
+                pass
+            self.spill_path = None

@@ -51,6 +51,9 @@ __all__ = [
     "resilience_sweep",
     "DEFAULT_RESILIENCE_RATES",
     "RISK_SWEEPS",
+    "ScalePoint",
+    "scale_point",
+    "scale_sweep",
     "risk_report",
     "risk_summaries",
     "risk_point",
@@ -923,3 +926,174 @@ def sweep_tracking(populations=(2, 4, 8, 16), seeds=range(5)) -> List[Dict[str, 
             }
         )
     return series
+
+
+# ----------------------------------------------------------------------
+# T-series: streaming analysis at population scale
+# ----------------------------------------------------------------------
+
+
+def _peak_rss_mb() -> float:
+    """This process's peak resident set size, in MiB.
+
+    ``ru_maxrss`` is KiB on Linux and bytes on macOS; normalize both.
+    Returns 0.0 where the resource module is unavailable.
+    """
+    try:
+        import resource
+        import sys as _sys
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0.0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if _sys.platform == "darwin":  # pragma: no cover - platform specific
+        return peak / (1024.0 * 1024.0)
+    return peak / 1024.0
+
+
+@dataclass
+class ScalePoint:
+    """One T-series measurement: the scale workload at one user count.
+
+    ``mid_run_matches`` is the acceptance property: every mid-run
+    checkpoint's streaming ``verdict()`` (and collusion resistance)
+    rendered byte-identical to a fresh full-scan analyzer over the
+    same ledger version.
+    """
+
+    users: int
+    observations: int
+    arrivals: int
+    sessions: int
+    decoupled: bool
+    collusion_resistance: Optional[int]
+    checkpoints: int
+    mid_run_matches: bool
+    ingest_seconds: float
+    verify_seconds: float
+    observations_per_second: float
+    segments: int
+    segments_sealed: int
+    segments_spilled: int
+    rows_spilled: int
+    resident_rows: int
+    segment_reloads: int
+    peak_rss_mb: float
+    segment_rows: Optional[int]
+    spill: bool
+    seed: int
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "users": self.users,
+            "observations": self.observations,
+            "arrivals": self.arrivals,
+            "sessions": self.sessions,
+            "decoupled": self.decoupled,
+            "collusion_resistance": self.collusion_resistance,
+            "checkpoints": self.checkpoints,
+            "mid_run_matches": self.mid_run_matches,
+            "ingest_seconds": round(self.ingest_seconds, 3),
+            "verify_seconds": round(self.verify_seconds, 3),
+            "observations_per_second": round(self.observations_per_second, 1),
+            "segments": self.segments,
+            "segments_sealed": self.segments_sealed,
+            "segments_spilled": self.segments_spilled,
+            "rows_spilled": self.rows_spilled,
+            "resident_rows": self.resident_rows,
+            "segment_reloads": self.segment_reloads,
+            "peak_rss_mb": round(self.peak_rss_mb, 1),
+            "segment_rows": self.segment_rows,
+            "spill": self.spill,
+            "seed": self.seed,
+        }
+
+
+def scale_point(
+    users: int,
+    observations: Optional[int] = None,
+    *,
+    seed: int = 7,
+    segment_rows: Optional[int] = 65_536,
+    spill: bool = True,
+    spill_directory: Optional[str] = None,
+    checkpoints: int = 8,
+    coupled_fraction: float = 0.0,
+) -> ScalePoint:
+    """Run the T-series scale workload at one population size.
+
+    ``observations`` defaults to ten per user, the ratio the committed
+    1M-user point uses.  The workload runs under the streaming segment
+    policy and queries the analyzer mid-run at every checkpoint; see
+    :func:`repro.population.run_scale_workload` for the topology.
+    """
+    from repro.population import run_scale_workload
+
+    if observations is None:
+        observations = users * 10
+    with get_tracer().span(
+        "scale-point", kind="harness", sweep="T1", users=users
+    ):
+        result = run_scale_workload(
+            users=users,
+            observations=observations,
+            seed=seed,
+            segment_rows=segment_rows,
+            spill=spill,
+            spill_directory=spill_directory,
+            checkpoints=checkpoints,
+            coupled_fraction=coupled_fraction,
+        )
+    final = result.checkpoints[-1]
+    accounting = result.accounting
+    ingest = result.ingest_seconds
+    return ScalePoint(
+        users=users,
+        observations=result.observations,
+        arrivals=result.arrivals,
+        sessions=result.sessions,
+        decoupled=final.decoupled,
+        collusion_resistance=final.collusion_resistance,
+        checkpoints=len(result.checkpoints),
+        mid_run_matches=result.all_checkpoints_match,
+        ingest_seconds=ingest,
+        verify_seconds=sum(c.elapsed_seconds for c in result.checkpoints),
+        observations_per_second=(
+            result.observations / ingest if ingest > 0 else 0.0
+        ),
+        segments=accounting["segments"],
+        segments_sealed=accounting["segments_sealed"],
+        segments_spilled=accounting["segments_spilled"],
+        rows_spilled=accounting["rows_spilled"],
+        resident_rows=accounting["resident_rows"],
+        segment_reloads=accounting["segment_reloads"],
+        peak_rss_mb=_peak_rss_mb(),
+        segment_rows=segment_rows,
+        spill=spill,
+        seed=seed,
+    )
+
+
+def _scale_worker(
+    item: Tuple[int, Optional[int], int, Optional[int]]
+) -> ScalePoint:
+    users, observations, seed, segment_rows = item
+    # Each worker spills into its own ledger-owned temp directory (the
+    # ledger's default is mkdtemp + pid-prefixed), so concurrent
+    # workers can never collide on spill paths.
+    return scale_point(users, observations, seed=seed, segment_rows=segment_rows)
+
+
+def scale_sweep(
+    user_counts: Sequence[int] = (1_000, 10_000, 100_000),
+    *,
+    observations_per_user: int = 10,
+    seed: int = 7,
+    segment_rows: Optional[int] = 65_536,
+    jobs: int = 1,
+) -> List[ScalePoint]:
+    """The T-series sweep: one :func:`scale_point` per user count."""
+    items = [
+        (users, users * observations_per_user, seed, segment_rows)
+        for users in user_counts
+    ]
+    return parallel_map(_scale_worker, items, jobs)

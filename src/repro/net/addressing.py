@@ -59,15 +59,38 @@ class AddressAllocator:
     addresses, which keeps traces and test expectations stable.
     """
 
+    #: Distinct first octets available for prefix allocation.  The
+    #: space starts at 10.x.y and grows one first-octet "block" (65536
+    #: /24 prefixes) at a time through 255.x.y -- 246 * 65536 ≈ 16M
+    #: distinct networks, enough for million-user populations where
+    #: every device gets its own prefix.
+    _FIRST_OCTET_BASE = 10
+    _PREFIXES_PER_BLOCK = 65_536
+    _MAX_PREFIXES = (256 - _FIRST_OCTET_BASE) * _PREFIXES_PER_BLOCK
+
     def __init__(self) -> None:
         self._next_host: Dict[str, int] = {}
         self._next_prefix = 0
 
     def network_prefix(self) -> str:
-        """Allocate a fresh /24 prefix (a distinct simulated network)."""
+        """Allocate a fresh /24 prefix (a distinct simulated network).
+
+        The first 65536 prefixes are ``10.x.y`` -- byte-identical to
+        the historical allocator -- after which the space grows into
+        ``11.x.y``, ``12.x.y``, ... rather than exhausting.
+        """
         index = self._next_prefix
-        self._next_prefix += 1
-        return f"10.{index // 256}.{index % 256}"
+        if index >= self._MAX_PREFIXES:
+            raise ValueError(
+                f"prefix space exhausted: all {self._MAX_PREFIXES} network"
+                f" prefixes ({self._FIRST_OCTET_BASE}.0.0-255.255.255)"
+                " already allocated"
+            )
+        self._next_prefix = index + 1
+        block, within = divmod(index, self._PREFIXES_PER_BLOCK)
+        return (
+            f"{self._FIRST_OCTET_BASE + block}.{within // 256}.{within % 256}"
+        )
 
     def allocate(self, prefix: str) -> Address:
         """The next free address within ``prefix``."""

@@ -208,6 +208,9 @@ class MetricsBatch:
         "packet_bytes",
         "hop_latency",
         "observations",
+        "segments_sealed",
+        "segments_spilled",
+        "rows_spilled",
         "_sizes",
         "_latencies",
     )
@@ -220,6 +223,9 @@ class MetricsBatch:
         self.packet_bytes = Histogram("net.packet_bytes", SIZE_BUCKETS)
         self.hop_latency = Histogram("net.hop_latency", LATENCY_BUCKETS)
         self.observations: Dict[str, int] = {}
+        self.segments_sealed = 0
+        self.segments_spilled = 0
+        self.rows_spilled = 0
         self._sizes: List[float] = []
         self._latencies: List[float] = []
 
@@ -246,6 +252,14 @@ class MetricsBatch:
         observations = self.observations
         observations[channel] = observations.get(channel, 0) + count
 
+    def note_segment(
+        self, *, sealed: int = 0, spilled: int = 0, rows_spilled: int = 0
+    ) -> None:
+        """Account ledger segment lifecycle events (seal / spill)."""
+        self.segments_sealed += sealed
+        self.segments_spilled += spilled
+        self.rows_spilled += rows_spilled
+
     def _drain(self) -> None:
         """Bucket the buffered raw values into the local histograms."""
         if self._sizes:
@@ -267,6 +281,9 @@ class MetricsBatch:
         self.packet_bytes = Histogram("net.packet_bytes", SIZE_BUCKETS)
         self.hop_latency = Histogram("net.hop_latency", LATENCY_BUCKETS)
         self.observations.clear()
+        self.segments_sealed = 0
+        self.segments_spilled = 0
+        self.rows_spilled = 0
         self._sizes.clear()
         self._latencies.clear()
 
@@ -308,6 +325,12 @@ class MetricsBatch:
                 registry.counter(f"ledger.observations.{channel}").inc(
                     self.observations[channel]
                 )
+        if self.segments_sealed:
+            registry.counter("ledger.segments.sealed").inc(self.segments_sealed)
+        if self.segments_spilled:
+            registry.counter("ledger.segments.spilled").inc(self.segments_spilled)
+        if self.rows_spilled:
+            registry.counter("ledger.rows.spilled").inc(self.rows_spilled)
         self.clear()
 
 

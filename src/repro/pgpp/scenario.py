@@ -188,7 +188,10 @@ class PgppProgram(ScenarioProgram):
         self.core.credential_validator = self.gateway.validate
         self.core.register_upstream("pgpp-gw", self.gateway.address)
 
-        subjects = [Subject(f"user-{i}") for i in range(users)]
+        subjects = [
+            Subject(name)
+            for name in self.population_names(users, lambda i: f"user-{i}")
+        ]
         self.ues = []
         self.purchasers: List[TokenPurchaser] = []
         self.oob_hosts = []

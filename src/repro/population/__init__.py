@@ -1,0 +1,29 @@
+"""Population synthesis: deterministic open-loop workloads at scale.
+
+:mod:`repro.population.engine` synthesizes arrival streams (Poisson /
+diurnal rates, behavioral cohorts, session churn) over populations up
+to millions of users; :mod:`repro.population.workload` drives the
+T-series scale topology with one.  Scenario programs opt in via the
+``populate(engine)`` hook on
+:class:`~repro.scenario.runtime.ScenarioProgram`.
+"""
+
+from .engine import (
+    Arrival,
+    BehaviorProfile,
+    DEFAULT_PROFILES,
+    PopulationEngine,
+    PopulationSpec,
+)
+from .workload import ScaleCheckpoint, ScaleRunResult, run_scale_workload
+
+__all__ = [
+    "Arrival",
+    "BehaviorProfile",
+    "DEFAULT_PROFILES",
+    "PopulationEngine",
+    "PopulationSpec",
+    "ScaleCheckpoint",
+    "ScaleRunResult",
+    "run_scale_workload",
+]

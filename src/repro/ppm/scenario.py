@@ -77,6 +77,17 @@ def _client_entity(world, index: int):
     )
 
 
+def _client_subject(program: ScenarioProgram, index: int) -> Subject:
+    """Client ``index``'s subject: population-engine name, or the
+    historical ``client-{index}`` when the run has no engine."""
+    names = getattr(program, "_client_names", None)
+    if names is None:
+        names = program._client_names = program.population_names(
+            program.param("clients"), lambda i: f"client-{i}"
+        )
+    return Subject(names[index])
+
+
 class NaiveProgram(ScenarioProgram):
     """Baseline: one trusted server sees everything."""
 
@@ -89,7 +100,7 @@ class NaiveProgram(ScenarioProgram):
         for index, bit in enumerate(self.bits):
             entity = _client_entity(self.world, index)
             client = ReportingClient(
-                self.network, entity, Subject(f"client-{index}"), f"192.0.2.{index + 1}"
+                self.network, entity, _client_subject(self, index), f"192.0.2.{index + 1}"
             )
             client.submit_naive(bit, self.collector)
 
@@ -120,7 +131,7 @@ class OhttpProgram(ScenarioProgram):
         for index, bit in enumerate(self.bits):
             entity = _client_entity(self.world, index)
             client = ReportingClient(
-                self.network, entity, Subject(f"client-{index}"), f"192.0.2.{index + 1}"
+                self.network, entity, _client_subject(self, index), f"192.0.2.{index + 1}"
             )
             client.submit_via_ohttp(bit, self.relay)
 
@@ -163,7 +174,7 @@ class _PrioBase(ScenarioProgram):
         return PrioClient(
             self.network,
             entity,
-            Subject(f"client-{index}"),
+            _client_subject(self, index),
             f"192.0.2.{index + 1}",
             rng=self.rng,
         )

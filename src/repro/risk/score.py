@@ -563,11 +563,17 @@ def score_run(
     ``run`` is any object with ``world`` and (optionally) ``analyzer``
     attributes -- every :class:`~repro.scenario.run.ScenarioRun`
     qualifies; alternatively pass ``world`` (and ``analyzer``)
-    directly.  ``population`` overrides the linkability population
-    (default: every subject in the ledger, uniformly weighted); it is
-    a fixed input, so scores are comparable across runs that share it.
-    ``graph`` attaches a prebuilt provenance graph for :meth:`why`
-    (one is built ledger-only on demand otherwise).
+    directly.  ``population`` overrides the linkability population; it
+    is a fixed input, so scores are comparable across runs that share
+    it.  It may be a mapping, or anything with a
+    ``linkability_population()`` method (a
+    :class:`~repro.population.PopulationEngine`).  When omitted, a run
+    launched with ``run_scenario(population=...)`` contributes its
+    engine's ambient population -- scores then reflect the deployment's
+    user base, not just the driven subjects -- and engine-less runs
+    keep the historical default of every ledger subject, uniformly
+    weighted.  ``graph`` attaches a prebuilt provenance graph for
+    :meth:`why` (one is built ledger-only on demand otherwise).
     """
     if world is None:
         if run is None:
@@ -578,6 +584,12 @@ def score_run(
     profile = profile if profile is not None else DEFAULT_PROFILE
     ledger: Ledger = world.ledger
 
+    if population is None:
+        engine = getattr(run, "population_engine", None)
+        if engine is not None:
+            population = engine.linkability_population()
+    elif hasattr(population, "linkability_population"):
+        population = population.linkability_population()
     pop: Dict[str, float] = (
         dict(population)
         if population is not None

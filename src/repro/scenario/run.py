@@ -55,6 +55,11 @@ class ScenarioRun:
     #: :meth:`to_dict` so fault-free output stays byte-identical.
     fault_summary = None
 
+    #: The ambient population engine, stamped by the runtime when the
+    #: run was launched with ``run_scenario(population=...)``; ``None``
+    #: otherwise.  The risk layer reads its linkability population.
+    population_engine = None
+
     def __post_init__(self) -> None:
         #: Stamped by the runtime (empty for hand-built runs).
         self.scenario_id: str = ""

@@ -75,6 +75,11 @@ class ScenarioProgram:
         #: Set by :class:`repro.faults.FaultPlanHook` before ``drive``
         #: when the run carries a fault plan; ``None`` otherwise.
         self.fault_runtime: Optional[Any] = None
+        #: Set by :meth:`populate` (via ``run_scenario(population=...)``)
+        #: before ``build``; ``None`` for engine-less runs, in which
+        #: case :meth:`population_names` falls back to the scenario's
+        #: hand-rolled subject names and output stays byte-identical.
+        self.population: Optional[Any] = None
 
     # -- overridable lifecycle ----------------------------------------
 
@@ -97,7 +102,32 @@ class ScenarioProgram:
     def analyze(self) -> ScenarioRun:
         raise NotImplementedError
 
+    def populate(self, engine: Any) -> None:
+        """Install a population engine for this run (before ``build``).
+
+        The base implementation just remembers the engine; scenarios
+        that support ambient populations read it through
+        :meth:`population_names` (and may override this to configure
+        themselves from the engine's spec).
+        """
+        self.population = engine
+
     # -- conveniences shared by every program -------------------------
+
+    def population_names(
+        self, count: int, fallback: Callable[[int], str]
+    ) -> list:
+        """``count`` subject names: engine-assigned, or the fallback.
+
+        Scenarios call this instead of hand-rolling
+        ``[f"user-{i}" ...]`` so that a run under
+        ``run_scenario(population=engine)`` draws its subjects from the
+        ambient population while engine-less runs keep their historical
+        names byte-for-byte.
+        """
+        if self.population is None:
+            return [fallback(i) for i in range(count)]
+        return self.population.user_names(count)
 
     def param(self, name: str) -> Any:
         return self.params[name]
@@ -162,6 +192,10 @@ def execute(
     run.params = dict(program.params)
     if run.table_entities is None:
         run.table_entities = program.spec.entity_order(program.params)
+    if program.population is not None:
+        # Downstream consumers (risk scoring) read the ambient
+        # population off the run rather than re-plumbing it.
+        run.population_engine = program.population
     program.finalize_run(run)
     return run
 
@@ -171,6 +205,7 @@ def run_scenario(
     overrides: Optional[Dict[str, Any]] = None,
     hooks: Iterable[PhaseHook] = (),
     faults: Optional[Any] = None,
+    population: Optional[Any] = None,
     **params: Any,
 ) -> ScenarioRun:
     """Run one registered scenario by id.
@@ -183,11 +218,34 @@ def run_scenario(
     form) -- runs the scenario under fault injection.  A null plan
     installs nothing at all, so the run stays byte-identical to a
     fault-free one.
+
+    ``population`` -- a :class:`repro.population.PopulationEngine` (or
+    a :class:`~repro.population.PopulationSpec` to build one from) --
+    hands the scenario an ambient user population: its subjects come
+    from the engine (:meth:`ScenarioProgram.population_names`) and the
+    finished run carries the engine as ``run.population_engine`` for
+    the risk layer.  ``None`` (the default) changes nothing.
     """
     spec = get_spec(scenario_id)
     bound = spec.bind({**(overrides or {}), **params})
     program = spec.program(spec, bound)
     hook_list = tuple(hooks)
+    if population is not None:
+        # Imported lazily: the population engine is optional equipment
+        # and engine-less runs must not pay for it.
+        from repro.population import PopulationEngine, PopulationSpec
+
+        engine = (
+            PopulationEngine(population)
+            if isinstance(population, PopulationSpec)
+            else population
+        )
+
+        def _populate_hook(event: str, phase: str, prog: ScenarioProgram) -> None:
+            if event == "before" and phase == "build":
+                prog.populate(engine)
+
+        hook_list = (_populate_hook,) + hook_list
     if faults is not None:
         # Imported lazily: repro.faults depends on the network layer,
         # and fault-free runs must not pay for (or be changed by) it.

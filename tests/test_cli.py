@@ -199,6 +199,49 @@ class TestSweepsTrace:
             assert f"  {sweep}: points=" in output
 
 
+class TestScale:
+    def test_scale_point_prints_summary(self):
+        code, output = _run(
+            ["scale", "--users", "200", "--observations", "1600",
+             "--segment-rows", "256", "--checkpoints", "2"]
+        )
+        assert code == 0
+        assert "T-series" in output
+        assert "200 users" in output
+        assert "mid-run ok" in output
+
+    def test_scale_json_document(self, tmp_path):
+        import json
+
+        path = tmp_path / "scale.json"
+        code, output = _run(
+            ["scale", "--users", "150", "--observations", "1200",
+             "--segment-rows", "256", "--out", str(path)]
+        )
+        assert code == 0
+        document = json.loads(path.read_text())
+        assert document["series"] == "T"
+        (point,) = document["points"]
+        assert point["users"] == 150
+        assert point["mid_run_matches"] is True
+        assert point["segments_spilled"] > 0
+
+    def test_scale_sweep_over_comma_list(self):
+        code, output = _run(
+            ["scale", "--users", "100,200", "--json"]
+        )
+        assert code == 0
+        import json
+
+        document = json.loads(output)
+        assert [p["users"] for p in document["points"]] == [100, 200]
+
+    def test_scale_rejects_empty_users(self):
+        code, output = _run(["scale", "--users", ","])
+        assert code == 2
+        assert "at least one" in output
+
+
 class TestNoCommand:
     def test_help_on_no_command(self):
         code, output = _run([])

@@ -114,6 +114,35 @@ class TestAddressing:
         other = allocator.network_prefix()
         assert allocator.allocate(other).prefix == other
 
+    def test_first_block_matches_historical_layout(self):
+        """The first 65536 prefixes are byte-identical to the old
+        ``10.x.y`` allocator, so existing traces stay stable."""
+        allocator = AddressAllocator()
+        assert allocator.network_prefix() == "10.0.0"
+        for _ in range(254):
+            allocator.network_prefix()
+        assert allocator.network_prefix() == "10.0.255"
+        assert allocator.network_prefix() == "10.1.0"
+
+    def test_prefix_space_grows_past_the_first_octet_block(self):
+        """Prefix 65536 rolls into ``11.x.y`` instead of exhausting --
+        million-device populations need more than one block."""
+        allocator = AddressAllocator()
+        allocator._next_prefix = 65_536
+        assert allocator.network_prefix() == "11.0.0"
+        allocator._next_prefix = 65_536 * 2 + 257
+        assert allocator.network_prefix() == "12.1.1"
+
+    def test_prefix_space_exhaustion_is_accurate(self):
+        allocator = AddressAllocator()
+        allocator._next_prefix = AddressAllocator._MAX_PREFIXES - 1
+        assert allocator.network_prefix() == "255.255.255"
+        with pytest.raises(ValueError) as exc_info:
+            allocator.network_prefix()
+        message = str(exc_info.value)
+        assert str(AddressAllocator._MAX_PREFIXES) in message
+        assert "prefix space exhausted" in message
+
     def test_address_ordering_and_str(self):
         assert str(Address("10.0.0.1")) == "10.0.0.1"
         assert Address("10.0.0.1").prefix == "10.0.0"

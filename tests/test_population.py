@@ -1,0 +1,180 @@
+"""The population engine: determinism, coverage, churn, and wiring."""
+
+import math
+
+import pytest
+
+from repro.population import (
+    DEFAULT_PROFILES,
+    PopulationEngine,
+    PopulationSpec,
+)
+
+
+def _engine(**overrides) -> PopulationEngine:
+    spec = PopulationSpec(
+        users=overrides.pop("users", 200), **overrides
+    )
+    return PopulationEngine(spec)
+
+
+class TestDeterminism:
+    def test_same_seed_same_arrivals(self):
+        first = list(_engine(seed=11).arrivals(limit=500))
+        second = list(_engine(seed=11).arrivals(limit=500))
+        assert first == second
+
+    def test_different_seed_different_stream(self):
+        first = list(_engine(seed=11).arrivals(limit=200))
+        second = list(_engine(seed=12).arrivals(limit=200))
+        assert first != second
+
+    def test_arrivals_resets_between_calls(self):
+        engine = _engine(seed=5)
+        first = list(engine.arrivals(limit=300))
+        second = list(engine.arrivals(limit=300))
+        assert first == second
+
+    def test_arrival_times_increase(self):
+        times = [a.time for a in _engine().arrivals(limit=400)]
+        assert times == sorted(times)
+        assert times[0] >= 0.0
+
+
+class TestCoverage:
+    def test_stride_walk_covers_every_user(self):
+        """The coprime stride is bijective: a long enough stream
+        touches the whole population, not a lucky subset."""
+        engine = _engine(users=97, seed=3)
+        seen = {a.user for a in engine.arrivals(limit=4_000)}
+        assert len(seen) == 97
+
+    def test_user_names_are_stable_and_bounded(self):
+        engine = _engine(users=50)
+        names = engine.user_names(50)
+        assert names[0] == "user-0"
+        assert names[-1] == "user-49"
+        with pytest.raises(ValueError):
+            engine.user_names(51)
+
+    def test_profile_assignment_is_deterministic_and_mixed(self):
+        engine = _engine(users=1_000)
+        profiles = [engine.profile_of(i).name for i in range(1_000)]
+        assert profiles == [engine.profile_of(i).name for i in range(1_000)]
+        counts = {name: profiles.count(name) for name in set(profiles)}
+        # All three default cohorts appear; light dominates (weight 6).
+        assert set(counts) == {p.name for p in DEFAULT_PROFILES}
+        assert counts["light"] > counts["mobile"]
+
+    def test_linkability_population_is_uniform(self):
+        population = _engine(users=10).linkability_population()
+        assert population == {f"user-{i}": 1.0 for i in range(10)}
+
+
+class TestChurnAndShape:
+    def test_sessions_churn(self):
+        engine = _engine(users=50, session_lifetime=10.0, base_rate=50.0)
+        arrivals = list(engine.arrivals(limit=2_000))
+        assert engine.sessions_opened > 50
+        assert any(not a.new_session for a in arrivals)
+
+    def test_duration_bound(self):
+        engine = _engine(base_rate=20.0)
+        arrivals = list(engine.arrivals(duration=100.0))
+        assert arrivals
+        assert all(a.time <= 100.0 for a in arrivals)
+
+    def test_requires_a_bound(self):
+        with pytest.raises(ValueError):
+            list(_engine().arrivals())
+
+    def test_diurnal_thinning_modulates_rate(self):
+        """With near-full-amplitude diurnal shape, troughs are quiet."""
+        engine = _engine(
+            base_rate=100.0,
+            diurnal_amplitude=0.95,
+            diurnal_period=1_000.0,
+        )
+        arrivals = list(engine.arrivals(duration=1_000.0))
+        phase = [0, 0]
+        for arrival in arrivals:
+            half = int((arrival.time % 1_000.0) >= 500.0)
+            phase[half] += 1
+        # One half-period is the peak, the other the trough.
+        assert max(phase) > 2 * max(1, min(phase))
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            PopulationSpec(users=0)
+        with pytest.raises(ValueError):
+            PopulationSpec(users=10, base_rate=0.0)
+        with pytest.raises(ValueError):
+            PopulationSpec(users=10, diurnal_amplitude=1.5)
+
+
+class TestScenarioWiring:
+    def test_pgpp_subjects_come_from_engine(self):
+        from repro.scenario import run_scenario
+
+        engine = _engine(users=64)
+        run = run_scenario("pgpp", users=3, population=engine)
+        assert run.population_engine is engine
+        subject_names = set(run.world.ledger.subject_names())
+        assert {"user-0", "user-1", "user-2"} <= subject_names
+
+    def test_engine_less_run_is_unchanged(self):
+        from repro.scenario import run_scenario
+
+        baseline = run_scenario("pgpp", users=3)
+        assert baseline.population_engine is None
+        assert {"user-0", "user-1", "user-2"} <= set(
+            baseline.world.ledger.subject_names()
+        )
+
+    def test_spec_coerces_to_engine(self):
+        from repro.scenario import run_scenario
+
+        run = run_scenario(
+            "ppm-naive", clients=3, population=PopulationSpec(users=32)
+        )
+        assert run.population_engine is not None
+        assert run.population_engine.spec.users == 32
+
+    def test_score_run_uses_engine_population(self):
+        from repro.risk import score_run
+        from repro.scenario import run_scenario
+
+        engine = _engine(users=500)
+        run = run_scenario("pgpp", users=3, population=engine)
+        scored = score_run(run)
+        baseline = score_run(run_scenario("pgpp", users=3))
+        # The ambient population is 500 users, not 3: every subject's
+        # linkability (and so the pair risks) drops against the baseline.
+        assert scored.mean_pair_risk() < baseline.mean_pair_risk()
+
+
+def test_profile_weights_shape_the_mix():
+    """A heavily-weighted profile dominates arrival counts."""
+    from repro.population import BehaviorProfile
+
+    spec = PopulationSpec(
+        users=300,
+        profiles=(
+            BehaviorProfile("busy", weight=9.0, activity=1.0),
+            BehaviorProfile("idle", weight=1.0, activity=1.0),
+        ),
+    )
+    engine = PopulationEngine(spec)
+    names = [engine.profile_of(i).name for i in range(300)]
+    busy = names.count("busy")
+    assert busy > 200
+    assert 0 < names.count("idle") < 100
+
+
+def test_poisson_rate_is_approximately_honoured():
+    engine = _engine(users=1_000, base_rate=50.0, diurnal_amplitude=0.0)
+    arrivals = list(engine.arrivals(duration=40.0))
+    # Mean activity across default profiles is near 1.0; allow wide
+    # tolerance -- this guards magnitude, not the third decimal.
+    expected = 50.0 * 40.0
+    assert math.isclose(len(arrivals), expected, rel_tol=0.5)

@@ -78,3 +78,45 @@ class TestPrioAtScale:
         assert run.analyzer.verdict().decoupled
         (coalition,) = run.analyzer.minimal_recoupling_coalitions()
         assert len(coalition) == 3
+
+
+class TestScalePoint:
+    def test_scale_point_shape_and_invariants(self):
+        from repro import harness
+
+        point = harness.scale_point(
+            300, 3_000, segment_rows=256, checkpoints=3
+        )
+        assert point.users == 300
+        assert point.observations >= 2_996  # 4 rows per arrival
+        assert point.mid_run_matches
+        assert point.decoupled
+        assert point.collusion_resistance == 2
+        assert point.segments_sealed > 0
+        assert point.segments_spilled > 0
+        assert point.resident_rows < point.observations
+        assert point.peak_rss_mb > 0
+        document = point.to_dict()
+        assert document["users"] == 300
+        assert document["mid_run_matches"] is True
+
+    def test_scale_sweep_parallel_spill_does_not_collide(self):
+        """Regression (satellite 6): sweep workers each spill sealed
+        segments to temp files; with ``jobs=2`` the per-process spill
+        directories must never collide on paths."""
+        from repro import harness
+
+        points = harness.scale_sweep(
+            (120, 240), observations_per_user=8, segment_rows=128, jobs=2
+        )
+        assert [p.users for p in points] == [120, 240]
+        for point in points:
+            assert point.segments_spilled > 0
+            assert point.mid_run_matches
+            assert point.collusion_resistance == 2
+
+    def test_workload_observation_floor(self):
+        from repro.population.workload import run_scale_workload
+
+        with pytest.raises(ValueError):
+            run_scale_workload(users=10, observations=3)
