@@ -1212,6 +1212,78 @@ def _run_scale(
     return 0 if all(point.mid_run_matches for point in points) else 1
 
 
+def _privcount_document(points) -> dict:
+    return {
+        "series": "P",
+        "title": "PrivCount reconstruction threshold vs deployment shape",
+        "points": [point.to_dict() for point in points],
+    }
+
+
+def _print_privcount(points, out) -> None:
+    print("P-series: reconstruction threshold vs coalition size", file=out)
+    print(
+        "  collectors  keepers  threshold  expected  system_risk", file=out
+    )
+    for point in points:
+        status = "ok" if point.threshold_matches else "MISMATCH"
+        print(
+            f"  {point.collectors:>10}  {point.share_keepers:>7}"
+            f"  {point.reconstruction_threshold:>9}"
+            f"  {point.share_keepers + 1:>8}"
+            f"  {point.system_risk:>11.4f}  {status}",
+            file=out,
+        )
+
+
+def _run_privcount(
+    out,
+    collectors,
+    share_keepers,
+    users: int,
+    jobs: int,
+    as_json: bool,
+    out_path,
+) -> int:
+    """``privcount``: the P-series reconstruction-threshold sweep."""
+
+    def _parse_grid(text, label):
+        counts = [int(n.strip()) for n in str(text).split(",") if n.strip()]
+        if not counts:
+            print(f"privcount needs at least one --{label} count", file=out)
+            return None
+        return counts
+
+    collector_counts = _parse_grid(collectors, "collectors")
+    keeper_counts = _parse_grid(share_keepers, "share-keepers")
+    if collector_counts is None or keeper_counts is None:
+        return 2
+    points = harness.privcount_sweep(
+        collectors=collector_counts,
+        share_keepers=keeper_counts,
+        users=users,
+        jobs=jobs,
+    )
+    document = _privcount_document(points)
+    if out_path:
+        try:
+            with open(out_path, "w", encoding="utf-8") as handle:
+                json.dump(document, handle, ensure_ascii=False, indent=2)
+                handle.write("\n")
+        except OSError as error:
+            print(f"cannot write {out_path!r}: {error}", file=out)
+            return 1
+        print(
+            f"privcount report: {len(points)} points -> {out_path}", file=out
+        )
+    if as_json:
+        json.dump(document, out, ensure_ascii=False, indent=2)
+        print(file=out)
+    elif not out_path:
+        _print_privcount(points, out)
+    return 0 if all(point.threshold_matches for point in points) else 1
+
+
 def _run_risk_explain(name: str, entity, subject, out, faults=None) -> int:
     """``explain NAME --entity E --risk``: per-pair risk decompositions."""
     from repro.risk import RiskError, score_run
@@ -1579,6 +1651,48 @@ def main(argv=None, out=None) -> int:
         metavar="PATH",
         help="also write the JSON document to PATH",
     )
+    privcount = sub.add_parser(
+        "privcount",
+        help="P-series: reconstruction threshold vs deployment shape",
+    )
+    privcount.add_argument(
+        "--collectors",
+        default="1,2,3",
+        metavar="N[,N...]",
+        help="data-collector counts to sweep",
+    )
+    privcount.add_argument(
+        "--share-keepers",
+        default="2,3,4",
+        metavar="N[,N...]",
+        help="share-keeper counts to sweep",
+    )
+    privcount.add_argument(
+        "--users",
+        type=int,
+        default=6,
+        metavar="N",
+        help="measured users per point",
+    )
+    privcount.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan grid points across N worker processes",
+    )
+    privcount.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the P-series report as a machine-readable document",
+    )
+    privcount.add_argument(
+        "--out",
+        default=None,
+        dest="out_path",
+        metavar="PATH",
+        help="also write the JSON document to PATH",
+    )
     sub.add_parser("list", help="list available demos")
     args = parser.parse_args(argv)
 
@@ -1716,6 +1830,16 @@ def main(argv=None, out=None) -> int:
             spill=not args.no_spill,
             checkpoints=max(args.checkpoints, 1),
             seed=args.seed,
+            as_json=args.json,
+            out_path=args.out_path,
+        )
+    if args.command == "privcount":
+        return _run_privcount(
+            out,
+            collectors=args.collectors,
+            share_keepers=args.share_keepers,
+            users=args.users,
+            jobs=max(args.jobs, 1),
             as_json=args.json,
             out_path=args.out_path,
         )

@@ -24,8 +24,11 @@ from .numtheory import modinv, random_below
 
 __all__ = [
     "FIELD_PRIME",
+    "COUNTER_MODULUS",
     "share_additive",
     "reconstruct_additive",
+    "share_counter",
+    "combine_shares",
     "shamir_share",
     "shamir_reconstruct",
     "BeaverTriple",
@@ -39,6 +42,12 @@ __all__ = [
 
 #: A 61-bit Mersenne prime: fast arithmetic, room for large sums.
 FIELD_PRIME = 2**61 - 1
+
+#: The PrivCount-style counter modulus: a power of two, *not* a prime.
+#: Counter arithmetic only ever adds and subtracts, so any modulus
+#: works, and 2**64 matches the fixed-width registers deployed
+#: collectors actually hold.
+COUNTER_MODULUS = 2**64
 
 
 def share_additive(
@@ -63,6 +72,53 @@ def share_additive(
 def reconstruct_additive(shares: Sequence[int], prime: int = FIELD_PRIME) -> int:
     """Sum shares mod ``prime`` (requires *all* shares)."""
     return sum(shares) % prime
+
+
+def share_counter(
+    value: int,
+    parties: int,
+    modulus: int = COUNTER_MODULUS,
+    rng: Optional[_random.Random] = None,
+) -> List[int]:
+    """Split an event counter into ``parties`` additive shares mod q.
+
+    The PrivCount register split: the first ``parties - 1`` shares are
+    uniform blinding values (one per share keeper), the last is the
+    balancing *blinded register* a data collector holds in memory.
+    Any strict subset of shares is uniformly random and independent of
+    ``value``; only the full set recombines.  Unlike
+    :func:`share_additive` the modulus need not be prime, and ``value``
+    may be any integer (negative deltas reduce mod q).
+    """
+    if parties < 1:
+        raise ValueError("need at least one party")
+    if modulus < 2:
+        raise ValueError("modulus must be at least 2")
+    shares = [random_below(modulus, rng) for _ in range(parties - 1)]
+    shares.append((value - sum(shares)) % modulus)
+    return shares
+
+
+def combine_shares(
+    shares: Sequence[int],
+    modulus: int = COUNTER_MODULUS,
+    signed: bool = False,
+) -> int:
+    """Recombine counter shares mod q (requires *all* shares).
+
+    ``signed`` decodes the result into ``(-q/2, q/2]``, the convention
+    PrivCount uses so a register that went negative (noise, or a
+    decrement-heavy statistic) reads back as a negative count instead
+    of a huge positive one.
+    """
+    if not shares:
+        raise ValueError("no shares given")
+    if modulus < 2:
+        raise ValueError("modulus must be at least 2")
+    total = sum(shares) % modulus
+    if signed and total > modulus // 2:
+        total -= modulus
+    return total
 
 
 def _poly_eval(coefficients: Sequence[int], x: int, prime: int) -> int:

@@ -61,6 +61,11 @@ __all__ = [
     "risk_delta",
     "risk_monotone_non_increasing",
     "risk_diminishing_returns",
+    "PrivcountPoint",
+    "privcount_point",
+    "privcount_sweep",
+    "DEFAULT_PRIVCOUNT_COLLECTORS",
+    "DEFAULT_PRIVCOUNT_KEEPERS",
     "parallel_map",
     "figure_f1_series",
     "figure_f2_series",
@@ -717,6 +722,115 @@ def risk_delta(scenario_id: str, faults, profile=None) -> Dict[str, object]:
         "failures": stats.get("failures", 0),
         "pair_deltas": pair_deltas,
     }
+
+
+@dataclass
+class PrivcountPoint:
+    """One (collectors, share keepers) cell of the P-series sweep."""
+
+    collectors: int
+    share_keepers: int
+    users: int
+    #: Minimal coalition size that recombines a register:
+    #: the analyzer's collusion resistance for the run.
+    reconstruction_threshold: int
+    #: Does the measured threshold equal ``share_keepers + 1`` (the
+    #: owning collector plus every keeper)?
+    threshold_matches: bool
+    system_risk: float
+    max_pair_risk: float
+    mean_pair_risk: float
+    coupled_pairs: int
+    reconstructed: bool
+    observations: int
+
+    def to_dict(self) -> Dict[str, object]:
+        from dataclasses import asdict
+
+        return asdict(self)
+
+
+#: The P-series grid: every (collectors, share keepers) pairing swept
+#: by default.  Reconstruction threshold should track keepers + 1 on
+#: every cell, independent of collector count.
+DEFAULT_PRIVCOUNT_COLLECTORS: Tuple[int, ...] = (1, 2, 3)
+DEFAULT_PRIVCOUNT_KEEPERS: Tuple[int, ...] = (2, 3, 4)
+
+
+def privcount_point(
+    collectors: int,
+    share_keepers: int,
+    users: int = 6,
+    profile=None,
+    **overrides,
+) -> PrivcountPoint:
+    """Score one PrivCount deployment shape.
+
+    The headline number is the reconstruction threshold: the smallest
+    coalition that can put a blinded register back together, which the
+    decoupling analyzer derives as the minimal re-coupling coalition
+    size.  The PrivCount design predicts ``share_keepers + 1``.
+    """
+    with get_tracer().span(
+        "privcount-point", kind="harness", sim_time=0.0,
+        collectors=collectors, share_keepers=share_keepers,
+    ) as span:
+        from repro.risk import score_run
+
+        run = run_scenario(
+            "privcount",
+            users=users,
+            collectors=collectors,
+            share_keepers=share_keepers,
+            **overrides,
+        )
+        span.end_sim(run.network.simulator.now)
+        report = score_run(run, profile)
+        max_pair = report.max_pair()
+        threshold = report.collusion_resistance
+        return PrivcountPoint(
+            collectors=collectors,
+            share_keepers=share_keepers,
+            users=users,
+            reconstruction_threshold=threshold,
+            threshold_matches=threshold == share_keepers + 1,
+            system_risk=report.system_risk(),
+            max_pair_risk=max_pair.score if max_pair else 0.0,
+            mean_pair_risk=report.mean_pair_risk(),
+            coupled_pairs=report.coupled_pairs,
+            reconstructed=run.reconstructed,
+            observations=sum(p.observations for p in report.pairs),
+        )
+
+
+def _privcount_point_worker(item) -> PrivcountPoint:
+    """One P-series cell in a worker process (items are picklable)."""
+    collectors, share_keepers, users, overrides, profile = item
+    return privcount_point(
+        collectors, share_keepers, users, profile, **overrides
+    )
+
+
+def privcount_sweep(
+    collectors: Sequence[int] = DEFAULT_PRIVCOUNT_COLLECTORS,
+    share_keepers: Sequence[int] = DEFAULT_PRIVCOUNT_KEEPERS,
+    users: int = 6,
+    jobs: int = 1,
+    profile=None,
+    **overrides,
+) -> List[PrivcountPoint]:
+    """The P-series: reconstruction threshold vs deployment shape.
+
+    Sweeps the (collectors, share keepers) grid and records, per cell,
+    the measured reconstruction threshold and the risk-layer scores.
+    Row-major (collectors outer) so the output order is stable.
+    """
+    items = [
+        (c, k, users, dict(overrides), profile)
+        for c in collectors
+        for k in share_keepers
+    ]
+    return parallel_map(_privcount_point_worker, items, jobs)
 
 
 def figure_f1_series(max_steps: int = 10):

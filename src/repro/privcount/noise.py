@@ -1,0 +1,121 @@
+"""Per-statistic sensitivities and Laplace noise sizing.
+
+Modeled on PrivCount's ``statistics_noise.py`` / ``compute_noise.py``:
+every published statistic declares how much one user's activity over
+the measurement epoch can move it (its sensitivity), and the tally
+server sizes Laplace noise from that sensitivity and the epsilon
+budget allotted to the statistic.  The constants below follow the
+PrivCount deployment's reasoning (one connection per hour for 12
+hours, a 10-minute circuit lifetime under constant use, ...) scaled to
+the small simulated epoch this scenario drives.
+
+Sampling is seeded: every draw goes through the scenario's
+``random.Random``, so identical seeds reproduce identical noisy
+totals byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import math
+import random as _random
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+__all__ = [
+    "Statistic",
+    "STATISTICS",
+    "DEFAULT_EPSILON",
+    "statistics_for",
+    "epsilon_allocation",
+    "laplace_scale",
+    "sample_laplace",
+    "noise_for",
+]
+
+
+@dataclass(frozen=True)
+class Statistic:
+    """One measured statistic: its name and privacy sensitivity.
+
+    ``sensitivity`` bounds how much a single user's epoch of activity
+    can change the aggregate -- the L1 sensitivity the Laplace
+    mechanism needs.
+    """
+
+    name: str
+    sensitivity: float
+    doc: str = ""
+
+
+#: The measured statistics, in publication order.  Sensitivities
+#: follow PrivCount's per-statistic reasoning: a user counts as one
+#: distinct client per slice; constant use for the epoch yields two
+#: pre-emptive circuits plus six per hour (10-minute lifetime); one
+#: connection per hour for half the epoch.
+STATISTICS: Tuple[Statistic, ...] = (
+    Statistic("client_ips", 1.0, "distinct client IPs per time slice"),
+    Statistic("circuits", 6 * 24 + 2.0, "circuits under constant 24h use"),
+    Statistic("connections", 12.0, "one connection per hour for 12 hours"),
+)
+
+#: The deployment's per-epoch privacy budget, split across statistics.
+DEFAULT_EPSILON = 0.3
+
+
+def statistics_for(count: int) -> Tuple[Statistic, ...]:
+    """The first ``count`` statistics of the registry, in order."""
+    if not 1 <= count <= len(STATISTICS):
+        raise ValueError(
+            f"need between 1 and {len(STATISTICS)} statistics, got {count}"
+        )
+    return STATISTICS[:count]
+
+
+def epsilon_allocation(
+    statistics: Sequence[Statistic], epsilon: float = DEFAULT_EPSILON
+) -> Dict[str, float]:
+    """Split the epoch budget evenly across ``statistics``.
+
+    PrivCount allocates by excess-noise ratio; the even split keeps
+    the composition property (the per-statistic epsilons sum to the
+    budget) without the deployment-specific traffic estimates.
+    """
+    if epsilon <= 0.0:
+        raise ValueError("epsilon must be positive")
+    if not statistics:
+        raise ValueError("no statistics to allocate epsilon across")
+    share = epsilon / len(statistics)
+    return {statistic.name: share for statistic in statistics}
+
+
+def laplace_scale(statistic: Statistic, epsilon: float) -> float:
+    """The Laplace scale b = sensitivity / epsilon for one statistic."""
+    if epsilon <= 0.0:
+        raise ValueError("epsilon must be positive")
+    return statistic.sensitivity / epsilon
+
+
+def sample_laplace(scale: float, rng: Optional[_random.Random] = None) -> float:
+    """One seeded draw from Laplace(0, ``scale``).
+
+    Inverse-CDF sampling from a single uniform draw, so the consumed
+    randomness (and therefore every downstream draw) is deterministic
+    per ``rng`` state.
+    """
+    if scale < 0.0:
+        raise ValueError("scale must be non-negative")
+    if scale == 0.0:
+        return 0.0
+    uniform = (rng or _random).random() - 0.5
+    return -scale * math.copysign(1.0, uniform) * math.log(
+        1.0 - 2.0 * abs(uniform)
+    )
+
+
+def noise_for(
+    statistic: Statistic,
+    epsilon: float,
+    rng: Optional[_random.Random] = None,
+) -> float:
+    """One noise draw sized from the statistic's declared sensitivity."""
+    return sample_laplace(laplace_scale(statistic, epsilon), rng)

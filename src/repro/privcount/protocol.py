@@ -1,0 +1,569 @@
+"""PrivCount-style distributed measurement: the protocol roles.
+
+Three mutually distrusting roles, modeled on PrivCount's
+``data_collector.py`` / ``share_keeper.py`` / ``tally_server.py``:
+
+* **Data collectors** observe user activity (a relay's view: client IP
+  plus event category) and keep one counter register per observed
+  (user, statistic).  At the end of the epoch each register is split
+  with :func:`~repro.crypto.secretshare.share_counter`: one uniform
+  blinding share per share keeper, plus the balancing *blinded
+  register* -- the only form the register ever takes on the wire or at
+  the tally.
+* **Share keepers** hold the blinding shares and forward only their
+  per-statistic *sums* (with a share count for completeness checking)
+  to the tally.
+* The **tally server** adds every blinded register to every blinding
+  sum -- the blinding cancels, leaving the exact per-statistic totals
+  -- and publishes them under Laplace noise sized from the statistic's
+  declared sensitivity (:mod:`repro.privcount.noise`).
+
+Decoupling: every share carries a
+:class:`~repro.core.values.ShareInfo` naming its register group, so
+the analyzer can prove reconstruction of any user's register needs the
+*data collector and every share keeper* (or the tally and every share
+keeper -- who then hold data but no identity).  The tally alone sees
+only uniform residues and aggregates.
+
+Every cross-host transfer takes an ``attempt`` callable
+(:meth:`~repro.scenario.runtime.ScenarioProgram.attempt`-shaped), so
+fault plans -- share-keeper crashes, interval partitions, curious
+tallies -- apply without touching this module.  The one deliberate
+hazard is the collector's *emergency export*: an opt-in fallback that
+ships the raw (identity, count) row straight to the tally when no
+share keeper is reachable, re-coupling exactly the way the blinding
+exists to prevent.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.entities import Entity
+from repro.core.labels import (
+    NONSENSITIVE_DATA,
+    SENSITIVE_DATA,
+    SENSITIVE_IDENTITY,
+)
+from repro.core.values import Aggregate, LabeledValue, ShareInfo, Subject
+from repro.crypto.secretshare import COUNTER_MODULUS, share_counter
+from repro.net.addressing import Address
+from repro.net.network import Network, SimHost
+from repro.net.packets import Packet
+
+from .noise import Statistic, epsilon_allocation, laplace_scale, sample_laplace
+
+__all__ = [
+    "UserAgent",
+    "DataCollector",
+    "ShareKeeper",
+    "TallyServer",
+    "TallyResult",
+    "EVENT_PROTOCOL",
+    "BLIND_PROTOCOL",
+    "REGISTER_PROTOCOL",
+    "SUM_PROTOCOL",
+    "EXPORT_PROTOCOL",
+]
+
+EVENT_PROTOCOL = "privcount-event"
+BLIND_PROTOCOL = "privcount-blind"
+REGISTER_PROTOCOL = "privcount-register"
+SUM_PROTOCOL = "privcount-sum"
+EXPORT_PROTOCOL = "privcount-export"
+
+
+@dataclass(frozen=True)
+class _EventRecord:
+    """What a relay's instrumentation sees per event: the category."""
+
+    category: LabeledValue
+
+
+@dataclass(frozen=True)
+class _BlindShare:
+    """One uniform blinding share, bound for one share keeper."""
+
+    statistic: str
+    share: LabeledValue
+
+
+@dataclass(frozen=True)
+class _BlindedRegister:
+    """A collector's balancing share: the register as the tally sees it."""
+
+    collector: str
+    statistic: str
+    register: LabeledValue
+
+
+@dataclass(frozen=True)
+class _EpochClose:
+    """A collector's end-of-epoch manifest: registers per statistic."""
+
+    collector: str
+    register_counts: Dict[str, int]
+
+
+@dataclass(frozen=True)
+class _BlindingSum:
+    """A share keeper's per-statistic blinding sums (publishable)."""
+
+    keeper: str
+    sums: Dict[str, Aggregate]
+    share_counts: Dict[str, int]
+
+
+@dataclass(frozen=True)
+class _RawExport:
+    """The emergency bypass row: identity and count, unblinded."""
+
+    collector: str
+    statistic: str
+    identity: LabeledValue
+    count: LabeledValue
+
+
+@dataclass
+class TallyResult:
+    """One epoch's publication: per-statistic noisy totals (or None).
+
+    ``published[stat]`` is ``None`` when the epoch's share accounting
+    did not balance -- a crashed share keeper, a partitioned interval
+    -- in which case the blinding cannot cancel and the tally refuses
+    to publish garbage.  ``exact`` keeps the pre-noise totals for the
+    differential tests; a real tally would discard them.
+    """
+
+    published: Dict[str, Optional[int]] = field(default_factory=dict)
+    exact: Dict[str, Optional[int]] = field(default_factory=dict)
+    noise_scales: Dict[str, float] = field(default_factory=dict)
+    reconstructed: bool = False
+    missing: List[str] = field(default_factory=list)
+
+
+class UserAgent:
+    """One measured user: a client whose activity the collectors see."""
+
+    def __init__(
+        self,
+        network: Network,
+        entity: Entity,
+        subject: Subject,
+        client_ip: str,
+    ) -> None:
+        self.entity = entity
+        self.subject = subject
+        self.identity = LabeledValue(
+            payload=client_ip,
+            label=SENSITIVE_IDENTITY,
+            subject=subject,
+            description="client ip",
+        )
+        self.host: SimHost = network.add_host(
+            f"user:{subject}", entity, identity=self.identity
+        )
+
+    def emit(
+        self,
+        statistic: str,
+        collector_address: Address,
+        attempt: Optional[Callable[..., object]] = None,
+    ) -> Optional[str]:
+        """One activity event, observed by the user's assigned collector.
+
+        The user knows its own activity exactly (▲, ●); the wire
+        carries only the event category, so the collector's knowledge
+        is the relay view: client IP from the network header plus a
+        non-sensitive category.
+        """
+        activity = LabeledValue(
+            payload=f"{statistic} activity",
+            label=SENSITIVE_DATA,
+            subject=self.subject,
+            description=f"{statistic} activity",
+        )
+        self.entity.observe(
+            [self.identity, activity], channel="self", session="self"
+        )
+        record = _EventRecord(
+            category=LabeledValue(
+                payload=statistic,
+                label=NONSENSITIVE_DATA,
+                subject=self.subject,
+                description="event category",
+                provenance=("event",),
+            )
+        )
+
+        def _send() -> str:
+            return self.host.transact(
+                collector_address, record, EVENT_PROTOCOL
+            )
+
+        if attempt is None:
+            return _send()
+        return attempt(_send, label=f"emit {statistic} ({self.subject})")
+
+
+class DataCollector:
+    """A measuring relay: counts events, never keeps a raw register.
+
+    Registers are keyed per (user, statistic) -- the per-subject
+    decomposition of the single counter PrivCount's collectors sum
+    into, kept separate here because the ledger attributes every value
+    to one subject.  The blinding algebra is identical: summing the
+    per-user blinded registers yields the blinded per-statistic
+    counter.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        entity: Entity,
+        index: int,
+        name: Optional[str] = None,
+        modulus: int = COUNTER_MODULUS,
+    ) -> None:
+        self.entity = entity
+        self.index = index
+        self.modulus = modulus
+        self.host: SimHost = network.add_host(
+            name or f"data-collector-{index + 1}", entity
+        )
+        self.host.register(EVENT_PROTOCOL, self._handle_event)
+        #: (subject name, statistic) -> event count.
+        self._registers: Dict[Tuple[str, str], int] = {}
+        #: subject name -> (subject, identity value from the header).
+        self._seen: Dict[str, Tuple[Subject, LabeledValue]] = {}
+
+    @property
+    def address(self) -> Address:
+        return self.host.address
+
+    def _handle_event(self, packet: Packet) -> str:
+        record: _EventRecord = packet.payload
+        subject = record.category.subject
+        statistic = str(record.category.payload)
+        self._registers[(subject.name, statistic)] = (
+            self._registers.get((subject.name, statistic), 0) + 1
+        )
+        if packet.sender_identity is not None:
+            self._seen[subject.name] = (subject, packet.sender_identity)
+        return "counted"
+
+    def register_count(self, statistics: Sequence[str]) -> Dict[str, int]:
+        """Registers per statistic (the epoch-close manifest)."""
+        counts = {statistic: 0 for statistic in statistics}
+        for (_, statistic) in self._registers:
+            if statistic in counts:
+                counts[statistic] += 1
+        return counts
+
+    def distribute(
+        self,
+        keepers: Sequence["ShareKeeper"],
+        tally: "TallyServer",
+        rng: Optional[_random.Random],
+        attempt: Callable[..., object],
+        emergency_export: bool = False,
+    ) -> None:
+        """End of epoch: split every register and ship the shares.
+
+        Per register, one uniform blinding share goes to each share
+        keeper and the balancing blinded register goes to the tally;
+        the collector self-observes that blinded register (it held it
+        in memory all epoch) alongside the user's identity -- the
+        linkage a coalition of this collector plus *every* share
+        keeper would exploit, and nothing less.
+
+        ``emergency_export`` arms the cautionary fallback: when the
+        share keepers are unreachable past retries, ship the raw
+        (identity, count) row to the tally so the measurement epoch
+        survives -- the blinding-bypass path the fault tests pin as a
+        breach.
+        """
+        total_parties = len(keepers) + 1
+        for (subject_name, statistic), count in sorted(self._registers.items()):
+            subject, identity = self._seen[subject_name]
+            group = f"register:{self.host.name}:{subject_name}:{statistic}"
+            shares = share_counter(count, total_parties, self.modulus, rng)
+            blinded = LabeledValue(
+                payload=shares[-1],
+                label=NONSENSITIVE_DATA,
+                subject=subject,
+                description="blinded register",
+                provenance=("register", "blind"),
+                share_info=ShareInfo(
+                    group=group, index=len(keepers), total=total_parties
+                ),
+            )
+            # The collector's own epoch-long knowledge: a blinded
+            # residue keyed by the user it belongs to.
+            self.entity.observe(
+                [identity, blinded], channel="self", session=group
+            )
+
+            def _blind(
+                shares: List[int] = shares,
+                subject: Subject = subject,
+                group: str = group,
+                statistic: str = statistic,
+            ) -> None:
+                for keeper_index, keeper in enumerate(keepers):
+                    share = LabeledValue(
+                        payload=shares[keeper_index],
+                        label=NONSENSITIVE_DATA,
+                        subject=subject,
+                        description="blinding share",
+                        provenance=("register", "blind", "share"),
+                        share_info=ShareInfo(
+                            group=group,
+                            index=keeper_index,
+                            total=total_parties,
+                        ),
+                    )
+                    self.host.transact(
+                        keeper.address,
+                        _BlindShare(statistic=statistic, share=share),
+                        BLIND_PROTOCOL,
+                    )
+
+            fallback = None
+            if emergency_export:
+                fallback = self._export_fallback(
+                    tally, statistic, subject, identity, count
+                )
+            attempt(_blind, fallback=fallback, label=f"blind {group}")
+            attempt(
+                lambda blinded=blinded, statistic=statistic: self.host.transact(
+                    tally.address,
+                    _BlindedRegister(
+                        collector=self.host.name,
+                        statistic=statistic,
+                        register=blinded,
+                    ),
+                    REGISTER_PROTOCOL,
+                ),
+                label=f"register {group}",
+            )
+
+    def _export_fallback(
+        self,
+        tally: "TallyServer",
+        statistic: str,
+        subject: Subject,
+        identity: LabeledValue,
+        count: int,
+    ) -> Callable[[], object]:
+        """The blinding-bypass: raw row to the tally, a privacy breach."""
+
+        def _export() -> object:
+            row = _RawExport(
+                collector=self.host.name,
+                statistic=statistic,
+                identity=identity,
+                count=LabeledValue(
+                    payload=count,
+                    label=SENSITIVE_DATA,
+                    subject=subject,
+                    description="unblinded register export (blinding bypass)",
+                    provenance=("register", "bypass"),
+                ),
+            )
+            return self.host.transact(tally.address, row, EXPORT_PROTOCOL)
+
+        return _export
+
+    def close_epoch(
+        self,
+        tally: "TallyServer",
+        statistics: Sequence[str],
+        attempt: Callable[..., object],
+    ) -> None:
+        """Declare the epoch's register counts so the tally can audit."""
+        manifest = _EpochClose(
+            collector=self.host.name,
+            register_counts=self.register_count(statistics),
+        )
+        attempt(
+            lambda: self.host.transact(
+                tally.address, manifest, REGISTER_PROTOCOL
+            ),
+            label=f"close {self.host.name}",
+        )
+
+
+class ShareKeeper:
+    """Holds blinding shares; forwards only per-statistic sums."""
+
+    def __init__(
+        self,
+        network: Network,
+        entity: Entity,
+        index: int,
+        name: Optional[str] = None,
+        modulus: int = COUNTER_MODULUS,
+    ) -> None:
+        self.entity = entity
+        self.index = index
+        self.modulus = modulus
+        self.host: SimHost = network.add_host(
+            name or f"share-keeper-{index + 1}", entity
+        )
+        self.host.register(BLIND_PROTOCOL, self._handle_blind)
+        self._shares: Dict[str, List[int]] = {}
+        self._contributors: Dict[str, List[Subject]] = {}
+
+    @property
+    def address(self) -> Address:
+        return self.host.address
+
+    def _handle_blind(self, packet: Packet) -> str:
+        payload: _BlindShare = packet.payload
+        self._shares.setdefault(payload.statistic, []).append(
+            int(payload.share.payload)
+        )
+        self._contributors.setdefault(payload.statistic, []).append(
+            payload.share.subject
+        )
+        return "held"
+
+    def forward_sums(
+        self, tally: "TallyServer", attempt: Callable[..., object]
+    ) -> None:
+        """Ship this keeper's blinding sums (uniform residues) to tally."""
+        sums = {
+            statistic: Aggregate(
+                payload=sum(values) % self.modulus,
+                contributors=tuple(self._contributors[statistic]),
+                description=f"blinding sum from {self.host.name}",
+                provenance=("register", "blind"),
+            )
+            for statistic, values in sorted(self._shares.items())
+        }
+        message = _BlindingSum(
+            keeper=self.host.name,
+            sums=sums,
+            share_counts={
+                statistic: len(values)
+                for statistic, values in sorted(self._shares.items())
+            },
+        )
+        attempt(
+            lambda: self.host.transact(tally.address, message, SUM_PROTOCOL),
+            label=f"sum {self.host.name}",
+        )
+
+
+class TallyServer:
+    """Aggregates blinded registers and blinding sums; adds the noise.
+
+    Publication is all-or-nothing per statistic: the share accounting
+    (every collector closed, every keeper reported, and the keepers'
+    share counts match the collectors' declared register counts) must
+    balance, or the blinding cannot cancel and the statistic is
+    withheld -- PrivCount's round-abort, as graceful degradation.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        entity: Entity,
+        collectors: int,
+        share_keepers: int,
+        modulus: int = COUNTER_MODULUS,
+        name: str = "tally-server",
+    ) -> None:
+        self.entity = entity
+        self.expected_collectors = collectors
+        self.expected_keepers = share_keepers
+        self.modulus = modulus
+        self.host: SimHost = network.add_host(name, entity)
+        self.host.register(REGISTER_PROTOCOL, self._handle_register)
+        self.host.register(SUM_PROTOCOL, self._handle_sum)
+        self.host.register(EXPORT_PROTOCOL, self._handle_export)
+        self._registers: Dict[str, List[int]] = {}
+        self._register_counts: Dict[str, Dict[str, int]] = {}
+        self._sums: Dict[str, _BlindingSum] = {}
+        self.raw_exports = 0
+
+    @property
+    def address(self) -> Address:
+        return self.host.address
+
+    def _handle_register(self, packet: Packet) -> str:
+        payload = packet.payload
+        if isinstance(payload, _EpochClose):
+            self._register_counts[payload.collector] = dict(
+                payload.register_counts
+            )
+            return "closed"
+        register: _BlindedRegister = payload
+        self._registers.setdefault(register.statistic, []).append(
+            int(register.register.payload)
+        )
+        return "received"
+
+    def _handle_sum(self, packet: Packet) -> str:
+        payload: _BlindingSum = packet.payload
+        self._sums[payload.keeper] = payload
+        return "received"
+
+    def _handle_export(self, packet: Packet) -> str:
+        self.raw_exports += 1
+        return "exported"
+
+    def _statistic_balances(self, statistic: str) -> bool:
+        """Does the share accounting for one statistic add up?"""
+        expected = sum(
+            counts.get(statistic, 0)
+            for counts in self._register_counts.values()
+        )
+        if len(self._registers.get(statistic, ())) != expected:
+            return False
+        return all(
+            message.share_counts.get(statistic, -1) == expected
+            for message in self._sums.values()
+        )
+
+    def publish(
+        self,
+        statistics: Sequence[Statistic],
+        epsilon: float,
+        rng: Optional[_random.Random],
+    ) -> TallyResult:
+        """The epoch's publication, Laplace-noised per statistic.
+
+        Noise draws happen in declaration order for *every* statistic,
+        published or not, so a degraded epoch consumes the same
+        randomness as a healthy one and downstream draws stay aligned.
+        """
+        result = TallyResult()
+        budgets = epsilon_allocation(statistics, epsilon)
+        complete = (
+            len(self._register_counts) == self.expected_collectors
+            and len(self._sums) == self.expected_keepers
+        )
+        for statistic in statistics:
+            scale = laplace_scale(statistic, budgets[statistic.name])
+            noise = sample_laplace(scale, rng)
+            result.noise_scales[statistic.name] = scale
+            if not complete or not self._statistic_balances(statistic.name):
+                result.published[statistic.name] = None
+                result.exact[statistic.name] = None
+                result.missing.append(statistic.name)
+                continue
+            exact = sum(self._registers.get(statistic.name, ())) % self.modulus
+            for message in self._sums.values():
+                exact = (
+                    exact + int(message.sums[statistic.name].payload)
+                ) % self.modulus
+            if exact > self.modulus // 2:
+                exact -= self.modulus
+            result.exact[statistic.name] = exact
+            result.published[statistic.name] = exact + round(noise)
+        result.reconstructed = not result.missing
+        return result

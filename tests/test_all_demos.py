@@ -57,6 +57,8 @@ EXPECTED_VERDICTS = {
     "prio-histogram": True,
     "cacti": True,
     "sso-anonymous": True,
+    "privcount": True,
+    "privcount-sharded": True,
 }
 
 

@@ -13,13 +13,16 @@ from repro.crypto.padding import (
     unpad_from_cell,
 )
 from repro.crypto.secretshare import (
+    COUNTER_MODULUS,
     FIELD_PRIME,
     check_boolean_shares,
+    combine_shares,
     make_boolean_proof,
     reconstruct_additive,
     shamir_reconstruct,
     shamir_share,
     share_additive,
+    share_counter,
 )
 
 
@@ -52,6 +55,55 @@ class TestAdditiveSharing:
         b = share_additive(32, 3, rng=rng)
         summed = [(x + y) % FIELD_PRIME for x, y in zip(a, b)]
         assert reconstruct_additive(summed) == 42
+
+
+class TestCounterSharing:
+    @given(
+        st.integers(min_value=0, max_value=COUNTER_MODULUS - 1),
+        st.integers(min_value=1, max_value=8),
+    )
+    def test_roundtrip(self, value, parties):
+        rng = random.Random(value % 1000)
+        shares = share_counter(value, parties, rng=rng)
+        assert len(shares) == parties
+        assert combine_shares(shares) == value
+
+    def test_negative_values_reduce_mod_q(self):
+        shares = share_counter(-5, 3, rng=random.Random(6))
+        assert combine_shares(shares) == COUNTER_MODULUS - 5
+        assert combine_shares(shares, signed=True) == -5
+
+    def test_signed_decode_keeps_small_positives(self):
+        shares = share_counter(42, 4, rng=random.Random(7))
+        assert combine_shares(shares, signed=True) == 42
+
+    def test_proper_subsets_do_not_determine_the_value(self):
+        """The same share prefix is consistent with any value."""
+        shares = share_counter(0, 3, rng=random.Random(8))
+        forged_last = (1 - sum(shares[:2])) % COUNTER_MODULUS
+        assert combine_shares(shares[:2] + [forged_last]) == 1
+
+    def test_sharing_is_homomorphic(self):
+        """Registers add share-wise: the tally never needs raw counts."""
+        rng = random.Random(9)
+        a = share_counter(10, 3, rng=rng)
+        b = share_counter(32, 3, rng=rng)
+        summed = [(x + y) % COUNTER_MODULUS for x, y in zip(a, b)]
+        assert combine_shares(summed) == 42
+
+    def test_non_prime_modulus_is_fine(self):
+        shares = share_counter(99, 5, modulus=100, rng=random.Random(10))
+        assert combine_shares(shares, modulus=100) == 99
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            share_counter(5, 0)
+        with pytest.raises(ValueError):
+            share_counter(5, 2, modulus=1)
+        with pytest.raises(ValueError):
+            combine_shares([])
+        with pytest.raises(ValueError):
+            combine_shares([1, 2], modulus=1)
 
 
 class TestShamir:

@@ -167,6 +167,25 @@ def test_tables_identical_between_processes():
     assert fast == slow
 
 
+@pytest.mark.parametrize("name", ["privcount", "privcount-sharded"])
+def test_privcount_demo_json_pinned_across_modes(name):
+    """The PrivCount demos, explicitly: repeated runs are byte-stable
+    and the slow-path differential reproduces the fast output.
+
+    ALL_SPEC_IDS already sweeps these through the in-process parity
+    test; this pins the two additional guarantees the P-series issue
+    demands -- same-mode repeatability (all rng draws flow from the
+    seed, Laplace noise included) and cross-process slow-path identity
+    (import-time ``REPRO_SLOW_PATH=1`` wiring).
+    """
+    fast_a = _run_cli(["demo", name, "--json"], slow=False)
+    fast_b = _run_cli(["demo", name, "--json"], slow=False)
+    assert fast_a == fast_b
+    slow_a = _run_cli_subprocess(["demo", name, "--json"], slow=True)
+    slow_b = _run_cli_subprocess(["demo", name, "--json"], slow=False)
+    assert slow_a == slow_b
+
+
 # ------------------------------------------------- fast-path preconditions
 
 

@@ -1,0 +1,179 @@
+"""Fault-matrix regression battery for the PrivCount scenario.
+
+The adversarial cases the issue demands:
+
+* a **share-keeper crash** or an interval **partition** makes the
+  tally unable to reconstruct -- it withholds every statistic instead
+  of publishing garbage, no phase errors leak, and the decoupling
+  verdict stays byte-stable;
+* a **curious tally server** alone learns nothing that couples;
+* the cautionary **blinding bypass** (collectors exporting raw
+  registers when every keeper is gone, ``emergency_export=1``) flips
+  the verdict, and the provenance breach chain pins the breach to the
+  bypass packet itself.
+"""
+
+import io
+import json
+
+from repro import obs
+from repro.cli import main
+from repro.faults import FaultPlan, HostCrash, Partition
+from repro.obs.provenance import build_provenance
+from repro.scenario import run_scenario
+
+KEEPER_CRASH = FaultPlan(
+    crashes=(HostCrash(host="share-keeper-2", at=0.0),), seed=1
+)
+ALL_KEEPERS_DOWN = FaultPlan(
+    crashes=(HostCrash(host="share-keeper-*", at=0.0),), seed=3
+)
+INTERVAL_PARTITION = FaultPlan(
+    partitions=(
+        Partition(a=("data-collector-*",), b=("share-keeper-*",), start=0.0),
+    ),
+    seed=2,
+)
+CURIOUS_TALLY = FaultPlan(curious=("tally-server",), seed=4)
+BYPASS = FaultPlan(
+    crashes=(HostCrash(host="share-keeper-*", at=0.0),),
+    curious=("tally-server",),
+    seed=3,
+)
+
+
+def _demo_json(name, *extra_args):
+    out = io.StringIO()
+    code = main(["demo", name, "--json", *extra_args], out=out)
+    assert code == 0
+    return out.getvalue()
+
+
+def _plan_path(tmp_path, plan):
+    path = tmp_path / "plan.json"
+    path.write_text(plan.to_json())
+    return str(path)
+
+
+class TestShareKeeperCrash:
+    def test_tally_degrades_gracefully(self):
+        run = run_scenario("privcount", faults=KEEPER_CRASH)
+        # Could not reconstruct: every statistic withheld, no crash.
+        assert run.reconstructed is False
+        assert all(value is None for value in run.published.values())
+        assert all(value is None for value in run.exact_totals.values())
+        assert run.fault_summary["stats"]["phase_errors"] == []
+        # Timeouts were absorbed as failures, not exceptions.
+        assert run.fault_summary["stats"]["failures"] > 0
+
+    def test_verdict_stays_decoupled(self):
+        baseline = run_scenario("privcount")
+        faulted = run_scenario("privcount", faults=KEEPER_CRASH)
+        assert baseline.analyzer.verdict().decoupled is True
+        assert faulted.analyzer.verdict().decoupled is True
+        # No raw registers moved: the bypass is off by default.
+        assert faulted.raw_exports == 0
+
+    def test_faulted_demo_json_is_reproducible(self, tmp_path):
+        plan = _plan_path(tmp_path, KEEPER_CRASH)
+        first = _demo_json("privcount", "--faults", plan)
+        second = _demo_json("privcount", "--faults", plan)
+        assert first == second
+        assert json.loads(first)["verdict_decoupled"] is True
+
+
+class TestIntervalPartition:
+    def test_partition_blocks_reconstruction(self):
+        run = run_scenario("privcount", faults=INTERVAL_PARTITION)
+        assert run.reconstructed is False
+        assert all(value is None for value in run.published.values())
+        assert run.fault_summary["stats"]["phase_errors"] == []
+
+    def test_verdict_stays_decoupled(self):
+        run = run_scenario("privcount", faults=INTERVAL_PARTITION)
+        assert run.analyzer.verdict().decoupled is True
+        assert run.raw_exports == 0
+
+    def test_sharded_variant_also_degrades(self):
+        run = run_scenario("privcount-sharded", faults=INTERVAL_PARTITION)
+        assert run.reconstructed is False
+        assert run.analyzer.verdict().decoupled is True
+
+
+class TestCuriousTally:
+    def test_tap_alone_learns_nothing_coupling(self):
+        """An honest-but-curious tally sees every blinded register and
+        blinding sum on the wire -- and still cannot couple."""
+        run = run_scenario("privcount", faults=CURIOUS_TALLY)
+        assert run.reconstructed is True
+        assert run.analyzer.verdict().decoupled is True
+        breach = run.analyzer.breach("tally-org")
+        assert breach.breach_proof
+
+    def test_verdict_byte_stable_under_tap(self, tmp_path):
+        baseline = _demo_json("privcount")
+        tapped = json.loads(
+            _demo_json(
+                "privcount", "--faults", _plan_path(tmp_path, CURIOUS_TALLY)
+            )
+        )
+        document = json.loads(baseline)
+        assert tapped["verdict_decoupled"] == document["verdict_decoupled"]
+        assert tapped["table"] == document["table"]
+
+
+class TestBlindingBypass:
+    """The cautionary configuration: when every keeper is down and the
+    collectors fall back to raw exports, privacy pays for liveness."""
+
+    def test_bypass_flips_the_verdict(self):
+        run = run_scenario(
+            "privcount", faults=BYPASS, emergency_export=1
+        )
+        assert run.raw_exports > 0
+        assert run.analyzer.verdict().decoupled is False
+        assert run.fault_summary["stats"]["fallbacks"] > 0
+
+    def test_bypass_off_by_default_stays_decoupled(self):
+        run = run_scenario("privcount", faults=BYPASS)
+        assert run.raw_exports == 0
+        assert run.analyzer.verdict().decoupled is True
+
+    def test_breach_chain_pins_the_bypass_packet(self):
+        """The provenance graph attributes the curious-tally breach to
+        the blinding-bypass export packet: identity witness (client ip)
+        and data witness (raw register) ride the same packet."""
+        with obs.capture() as (tracer, _):
+            run = run_scenario(
+                "privcount", faults=BYPASS, emergency_export=1
+            )
+        breach = run.analyzer.breach("tally-org")
+        assert not breach.breach_proof
+        chains = build_provenance(run, tracer).breach_chain(breach)
+        assert len(chains) == run.users
+        for chain in chains:
+            rendered = chain.render()
+            assert "breach of tally-org couples" in rendered
+            assert "blinding bypass" in rendered
+            assert "privcount-export" in rendered
+
+    def test_bypass_demo_json_is_reproducible(self, tmp_path):
+        plan = _plan_path(tmp_path, BYPASS)
+        first = _demo_json("privcount", "--faults", plan)
+        second = _demo_json("privcount", "--faults", plan)
+        assert first == second
+        assert json.loads(first)["verdict_decoupled"] is True  # export off
+
+
+class TestFaultFreeStability:
+    def test_demo_json_byte_identical_across_runs(self):
+        assert _demo_json("privcount") == _demo_json("privcount")
+        assert _demo_json("privcount-sharded") == _demo_json(
+            "privcount-sharded"
+        )
+
+    def test_null_plan_changes_nothing(self, tmp_path):
+        plan = _plan_path(tmp_path, FaultPlan())
+        assert _demo_json("privcount") == _demo_json(
+            "privcount", "--faults", plan
+        )

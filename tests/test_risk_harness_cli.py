@@ -186,6 +186,77 @@ class TestRiskCommand:
         assert default_out != custom_out
 
 
+class TestPrivcountCommand:
+    def test_sweep_thresholds_track_keepers_plus_one(self):
+        points = harness.privcount_sweep(
+            collectors=(1, 2), share_keepers=(2, 3), jobs=2
+        )
+        assert [
+            (p.collectors, p.share_keepers) for p in points
+        ] == [(1, 2), (1, 3), (2, 2), (2, 3)]
+        for point in points:
+            assert point.reconstruction_threshold == point.share_keepers + 1
+            assert point.threshold_matches
+            assert point.reconstructed
+        # Threshold depends only on keepers, never on collectors.
+        by_keepers = {}
+        for point in points:
+            by_keepers.setdefault(point.share_keepers, set()).add(
+                point.reconstruction_threshold
+            )
+        assert all(len(values) == 1 for values in by_keepers.values())
+
+    def test_parallel_sweep_matches_serial(self):
+        serial = harness.privcount_sweep(
+            collectors=(1,), share_keepers=(2, 3), jobs=1
+        )
+        parallel = harness.privcount_sweep(
+            collectors=(1,), share_keepers=(2, 3), jobs=2
+        )
+        assert [p.to_dict() for p in serial] == [
+            p.to_dict() for p in parallel
+        ]
+
+    def test_cli_json_is_valid_and_byte_deterministic(self):
+        argv = [
+            "privcount",
+            "--collectors", "1", "--share-keepers", "2,3", "--json",
+        ]
+        code_a, first = _run(argv)
+        code_b, second = _run(argv)
+        assert code_a == code_b == 0
+        assert first == second
+        document = json.loads(first)
+        assert document["series"] == "P"
+        assert [p["share_keepers"] for p in document["points"]] == [2, 3]
+        assert all(p["threshold_matches"] for p in document["points"])
+
+    def test_cli_text_reports_thresholds(self):
+        code, output = _run(
+            ["privcount", "--collectors", "1", "--share-keepers", "2"]
+        )
+        assert code == 0
+        assert "reconstruction threshold" in output
+        assert "ok" in output
+
+    def test_cli_out_writes_json_file(self, tmp_path):
+        target = tmp_path / "privcount.json"
+        code, output = _run(
+            [
+                "privcount", "--collectors", "1", "--share-keepers", "2",
+                "--json", "--out", str(target),
+            ]
+        )
+        assert code == 0
+        document = json.loads(target.read_text(encoding="utf-8"))
+        assert document["points"][0]["reconstruction_threshold"] == 3
+
+    def test_cli_rejects_empty_grid(self):
+        code, output = _run(["privcount", "--collectors", ","])
+        assert code == 2
+        assert "at least one" in output
+
+
 class TestReportAndExplainIntegration:
     def test_report_json_gains_risk_section(self):
         code, output = _run(["report", "--json", "--risk"])
